@@ -1,0 +1,39 @@
+# fedora-go — common workflows.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt experiments table1 clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper table/figure + primitive microbenches.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every figure/ablation (writes results/).
+experiments: build
+	mkdir -p results
+	$(GO) run ./cmd/fedora-bench -all -csv results/sweep.csv | tee results/perf.txt
+
+# The FL accuracy study (Table 1). ~15 min; add QUICK=1 for a fast pass.
+table1: build
+	mkdir -p results
+	$(GO) run ./cmd/fedora-train -table1 $(if $(QUICK),-quick,) | tee results/table1.txt
+
+clean:
+	rm -f trace.ftrc sweep.csv

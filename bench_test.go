@@ -1,0 +1,336 @@
+// Package repro's top-level benchmarks regenerate one measurement point
+// per paper table/figure (run the cmd/fedora-bench and cmd/fedora-train
+// binaries for the full sweeps) plus microbenchmarks of the core
+// primitives. Custom metrics attach the paper's units to each bench:
+// lifetime-months, overhead-pct, AUC, etc.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fdp"
+	"repro/internal/fedora"
+	"repro/internal/fl"
+	"repro/internal/obliv"
+	"repro/internal/pathoram"
+	"repro/internal/raworam"
+	"repro/internal/ringoram"
+	"repro/internal/secagg"
+	"repro/internal/tee"
+
+	"repro/internal/device"
+)
+
+// BenchmarkFig3PDF builds the six Eq.3 distributions of Figure 3.
+func BenchmarkFig3PDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range experiments.Fig3Panels {
+			m := fdp.Mechanism{Epsilon: p.Epsilon, Shape: p.Shape}
+			if _, err := m.Distribution(experiments.Fig3K, experiments.Fig3KUnion); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchPerf runs one Small/10K perf point and reports paper metrics.
+func benchPerf(b *testing.B, sys experiments.System, w dataset.Workload) experiments.PerfResult {
+	b.Helper()
+	var last experiments.PerfResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPerf(experiments.PerfConfig{
+			Scale: dataset.Scales[0], Updates: 10_000, System: sys,
+			Workload: w, Rounds: 1, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	return last
+}
+
+// BenchmarkFig7Lifetime measures the Figure 7 point (Small/10K) for
+// FEDORA(ε=1) and reports the projected SSD lifetime.
+func BenchmarkFig7Lifetime(b *testing.B) {
+	res := benchPerf(b, experiments.SysFedoraEps1, dataset.PerfWorkloads[1])
+	b.ReportMetric(res.LifetimeMonths(), "lifetime-months")
+}
+
+// BenchmarkFig7LifetimePathORAMPlus is the same point for the baseline.
+func BenchmarkFig7LifetimePathORAMPlus(b *testing.B) {
+	res := benchPerf(b, experiments.SysPathORAMPlus, dataset.PerfWorkloads[1])
+	b.ReportMetric(res.LifetimeMonths(), "lifetime-months")
+}
+
+// BenchmarkFig8Latency measures the Figure 8 point (Small/10K, FEDORA
+// ε=1) and reports the round-overhead percentage.
+func BenchmarkFig8Latency(b *testing.B) {
+	res := benchPerf(b, experiments.SysFedoraEps1, dataset.PerfWorkloads[1])
+	b.ReportMetric(res.OverheadPct(), "overhead-pct")
+}
+
+// BenchmarkFig9Cost computes the Figure 9 normalization for the Small
+// configuration and reports FEDORA(ε=1)'s relative hardware cost.
+func BenchmarkFig9Cost(b *testing.B) {
+	var rel float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig9(experiments.SweepOptions{Quick: true, Rounds: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == experiments.SysFedoraEps1.Name {
+				rel = r.Rel.HardwareCost
+			}
+		}
+	}
+	b.ReportMetric(100*rel, "hw-cost-pct-of-dram")
+}
+
+// BenchmarkFig10Scratchpad measures the scratchpad ablation slowdown.
+func BenchmarkFig10Scratchpad(b *testing.B) {
+	var slow float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig10(experiments.SweepOptions{Quick: true, Rounds: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow = rows[0].Slowdown
+	}
+	b.ReportMetric(slow, "no-sram-slowdown-x")
+}
+
+// BenchmarkAblationBucketSize measures the Sec 6.6 bucket sweep.
+func BenchmarkAblationBucketSize(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunBucketAblation(experiments.SweepOptions{Rounds: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rows[len(rows)-1].LifetimeMonths / rows[0].LifetimeMonths
+	}
+	b.ReportMetric(gain, "16KB-vs-4KB-lifetime-x")
+}
+
+// BenchmarkTable1Accesses runs one FL training round (MovieLens-like,
+// ε=1) through the full FEDORA pipeline — the unit of work behind every
+// Table 1 cell — and reports the reduced-access percentage.
+func BenchmarkTable1Accesses(b *testing.B) {
+	cfg := dataset.MovieLensConfig()
+	cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 400, 150, 20
+	ds := dataset.Generate(cfg)
+	tr, err := fl.New(fl.Config{
+		Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+		Epsilon: 1.0, ClientsPerRound: 20, LocalLR: 0.1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep fl.RoundReport
+	for i := 0; i < b.N; i++ {
+		rep, err = tr.RunRound()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.K > 0 {
+		b.ReportMetric(100*(1-float64(rep.KSampled)/float64(rep.K)), "reduced-accesses-pct")
+	}
+}
+
+// --- Core primitive microbenchmarks -----------------------------------
+
+// BenchmarkPathORAMAccess measures one functional Path ORAM access
+// (64-byte blocks, encrypted buckets).
+func BenchmarkPathORAMAccess(b *testing.B) {
+	var key [32]byte
+	dev := device.NewDRAM(1 << 30)
+	o, err := pathoram.New(pathoram.Config{
+		NumBlocks: 1 << 16, BlockSize: 64, Seed: 1, Engine: tee.NewEngine(key),
+	}, dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Write(uint64(i)&0xFFFF, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRAWORAMAOAccess measures one functional AO access + write-back
+// pair on FEDORA's main ORAM.
+func BenchmarkRAWORAMAOAccess(b *testing.B) {
+	var key [32]byte
+	ssd := device.NewSSD(1 << 33)
+	dram := device.NewDRAM(1 << 30)
+	o, err := raworam.New(raworam.Config{
+		NumBlocks: 1 << 16, BlockSize: 64, Seed: 1, Engine: tee.NewEngine(key),
+	}, ssd, dram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i) & 0xFFFF
+		data, _, err := o.AOAccess(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := o.WriteBack(id, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObliviousUnion16K measures the paper's chunk-sized oblivious
+// union (the Θ(chunk²) scan of Sec 4.2) at a reduced 2K size; the cost
+// model extrapolates quadratically.
+func BenchmarkObliviousUnion2K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	reqs := make([]uint64, 2048)
+	for i := range reqs {
+		reqs[i] = uint64(rng.Intn(1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obliv.Union(reqs)
+	}
+}
+
+// BenchmarkFDPSample measures drawing k from Eq. 3 at chunk scale.
+func BenchmarkFDPSample(b *testing.B) {
+	m := fdp.Mechanism{Epsilon: 1}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Sample(fedora.DefaultChunkSize, 8000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRoundPhantom measures one complete phantom-mode FEDORA
+// round at 10K updates (the Fig 7/8 measurement unit).
+func BenchmarkFullRoundPhantom(b *testing.B) {
+	ctrl, err := fedora.New(fedora.Config{
+		NumRows: 10_000_000, Dim: 16, Epsilon: 1,
+		MaxClientsPerRound: 100, MaxFeaturesPerClient: 100,
+		Seed: 1, Phantom: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := dataset.PerfWorkloads[1]
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs := w.GenRound(10_000_000, 100, 100, rng)
+		r, err := ctrl.BeginRound(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ORAM design comparison benchmarks ---------------------------------
+
+// BenchmarkORAMComparison contrasts the three tree-ORAM designs on the
+// same functional write workload (1024 × 64 B blocks): Path ORAM reads
+// and writes whole paths, Ring ORAM reads one slot per bucket, RAW ORAM
+// (FL-friendly) writes only on scheduled evictions.
+func BenchmarkORAMComparison(b *testing.B) {
+	const n, bs = 1024, 64
+	data := make([]byte, bs)
+	b.Run("pathoram", func(b *testing.B) {
+		dev := device.NewDRAM(1 << 31)
+		o, err := pathoram.New(pathoram.Config{NumBlocks: n, BlockSize: bs, Seed: 1}, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Write(uint64(i)%n, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ringoram", func(b *testing.B) {
+		dev := device.NewDRAM(1 << 31)
+		dram := device.NewDRAM(1 << 30)
+		o, err := ringoram.New(ringoram.Config{NumBlocks: n, BlockSize: bs, Seed: 1}, dev, dram)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.Write(uint64(i)%n, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("raworam-flfriendly", func(b *testing.B) {
+		ssd := device.NewSSD(1 << 32)
+		dram := device.NewDRAM(1 << 30)
+		o, err := raworam.New(raworam.Config{NumBlocks: n, BlockSize: bs, Seed: 1}, ssd, dram)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := uint64(i) % n
+			d, _, err := o.AOAccess(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := o.WriteBack(id, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSecAggMask measures masking a 1K-float update for a 10-client
+// roster.
+func BenchmarkSecAggMask(b *testing.B) {
+	var key [32]byte
+	sess, err := secagg.NewSession(key, 10, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float32, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Mask(i%10, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecursiveMapLookup measures one fully-recursive position-map
+// lookup (two chained ORAM levels over 64K entries).
+func BenchmarkRecursiveMapLookup(b *testing.B) {
+	dev := device.NewDRAM(1 << 30)
+	rm, err := pathoram.NewRecursiveMap(pathoram.RecursiveMapConfig{
+		NumBlocks: 1 << 16, NumLeaves: 1 << 14, EntriesPerBlock: 64,
+		ThresholdBytes: 4096, Seed: 1,
+	}, dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rm.GetSet(uint64(i)&0xFFFF, uint32(i)&0x3FFF)
+	}
+}

@@ -1,0 +1,57 @@
+// Command fedora-server runs a FEDORA controller behind the HTTP API of
+// internal/api: an FL orchestrator POSTs rounds, clients GET their
+// embedding rows and POST gradients.
+//
+//	fedora-server -listen :8080 -rows 1000000 -dim 16 -eps 1
+//
+// Try it:
+//
+//	curl -s localhost:8080/v1/status | jq .
+//	curl -s -X POST localhost:8080/v1/rounds -d '{"requests":[[7,21],[7,99]]}'
+//	curl -s 'localhost:8080/v1/rounds/current/entry?row=7'
+//	curl -s -X POST localhost:8080/v1/rounds/current/gradient \
+//	     -d '{"row":7,"grad":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1],"samples":1}'
+//	curl -s -X POST localhost:8080/v1/rounds/current/finish | jq .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/fedora"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "listen address")
+		rows     = flag.Uint64("rows", 1_000_000, "embedding-table height")
+		dim      = flag.Int("dim", 16, "embedding dimension (floats)")
+		eps      = flag.Float64("eps", 1.0, "epsilon (0 = perfect FDP)")
+		clients  = flag.Int("max-clients", 100, "max clients per round")
+		features = flag.Int("max-features", 100, "max features per client")
+		lr       = flag.Float64("lr", 1.0, "server learning rate")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	ctrl, err := fedora.New(fedora.Config{
+		NumRows:              *rows,
+		Dim:                  *dim,
+		Epsilon:              *eps,
+		MaxClientsPerRound:   *clients,
+		MaxFeaturesPerClient: *features,
+		LearningRate:         float32(*lr),
+		Seed:                 *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fedora-server: N=%d dim=%d eps=%g — main ORAM %.2f GB (SSD), %.2f GB DRAM\n",
+		*rows, *dim, *eps,
+		float64(ctrl.MainORAMBytes())/1e9, float64(ctrl.DRAMResidentBytes())/1e9)
+	fmt.Printf("listening on %s\n", *listen)
+	log.Fatal(http.ListenAndServe(*listen, api.NewServer(ctrl).Handler()))
+}

@@ -1,0 +1,166 @@
+// Command fedora-trace records and inspects request-trace files, the
+// replayable workloads behind the performance experiments (the analogue
+// of the paper artifact's pre-generated input traces).
+//
+//	fedora-trace -gen -workload taobao-num -rounds 5 -out trace.ftrc
+//	fedora-trace -info trace.ftrc
+//	fedora-trace -replay trace.ftrc -backend fedora -eps 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fedora"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		gen      = flag.Bool("gen", false, "generate a trace")
+		info     = flag.String("info", "", "print statistics of a trace file")
+		replay   = flag.String("replay", "", "replay a trace through a controller")
+		workload = flag.String("workload", "taobao-val", "workload key for -gen")
+		scale    = flag.String("scale", "Small", "table scale for -gen: Small | Medium | Large")
+		rounds   = flag.Int("rounds", 3, "rounds to generate")
+		updates  = flag.Int("updates", 10000, "requests per round for -gen")
+		out      = flag.String("out", "trace.ftrc", "output path for -gen")
+		backend  = flag.String("backend", "fedora", "backend for -replay")
+		eps      = flag.Float64("eps", 1.0, "epsilon for -replay")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "fedora-trace:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *gen:
+		w, ok := dataset.WorkloadByKey(*workload)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q", *workload))
+		}
+		sc, ok := dataset.ScaleByName(*scale)
+		if !ok {
+			fail(fmt.Errorf("unknown scale %q", *scale))
+		}
+		const featPerClient = 100
+		clients := *updates / featPerClient
+		if clients < 1 {
+			clients = 1
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		tr := &trace.Trace{NumRows: sc.Rows}
+		for r := 0; r < *rounds; r++ {
+			tr.Rounds = append(tr.Rounds, w.GenRound(sc.Rows, clients, featPerClient, rng))
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := trace.Write(f, tr); err != nil {
+			fail(err)
+		}
+		st := tr.Summarize()
+		fmt.Printf("wrote %s: %d rounds, %d requests (%d real), %.0f unique rows/round\n",
+			*out, st.Rounds, st.TotalRequests, st.RealRequests, st.UniquePerRnd)
+	case *info != "":
+		tr := load(*info, fail)
+		st := tr.Summarize()
+		fmt.Printf("rows:            %d\n", tr.NumRows)
+		fmt.Printf("rounds:          %d\n", st.Rounds)
+		fmt.Printf("total requests:  %d\n", st.TotalRequests)
+		fmt.Printf("real requests:   %d (%.1f%% padding)\n", st.RealRequests,
+			100*float64(st.TotalRequests-st.RealRequests)/float64(max(1, st.TotalRequests)))
+		fmt.Printf("unique rows/rnd: %.0f\n", st.UniquePerRnd)
+	case *replay != "":
+		tr := load(*replay, fail)
+		if err := tr.Validate(); err != nil {
+			fail(err)
+		}
+		var be fedora.Backend
+		switch *backend {
+		case "fedora":
+			be = fedora.BackendFedora
+		case "pathoram+":
+			be = fedora.BackendPathORAMPlus
+		case "dram":
+			be = fedora.BackendDRAM
+		default:
+			fail(fmt.Errorf("unknown backend %q", *backend))
+		}
+		maxClients, maxFeat := 1, 1
+		hideCount := false
+		for _, round := range tr.Rounds {
+			if len(round) > maxClients {
+				maxClients = len(round)
+			}
+			for _, c := range round {
+				if len(c) > maxFeat {
+					maxFeat = len(c)
+				}
+				for _, row := range c {
+					if row == fedora.DummyRequest {
+						hideCount = true
+					}
+				}
+			}
+		}
+		ctrl, err := fedora.New(fedora.Config{
+			Backend: be, NumRows: tr.NumRows, Dim: 16,
+			Epsilon: *eps, HideCount: hideCount,
+			MaxClientsPerRound: maxClients, MaxFeaturesPerClient: maxFeat,
+			Seed: *seed, Phantom: true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		for ri, round := range tr.Rounds {
+			r, err := ctrl.BeginRound(round)
+			if err != nil {
+				fail(err)
+			}
+			st, err := r.Finish()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("round %d: K=%d k_union=%d k=%d overhead=%v\n",
+				ri+1, st.K, st.KUnion, st.KSampled, st.Total().Round(1e6))
+		}
+		ssd := ctrl.SSDDevice().Stats()
+		perRound := ssd.BytesWritten / uint64(len(tr.Rounds))
+		life := costmodel.SSDLifetime(ctrl.MainORAMBytes(), perRound, experiments.FLRoundBaseline)
+		fmt.Printf("SSD written/round: %.1f MB; projected lifetime %.1f months\n",
+			float64(perRound)/1e6, costmodel.Months(life))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string, fail func(error)) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fail(err)
+	}
+	return tr
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+// Command fedora-train runs the FL accuracy study (Table 1): federated
+// training of a DLRM-style model through the FEDORA controller on the
+// synthetic MovieLens-like and Taobao-like datasets, reporting reduced
+// accesses, dummy/lost fractions, and ROC-AUC per (mode, ε) cell.
+//
+//	fedora-train -table1          the full Table 1 sweep
+//	fedora-train -table1 -quick   trimmed datasets + fewer rounds
+//	fedora-train -single -dataset movielens -eps 1.0 -mode hide-val
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fdp"
+	"repro/internal/fl"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "run the full Table 1 accuracy study")
+		pooling = flag.Bool("ablation-pooling", false, "mean vs attention pooling ablation")
+		single  = flag.Bool("single", false, "run one configuration")
+		dsName  = flag.String("dataset", "movielens", "dataset for -single: movielens | taobao")
+		epsStr  = flag.Float64("eps", math.Inf(1), "epsilon for -single (+Inf = no FDP)")
+		mode    = flag.String("mode", "hide-val", "mode for -single: pub | hide-val | hide-num")
+		rounds  = flag.Int("rounds", 0, "FL rounds (0 = default per study)")
+		quick   = flag.Bool("quick", false, "trimmed datasets and round counts")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		csvOut  = flag.String("csv", "", "also write Table 1 to this CSV file")
+	)
+	flag.Parse()
+
+	switch {
+	case *table1:
+		rows, err := experiments.RunTable1(experiments.Table1Options{
+			Quick: *quick, Rounds: *rounds, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedora-train:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderTable1(rows))
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fedora-train:", err)
+				os.Exit(1)
+			}
+			if err := experiments.WriteTable1CSV(f, rows); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "fedora-train:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fedora-train:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *csvOut)
+		}
+	case *pooling:
+		rows, err := experiments.RunPoolingAblation(experiments.SweepOptions{Quick: *quick, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedora-train:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderPoolingAblation(rows))
+	case *single:
+		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64) {
+	var cfg dataset.Config
+	switch dsName {
+	case "movielens":
+		cfg = dataset.MovieLensConfig()
+	case "taobao":
+		cfg = dataset.TaobaoConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "fedora-train: unknown dataset %q\n", dsName)
+		os.Exit(2)
+	}
+	if quick {
+		cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 400, 150, 40
+	}
+	ds := dataset.Generate(cfg)
+
+	flCfg := fl.Config{
+		Dataset: ds, Dim: 8, Hidden: 16,
+		ClientsPerRound: 40, MaxFeaturesPerClient: 100,
+		LocalLR: 0.1, LocalEpochs: 2, Seed: seed,
+	}
+	switch mode {
+	case "pub":
+		flCfg.Epsilon = fdp.EpsilonInfinity
+	case "hide-val":
+		flCfg.UsePrivate = true
+		flCfg.Epsilon = eps
+	case "hide-num":
+		flCfg.UsePrivate = true
+		flCfg.Epsilon = eps
+		flCfg.HideCount = true
+	default:
+		fmt.Fprintf(os.Stderr, "fedora-train: unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+	if dsName == "movielens" {
+		flCfg.Dropout = 0.5
+	}
+	tr, err := fl.New(flCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedora-train:", err)
+		os.Exit(1)
+	}
+	if rounds == 0 {
+		rounds = 100
+		if quick {
+			rounds = 40
+		}
+	}
+	res, err := tr.Run(rounds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedora-train:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset=%s mode=%s eps=%g rounds=%d\n", dsName, mode, eps, rounds)
+	fmt.Printf("AUC:              %.4f\n", res.AUC)
+	fmt.Printf("reduced accesses: %.2f%%\n", 100*res.ReducedAccesses)
+	fmt.Printf("dummy accesses:   %.2f%% of optimum\n", 100*res.DummyFrac)
+	fmt.Printf("lost accesses:    %.2f%% of optimum\n", 100*res.LostFrac)
+	fmt.Printf("wall time:        %v\n", res.Elapsed.Round(1e6))
+}

@@ -1,0 +1,80 @@
+// Adversary walkthrough: what does ε actually buy? This example mounts
+// the strongest possible attack on the ε-FDP mechanism — the
+// Bayes-optimal likelihood-ratio test distinguishing two neighbouring
+// inputs from the published access count k — and compares its measured
+// success rate with the theoretical bound e^ε/(1+e^ε) (paper Sec 3.1).
+//
+//	go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/fdp"
+)
+
+func main() {
+	const K, kUnion, trials = 100, 30, 100000
+	fmt.Printf("Distinguishing k_union=%d from k_union=%d over %d trials each\n\n",
+		kUnion, kUnion+1, trials)
+	fmt.Printf("%-8s %-22s %-22s %s\n", "eps", "adversary success", "theoretical bound", "interpretation")
+
+	for _, eps := range []float64{0.01, 0.1, 0.5, 1, 2, 5} {
+		m := fdp.Mechanism{Epsilon: eps}
+		p0, err := m.Distribution(K, kUnion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p1, err := m.Distribution(K, kUnion+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(eps*1e6) + 1))
+		wins := 0
+		for i := 0; i < trials; i++ {
+			world := rng.Intn(2)
+			var k int
+			if world == 0 {
+				k, err = m.Sample(K, kUnion, rng)
+			} else {
+				k, err = m.Sample(K, kUnion+1, rng)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			guess := 0
+			if p1[k-1] > p0[k-1] {
+				guess = 1
+			}
+			if guess == world {
+				wins++
+			}
+		}
+		got := float64(wins) / trials
+		bound := fdp.AdversarySuccessBound(eps)
+		verdict := "≈ coin flip"
+		switch {
+		case bound > 0.9:
+			verdict = "effectively leaked"
+		case bound > 0.7:
+			verdict = "meaningful leakage"
+		case bound > 0.55:
+			verdict = "mild leakage"
+		}
+		fmt.Printf("%-8.2f %-22.4f %-22.4f %s\n", eps, got, bound, verdict)
+	}
+
+	fmt.Println("\nGroup privacy: hiding n=100 feature values at total eps=1 runs the")
+	fmt.Printf("mechanism at eps/n = %.4f per value — adversary bound %.4f per value.\n",
+		fdp.GroupEpsilon(1, 100), fdp.AdversarySuccessBound(fdp.GroupEpsilon(1, 100)))
+	cum := fdp.SequentialComposition(0.1, 500)
+	adv, err := fdp.AdvancedComposition(0.1, 500, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Across 500 rounds at eps=0.1/round: basic composition %.0f, advanced %.1f (delta=1e-6)\n",
+		cum, adv)
+	fmt.Println("— advanced composition wins when per-round eps is small and rounds are many.")
+}

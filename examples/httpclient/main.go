@@ -1,0 +1,71 @@
+// HTTP client walkthrough: starts an in-process FEDORA server (the same
+// handler cmd/fedora-server exposes), then plays the orchestrator and
+// two clients over the wire — the networked version of the quickstart.
+//
+//	go run ./examples/httpclient
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/api"
+	"repro/internal/fedora"
+)
+
+func main() {
+	ctrl, err := fedora.New(fedora.Config{
+		NumRows: 100_000, Dim: 8, Epsilon: 1.0,
+		MaxClientsPerRound: 8, MaxFeaturesPerClient: 8,
+		LearningRate: 0.5, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(api.NewServer(ctrl).Handler())
+	defer srv.Close()
+	c := api.NewClient(srv.URL)
+
+	status, err := c.Status()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server up: backend=%s main ORAM %.1f MB\n\n",
+		status.Backend, float64(status.MainORAMBytes)/1e6)
+
+	// Orchestrator opens a round for two clients.
+	alice := []uint64{7, 21, 1000}
+	bob := []uint64{7, 99}
+	if err := c.BeginRound([][]uint64{alice, bob}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each client downloads its rows and uploads a unit gradient.
+	for who, rows := range map[string][]uint64{"alice": alice, "bob": bob} {
+		for _, row := range rows {
+			entry, ok, err := c.Entry(row)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !ok {
+				fmt.Printf("%s: row %d lost to the mechanism\n", who, row)
+				continue
+			}
+			grad := make([]float32, len(entry))
+			for i := range grad {
+				grad[i] = 1
+			}
+			if _, err := c.SubmitGradient(row, grad, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	stats, err := c.FinishRound()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round done: K=%d unique=%d oram-accesses=%d dummy=%d lost=%d overhead=%s\n",
+		stats.K, stats.KUnion, stats.KSampled, stats.Dummy, stats.Lost, stats.TotalOverhead)
+}

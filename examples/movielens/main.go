@@ -1,0 +1,62 @@
+// MovieLens-like FL accuracy walkthrough: trains the DLRM-style model
+// federatedly through FEDORA at three privacy levels and shows that
+// (a) private behavioural-history features matter and (b) ε-FDP noise
+// costs almost nothing — the paper's Table 1 story in miniature.
+//
+//	go run ./examples/movielens
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/fdp"
+	"repro/internal/fl"
+)
+
+func main() {
+	cfg := dataset.MovieLensConfig()
+	cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 400, 150, 40
+	ds := dataset.Generate(cfg)
+	fmt.Printf("dataset: %d items, %d users (mean history %.1f movies)\n\n",
+		ds.NumItems, len(ds.Users), meanHist(ds))
+
+	type run struct {
+		label      string
+		usePrivate bool
+		eps        float64
+	}
+	runs := []run{
+		{"pub (no private features)", false, fdp.EpsilonInfinity},
+		{"private, eps=inf (no FDP)", true, fdp.EpsilonInfinity},
+		{"private, eps=1.0", true, 1.0},
+		{"private, eps=0.1", true, 0.1},
+	}
+	for _, r := range runs {
+		tr, err := fl.New(fl.Config{
+			Dataset: ds, Dim: 8, Hidden: 16,
+			UsePrivate: r.usePrivate, Epsilon: r.eps,
+			ClientsPerRound: 40, LocalEpochs: 2, LocalLR: 0.1,
+			Dropout: 0.5, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tr.Run(80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s AUC %.4f  reduced %.1f%%  dummy %.1f%%  lost %.1f%%\n",
+			r.label, res.AUC, 100*res.ReducedAccesses, 100*res.DummyFrac, 100*res.LostFrac)
+	}
+	fmt.Println("\nExpected shape: pub well below the private runs; eps=0.1 ≈ eps=1 ≈ eps=inf.")
+}
+
+func meanHist(ds *dataset.Dataset) float64 {
+	var sum int
+	for _, u := range ds.Users {
+		sum += len(u.Hist)
+	}
+	return float64(sum) / float64(len(ds.Users))
+}

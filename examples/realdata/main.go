@@ -1,0 +1,92 @@
+// Real-data walkthrough: the synthetic generators stand in for
+// MovieLens in this repository, but the loader accepts the actual
+// ratings.csv format — drop in the real file and the same FL pipeline
+// runs on it. This example builds a tiny in-memory "ratings.csv" to
+// demonstrate the path end to end.
+//
+//	go run ./examples/realdata
+//	go run ./examples/realdata /path/to/ml-20m/ratings.csv   # the real thing
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+)
+
+func main() {
+	var ds *dataset.Dataset
+	var err error
+	cfg := dataset.DefaultCSVConfig()
+	cfg.Name = "ratings"
+
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		ds, err = dataset.LoadRatingsCSV(f, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg.MinInteractions = 8
+		ds, err = dataset.LoadRatingsCSV(strings.NewReader(syntheticRatings()), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("loaded %q: %d users over a %d-item table\n", ds.Name, len(ds.Users), ds.NumItems)
+	var hist int
+	for _, u := range ds.Users {
+		hist += len(u.Hist)
+	}
+	fmt.Printf("mean behavioural history: %.1f items/user\n\n", float64(hist)/float64(len(ds.Users)))
+
+	tr, err := fl.New(fl.Config{
+		Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+		Epsilon: 1.0, ClientsPerRound: 20, LocalLR: 0.1, LocalEpochs: 2, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tr.Run(120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("120 FL rounds at eps=1: AUC %.4f, reduced accesses %.1f%%, dummy %.1f%%, lost %.1f%%\n",
+		res.AUC, 100*res.ReducedAccesses, 100*res.DummyFrac, 100*res.LostFrac)
+	fmt.Printf("per-value adversary bound: %.4f (coin flip = 0.5)\n", res.AdversaryBound)
+}
+
+// syntheticRatings fabricates a plausible ratings.csv: 200 users, 300
+// movies, taste-clustered positives so there is something to learn.
+func syntheticRatings() string {
+	rng := rand.New(rand.NewSource(7))
+	var b strings.Builder
+	b.WriteString("userId,movieId,rating,timestamp\n")
+	for u := 1; u <= 200; u++ {
+		taste := rng.Intn(3) // three genres, movies [g*100, g*100+99]
+		n := 20 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			var movie int
+			var rating float64
+			if rng.Float64() < 0.8 {
+				movie = taste*100 + rng.Intn(100)
+				rating = 3.5 + 1.5*rng.Float64() // in-taste: positive
+			} else {
+				movie = rng.Intn(300)
+				rating = 1.0 + 2.5*rng.Float64() // off-taste: negative
+			}
+			fmt.Fprintf(&b, "%d,%d,%.1f,%d\n", u, movie, rating, 1000+i)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,369 @@
+// Package api exposes a FEDORA controller over HTTP, turning the
+// simulator into a runnable service: an FL orchestrator starts rounds,
+// clients download their embedding rows, upload gradients, and the
+// orchestrator finishes the round. JSON in, JSON out, stdlib only.
+//
+// Endpoints:
+//
+//	GET  /v1/status                     controller configuration + device stats
+//	POST /v1/rounds                     {"requests": [[rows...], ...]} → round stats header
+//	GET  /v1/rounds/current/entry?row=N → {"row": N, "entry": [...], "ok": true}
+//	POST /v1/rounds/current/gradient    {"row": N, "grad": [...], "samples": n}
+//	POST /v1/rounds/current/finish      → full round stats
+//
+// The row a client asks for is visible to this HTTP layer, exactly as a
+// client's download request is visible to the FEDORA controller in the
+// paper — the protections (ORAM + ε-FDP) bound what the *storage side*
+// and the access *counts* reveal, not the serving channel, which in the
+// real deployment is inside the TEE.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fedora"
+)
+
+// Server wraps a controller with HTTP handlers. It serializes round
+// operations: the controller is a single logical trusted unit.
+type Server struct {
+	mu    sync.Mutex
+	ctrl  *fedora.Controller
+	round *fedora.Round
+}
+
+// NewServer wraps ctrl.
+func NewServer(ctrl *fedora.Controller) *Server {
+	return &Server{ctrl: ctrl}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/rounds", s.handleBegin)
+	mux.HandleFunc("/v1/rounds/current/entry", s.handleEntry)
+	mux.HandleFunc("/v1/rounds/current/gradient", s.handleGradient)
+	mux.HandleFunc("/v1/rounds/current/finish", s.handleFinish)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// StatusResponse reports controller configuration and device traffic.
+type StatusResponse struct {
+	Backend          string `json:"backend"`
+	Round            uint64 `json:"round"`
+	RoundInProgress  bool   `json:"round_in_progress"`
+	EffectiveEpsilon string `json:"effective_epsilon"`
+	MainORAMBytes    uint64 `json:"main_oram_bytes"`
+	DRAMBytes        uint64 `json:"dram_bytes"`
+	SSDBytesRead     uint64 `json:"ssd_bytes_read"`
+	SSDBytesWritten  uint64 `json:"ssd_bytes_written"`
+}
+
+// BeginRequest starts a round.
+type BeginRequest struct {
+	// Requests holds per-client row lists; null entries are dummies.
+	Requests [][]uint64 `json:"requests"`
+}
+
+// RoundStatsJSON mirrors fedora.RoundStats for the wire.
+type RoundStatsJSON struct {
+	K        int `json:"k_total"`
+	KUnion   int `json:"k_union"`
+	KSampled int `json:"k_sampled"`
+	Dummy    int `json:"dummy"`
+	Lost     int `json:"lost"`
+	Chunks   int `json:"chunks"`
+	// RoundEpsilon is a string because ε may be +Inf, which JSON numbers
+	// cannot represent.
+	RoundEpsilon  string `json:"round_epsilon"`
+	TotalOverhead string `json:"total_overhead"`
+}
+
+func statsJSON(st fedora.RoundStats) RoundStatsJSON {
+	return RoundStatsJSON{
+		K: st.K, KUnion: st.KUnion, KSampled: st.KSampled,
+		Dummy: st.Dummy, Lost: st.Lost, Chunks: st.Chunks,
+		RoundEpsilon:  strconv.FormatFloat(st.RoundEpsilon, 'g', -1, 64),
+		TotalOverhead: st.Total().String(),
+	}
+}
+
+// EntryResponse is a download reply.
+type EntryResponse struct {
+	Row   uint64    `json:"row"`
+	Entry []float32 `json:"entry,omitempty"`
+	OK    bool      `json:"ok"`
+}
+
+// GradientRequest uploads one row gradient.
+type GradientRequest struct {
+	Row     uint64    `json:"row"`
+	Grad    []float32 `json:"grad"`
+	Samples int       `json:"samples"`
+}
+
+// GradientResponse acknowledges an upload.
+type GradientResponse struct {
+	Delivered bool `json:"delivered"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ssd := s.ctrl.SSDDevice().Stats()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Backend:          s.ctrl.Backend().String(),
+		Round:            s.ctrl.Round(),
+		RoundInProgress:  s.round != nil,
+		EffectiveEpsilon: strconv.FormatFloat(s.ctrl.EffectiveEpsilon(), 'g', -1, 64),
+		MainORAMBytes:    s.ctrl.MainORAMBytes(),
+		DRAMBytes:        s.ctrl.DRAMResidentBytes(),
+		SSDBytesRead:     ssd.BytesRead,
+		SSDBytesWritten:  ssd.BytesWritten,
+	})
+}
+
+func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BeginRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Requests) == 0 {
+		http.Error(w, "no client requests", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.round != nil {
+		http.Error(w, "round already in progress", http.StatusConflict)
+		return
+	}
+	round, err := s.ctrl.BeginRound(req.Requests)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, fedora.ErrRoundInProgress) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.round = round
+	writeJSON(w, http.StatusCreated, map[string]uint64{"round": s.ctrl.Round()})
+}
+
+func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	row, err := strconv.ParseUint(r.URL.Query().Get("row"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad row: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.round == nil {
+		http.Error(w, "no round in progress", http.StatusConflict)
+		return
+	}
+	entry, ok, err := s.round.ServeEntry(row)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, EntryResponse{Row: row, Entry: entry, OK: ok})
+}
+
+func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req GradientRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Samples <= 0 {
+		http.Error(w, "samples must be positive", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.round == nil {
+		http.Error(w, "no round in progress", http.StatusConflict)
+		return
+	}
+	delivered, err := s.round.SubmitGradient(req.Row, req.Grad, req.Samples)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, GradientResponse{Delivered: delivered})
+}
+
+func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.round == nil {
+		http.Error(w, "no round in progress", http.StatusConflict)
+		return
+	}
+	st, err := s.round.Finish()
+	s.round = nil
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, statsJSON(st))
+}
+
+// handleMetrics exposes Prometheus-style counters (text format).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ssd := s.ctrl.SSDDevice().Stats()
+	dram := s.ctrl.DRAMDevice().Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	inProgress := 0
+	if s.round != nil {
+		inProgress = 1
+	}
+	lines := []struct {
+		name  string
+		kind  string
+		value string
+	}{
+		{"fedora_rounds_total", "counter", strconv.FormatUint(s.ctrl.Round(), 10)},
+		{"fedora_round_in_progress", "gauge", strconv.Itoa(inProgress)},
+		{"fedora_ssd_bytes_read_total", "counter", strconv.FormatUint(ssd.BytesRead, 10)},
+		{"fedora_ssd_bytes_written_total", "counter", strconv.FormatUint(ssd.BytesWritten, 10)},
+		{"fedora_dram_bytes_read_total", "counter", strconv.FormatUint(dram.BytesRead, 10)},
+		{"fedora_dram_bytes_written_total", "counter", strconv.FormatUint(dram.BytesWritten, 10)},
+		{"fedora_ssd_busy_seconds_total", "counter", strconv.FormatFloat(ssd.BusyTime.Seconds(), 'g', -1, 64)},
+	}
+	for _, l := range lines {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", l.name, l.kind, l.name, l.value)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing sensible left to do.
+		_ = err
+	}
+}
+
+// ---- Client ----------------------------------------------------------
+
+// Client is a typed HTTP client for Server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient points at a server base URL (e.g. "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{base: base, http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Status fetches controller status.
+func (c *Client) Status() (StatusResponse, error) {
+	var out StatusResponse
+	err := c.get("/v1/status", &out)
+	return out, err
+}
+
+// BeginRound starts a round with the given per-client requests.
+func (c *Client) BeginRound(requests [][]uint64) error {
+	return c.post("/v1/rounds", BeginRequest{Requests: requests}, nil)
+}
+
+// Entry downloads one row.
+func (c *Client) Entry(row uint64) ([]float32, bool, error) {
+	var out EntryResponse
+	if err := c.get(fmt.Sprintf("/v1/rounds/current/entry?row=%d", row), &out); err != nil {
+		return nil, false, err
+	}
+	return out.Entry, out.OK, nil
+}
+
+// SubmitGradient uploads one row gradient.
+func (c *Client) SubmitGradient(row uint64, grad []float32, samples int) (bool, error) {
+	var out GradientResponse
+	err := c.post("/v1/rounds/current/gradient",
+		GradientRequest{Row: row, Grad: grad, Samples: samples}, &out)
+	return out.Delivered, err
+}
+
+// FinishRound completes the round and returns its stats.
+func (c *Client) FinishRound() (RoundStatsJSON, error) {
+	var out RoundStatsJSON
+	err := c.post("/v1/rounds/current/finish", nil, &out)
+	return out, err
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func (c *Client) post(path string, in, out any) error {
+	var buf bytes.Buffer
+	if in != nil {
+		if err := json.NewEncoder(&buf).Encode(in); err != nil {
+			return err
+		}
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	if resp.StatusCode >= 300 {
+		var msg [256]byte
+		n, _ := resp.Body.Read(msg[:])
+		return fmt.Errorf("api: %s: %s", resp.Status, string(msg[:n]))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,268 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fdp"
+	"repro/internal/fedora"
+)
+
+func newTestServer(t *testing.T) (*Client, *fedora.Controller) {
+	t.Helper()
+	ctrl, err := fedora.New(fedora.Config{
+		NumRows: 1024, Dim: 4, Epsilon: fdp.EpsilonInfinity,
+		MaxClientsPerRound: 8, MaxFeaturesPerClient: 8,
+		LearningRate: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(ctrl).Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), ctrl
+}
+
+func TestFullRoundOverHTTP(t *testing.T) {
+	c, ctrl := newTestServer(t)
+
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != "fedora" || st.RoundInProgress {
+		t.Errorf("status = %+v", st)
+	}
+
+	if err := c.BeginRound([][]uint64{{5, 9}, {9, 12}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []uint64{5, 9, 12} {
+		entry, ok, err := c.Entry(row)
+		if err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", row, ok, err)
+		}
+		if len(entry) != 4 {
+			t.Fatalf("entry dim = %d", len(entry))
+		}
+		delivered, err := c.SubmitGradient(row, []float32{1, 1, 1, 1}, 1)
+		if err != nil || !delivered {
+			t.Fatalf("gradient row %d: %v %v", row, delivered, err)
+		}
+	}
+	stats, err := c.FinishRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.K != 4 || stats.KUnion != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// The update took effect: row 9 got gradient 1 from two clients.
+	row9, err := ctrl.PeekRow(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row9[0] != -1 {
+		t.Errorf("row9[0] = %v, want -1", row9[0])
+	}
+}
+
+func TestDoubleBeginRejected(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.BeginRound([][]uint64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.BeginRound([][]uint64{{2}})
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("second begin err = %v, want conflict", err)
+	}
+	if _, err := c.FinishRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginRound([][]uint64{{2}}); err != nil {
+		t.Errorf("begin after finish: %v", err)
+	}
+}
+
+func TestOperationsWithoutRoundRejected(t *testing.T) {
+	c, _ := newTestServer(t)
+	if _, _, err := c.Entry(1); err == nil {
+		t.Error("entry without round accepted")
+	}
+	if _, err := c.SubmitGradient(1, []float32{0, 0, 0, 0}, 1); err == nil {
+		t.Error("gradient without round accepted")
+	}
+	if _, err := c.FinishRound(); err == nil {
+		t.Error("finish without round accepted")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	c, _ := newTestServer(t)
+	srvURL := c.base
+
+	// Bad JSON.
+	resp, err := http.Post(srvURL+"/v1/rounds", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json status = %d", resp.StatusCode)
+	}
+
+	// Empty requests.
+	resp, err = http.Post(srvURL+"/v1/rounds", "application/json", strings.NewReader(`{"requests":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty requests status = %d", resp.StatusCode)
+	}
+
+	// Out-of-range row.
+	resp, err = http.Post(srvURL+"/v1/rounds", "application/json",
+		strings.NewReader(`{"requests":[[999999]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range row status = %d", resp.StatusCode)
+	}
+
+	// Wrong method.
+	resp, err = http.Get(srvURL + "/v1/rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/rounds status = %d", resp.StatusCode)
+	}
+
+	// Bad row parameter.
+	if err := c.BeginRound([][]uint64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srvURL + "/v1/rounds/current/entry?row=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad row param status = %d", resp.StatusCode)
+	}
+
+	// Non-positive samples.
+	resp, err = http.Post(srvURL+"/v1/rounds/current/gradient", "application/json",
+		strings.NewReader(`{"row":1,"grad":[0,0,0,0],"samples":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero samples status = %d", resp.StatusCode)
+	}
+}
+
+func TestLostEntryOverHTTP(t *testing.T) {
+	ctrl, err := fedora.New(fedora.Config{
+		NumRows: 1024, Dim: 4, Epsilon: 0.0001,
+		MaxClientsPerRound: 4, MaxFeaturesPerClient: 16, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(ctrl).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	sawLost := false
+	for round := 0; round < 10 && !sawLost; round++ {
+		rows := make([]uint64, 16)
+		for i := range rows {
+			rows[i] = uint64(round*16 + i)
+		}
+		if err := c.BeginRound([][]uint64{rows}); err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			_, ok, err := c.Entry(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				sawLost = true
+			}
+		}
+		if _, err := c.FinishRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawLost {
+		t.Error("tiny epsilon never lost an entry over HTTP")
+	}
+}
+
+func TestConcurrentEntryRequests(t *testing.T) {
+	c, _ := newTestServer(t)
+	rows := []uint64{1, 2, 3, 4, 5, 6}
+	reqs := [][]uint64{rows[:3], rows[3:]}
+	if err := c.BeginRound(reqs); err != nil {
+		t.Fatal(err)
+	}
+	// Many clients hammer the serve endpoint concurrently; the server
+	// serializes access to the single trusted controller.
+	errCh := make(chan error, 24)
+	for g := 0; g < 24; g++ {
+		go func(g int) {
+			row := rows[g%len(rows)]
+			_, ok, err := c.Entry(row)
+			if err == nil && !ok {
+				err = fmt.Errorf("row %d not resident", row)
+			}
+			errCh <- err
+		}(g)
+	}
+	for g := 0; g < 24; g++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.FinishRound(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	c, _ := newTestServer(t)
+	if err := c.BeginRound([][]uint64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FinishRound(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	out := string(body[:n])
+	for _, want := range []string{
+		"fedora_rounds_total 1",
+		"fedora_round_in_progress 0",
+		"fedora_ssd_bytes_read_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

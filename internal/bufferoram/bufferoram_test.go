@@ -1,0 +1,383 @@
+package bufferoram
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func newBuf(t *testing.T, cfg Config) *Buffer {
+	t.Helper()
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = 4
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 1
+	}
+	b, err := New(cfg, device.NewDRAM(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func approxEqual(a, b []float32, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLoadServeRoundTrip(t *testing.T) {
+	b := newBuf(t, Config{Seed: 1})
+	entry := []float32{1, 2, 3, 4}
+	if _, err := b.Load(100, entry); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Serve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(got, entry, 0) {
+		t.Errorf("Serve = %v", got)
+	}
+}
+
+func TestServeMissingReturnsErrNotLoaded(t *testing.T) {
+	b := newBuf(t, Config{Seed: 2})
+	_, _, err := b.Serve(42)
+	if !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFedAvgAggregation(t *testing.T) {
+	b := newBuf(t, Config{Seed: 3, LearningRate: 0.5})
+	entry := []float32{10, 10, 10, 10}
+	if _, err := b.Load(7, entry); err != nil {
+		t.Fatal(err)
+	}
+	// Two users: gradients (1,1,1,1) with 3 samples and (5,5,5,5) with 1.
+	if _, err := b.Aggregate(7, []float32{1, 1, 1, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Aggregate(7, []float32{5, 5, 5, 5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Unload(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FedAvg mean = (3*1 + 1*5)/4 = 2; entry -= 0.5*2 = 9.
+	want := []float32{9, 9, 9, 9}
+	if !approxEqual(got, want, 1e-5) {
+		t.Errorf("Unload = %v, want %v", got, want)
+	}
+	if b.Resident() != 0 {
+		t.Errorf("Resident = %d after unload", b.Resident())
+	}
+}
+
+func TestNoUploadsMeansNoUpdate(t *testing.T) {
+	// Users dropping out after download must leave the entry unchanged
+	// (dropout tolerance, Sec 4.3).
+	b := newBuf(t, Config{Seed: 4})
+	entry := []float32{1, 2, 3, 4}
+	if _, err := b.Load(9, entry); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Unload(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(got, entry, 0) {
+		t.Errorf("entry changed without uploads: %v", got)
+	}
+}
+
+func TestSlotRecyclingAcrossRounds(t *testing.T) {
+	b := newBuf(t, Config{Capacity: 4, Seed: 5})
+	for round := 0; round < 10; round++ {
+		ids := []uint64{uint64(round * 10), uint64(round*10 + 1)}
+		for _, id := range ids {
+			if _, err := b.Load(id, []float32{1, 1, 1, 1}); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		for _, id := range ids {
+			if _, _, err := b.Unload(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCapacityContractEnforced(t *testing.T) {
+	b := newBuf(t, Config{Capacity: 2, Seed: 6})
+	_, _ = b.Load(1, []float32{0, 0, 0, 0})
+	_, _ = b.Load(2, []float32{0, 0, 0, 0})
+	if _, err := b.Load(3, []float32{0, 0, 0, 0}); err == nil {
+		t.Error("overflow load accepted")
+	}
+}
+
+func TestDoubleLoadRejected(t *testing.T) {
+	b := newBuf(t, Config{Seed: 7})
+	_, _ = b.Load(1, []float32{0, 0, 0, 0})
+	if _, err := b.Load(1, []float32{0, 0, 0, 0}); err == nil {
+		t.Error("duplicate load accepted")
+	}
+}
+
+func TestDimValidation(t *testing.T) {
+	b := newBuf(t, Config{Seed: 8})
+	if _, err := b.Load(1, []float32{1}); err == nil {
+		t.Error("short entry accepted")
+	}
+	_, _ = b.Load(2, []float32{0, 0, 0, 0})
+	if _, err := b.Aggregate(2, []float32{1}, 1); err == nil {
+		t.Error("short grad accepted")
+	}
+}
+
+func TestAggregateMissingEntryIndistinguishable(t *testing.T) {
+	b := newBuf(t, Config{Seed: 9})
+	d, err := b.Aggregate(99, []float32{1, 1, 1, 1}, 1)
+	if !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("err = %v", err)
+	}
+	if d <= 0 {
+		t.Error("missing-entry aggregate burned no ORAM access")
+	}
+}
+
+func TestFedAdamConvergesDirectionally(t *testing.T) {
+	b := newBuf(t, Config{Seed: 10, Aggregator: NewFedAdam(), LearningRate: 0.1})
+	entry := []float32{1, 1, 1, 1}
+	if _, err := b.Load(5, entry); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Aggregate(5, []float32{1, 1, 1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Unload(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positive gradient → entry decreases; Adam's first step ≈ lr·1.
+	for i := range got {
+		if got[i] >= entry[i] {
+			t.Errorf("dim %d did not decrease: %v", i, got[i])
+		}
+	}
+}
+
+func TestFedAdamStatePersists(t *testing.T) {
+	b := newBuf(t, Config{Seed: 11, Aggregator: NewFedAdam(), LearningRate: 0.1})
+	if _, err := b.Load(5, []float32{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = b.Aggregate(5, []float32{1, 1, 1, 1}, 1)
+	first, _, _ := b.Unload(5)
+	// Second round with the opposite gradient. With persisted first/second
+	// moments, the momentum damps the step to far below the cold-start
+	// magnitude of ≈ lr = 0.1; with state reset it would be ≈ +0.1.
+	if _, err := b.Load(5, first); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = b.Aggregate(5, []float32{-1, -1, -1, -1}, 1)
+	second, _, _ := b.Unload(5)
+	stepTwo := second[0] - first[0]
+	if math.Abs(float64(stepTwo)) > 0.05 {
+		t.Errorf("second Adam step %v too large — moments not persisting", stepTwo)
+	}
+}
+
+func TestEANAClipsAndAddsNoise(t *testing.T) {
+	b := newBuf(t, Config{Seed: 12, Aggregator: EANA{Clip: 1, Sigma: 0.01}, LearningRate: 1})
+	if _, err := b.Load(3, []float32{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// A huge gradient must be clipped to norm 1 before aggregation.
+	if _, err := b.Aggregate(3, []float32{100, 0, 0, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.Unload(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry -= clip(grad) + noise ⇒ ≈ -1 in dim 0, ≈ 0 elsewhere.
+	if got[0] > -0.8 || got[0] < -1.2 {
+		t.Errorf("clipped update = %v", got[0])
+	}
+}
+
+func TestLazyDPNoiseScalesWithStaleness(t *testing.T) {
+	variance := func(staleRounds uint64) float64 {
+		b := newBuf(t, Config{Capacity: 8, Dim: 16, Seed: 13,
+			Aggregator: LazyDP{Clip: 1, Sigma: 1}, LearningRate: 1})
+		// Touch once at round 1 to stamp the state.
+		b.SetRound(1)
+		_, _ = b.Load(2, make([]float32, 16))
+		_, _ = b.Aggregate(2, make([]float32, 16), 1)
+		base, _, _ := b.Unload(2)
+		// Next update after `staleRounds` rounds of inactivity.
+		b.SetRound(1 + staleRounds)
+		_, _ = b.Load(2, base)
+		_, _ = b.Aggregate(2, make([]float32, 16), 1)
+		out, _, _ := b.Unload(2)
+		var v float64
+		for i := range out {
+			d := float64(out[i] - base[i])
+			v += d * d
+		}
+		return v / float64(len(out))
+	}
+	fresh := variance(1)
+	stale := variance(100)
+	if stale < 10*fresh {
+		t.Errorf("staleness did not scale noise: fresh %v, stale %v", fresh, stale)
+	}
+}
+
+func TestClipInPlace(t *testing.T) {
+	x := []float32{3, 4} // norm 5
+	clipInPlace(x, 1)
+	if math.Abs(float64(x[0])-0.6) > 1e-6 || math.Abs(float64(x[1])-0.8) > 1e-6 {
+		t.Errorf("clip = %v", x)
+	}
+	y := []float32{0.1, 0.1}
+	clipInPlace(y, 1)
+	if y[0] != 0.1 {
+		t.Error("in-norm vector modified")
+	}
+	z := []float32{0, 0}
+	clipInPlace(z, 1) // must not divide by zero
+	if z[0] != 0 {
+		t.Error("zero vector modified")
+	}
+}
+
+func TestAggregatorByName(t *testing.T) {
+	for _, name := range []string{"fedavg", "fedadam", "eana", "lazydp"} {
+		a, err := AggregatorByName(name)
+		if err != nil || a.Name() != name {
+			t.Errorf("AggregatorByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := AggregatorByName("nope"); err == nil {
+		t.Error("unknown aggregator accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dram := device.NewDRAM(1 << 30)
+	if _, err := New(Config{Capacity: 0, Dim: 4}, dram); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(Config{Capacity: 4, Dim: 0}, dram); err == nil {
+		t.Error("zero dim accepted")
+	}
+}
+
+func TestUnloadMissing(t *testing.T) {
+	b := newBuf(t, Config{Seed: 14})
+	if _, _, err := b.Unload(77); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBlockBytesLayout(t *testing.T) {
+	b := newBuf(t, Config{Dim: 8, Seed: 15})
+	// [entry 8 | sum 8 | count 1] floats = 17 × 4 = 68 bytes for FedAvg.
+	if b.BlockBytes() != 68 {
+		t.Errorf("BlockBytes = %d", b.BlockBytes())
+	}
+	if b.EntryBytes() != 32 {
+		t.Errorf("EntryBytes = %d", b.EntryBytes())
+	}
+	// Buffer blocks are at least twice the main-ORAM entry (paper Sec 4.3).
+	if b.BlockBytes() < 2*b.EntryBytes() {
+		t.Error("buffer block smaller than 2× entry")
+	}
+}
+
+func TestDummyAccessesCost(t *testing.T) {
+	b := newBuf(t, Config{Seed: 16})
+	d1, err := b.LoadDummy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := b.UnloadDummy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 || d2 <= 0 {
+		t.Error("dummy accesses cost nothing")
+	}
+}
+
+func TestFedAdagradAccumulatorDampens(t *testing.T) {
+	b := newBuf(t, Config{Seed: 17, Aggregator: NewFedAdagrad(), LearningRate: 1})
+	if _, err := b.Load(4, []float32{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = b.Aggregate(4, []float32{1, 1, 1, 1}, 1)
+	first, _, _ := b.Unload(4)
+	step1 := -first[0]
+	// Second identical update: the accumulator grows, so the step shrinks.
+	_, _ = b.Load(4, first)
+	_, _ = b.Aggregate(4, []float32{1, 1, 1, 1}, 1)
+	second, _, _ := b.Unload(4)
+	step2 := first[0] - second[0]
+	if step2 >= step1 {
+		t.Errorf("Adagrad step grew: %v then %v", step1, step2)
+	}
+	if step1 < 0.9 || step1 > 1.1 {
+		t.Errorf("first Adagrad step = %v, want ≈ 1", step1)
+	}
+}
+
+func TestFedYogiStepsBounded(t *testing.T) {
+	b := newBuf(t, Config{Seed: 18, Aggregator: NewFedYogi(), LearningRate: 0.1})
+	entry := []float32{0, 0, 0, 0}
+	for round := 0; round < 5; round++ {
+		if _, err := b.Load(6, entry); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Aggregate(6, []float32{1, 1, 1, 1}, 1); err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := b.Unload(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := entry[0] - out[0]
+		// Without bias correction Yogi's early steps can exceed lr slightly
+		// as m warms up faster than √v; they stay bounded well below the
+		// raw-gradient step of 1·lr when v saturates.
+		if step <= 0 || step > 0.3 {
+			t.Fatalf("round %d: Yogi step = %v, want (0, ~3·lr]", round, step)
+		}
+		entry = out
+	}
+}
+
+func TestNewAggregatorsByName(t *testing.T) {
+	for _, name := range []string{"fedadagrad", "fedyogi"} {
+		a, err := AggregatorByName(name)
+		if err != nil || a.Name() != name {
+			t.Errorf("AggregatorByName(%q) = %v, %v", name, a, err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package costmodel computes the paper's Sec 6.2 and Sec 6.5 metrics:
+// expected SSD lifetime under ORAM write traffic, and the hardware cost /
+// power / energy comparison between SSD-based designs (FEDORA, Path
+// ORAM+) and a DRAM-based alternative that holds the main ORAM in DRAM.
+//
+// Constants follow the paper's evaluation setup:
+//   - 5.4 PB may be written per TB of SSD capacity before wear-out
+//     (Solidigm D7-P5620 endurance rating).
+//   - The SSD is sized equal to the ORAM when reporting lifetime.
+//   - DRAM costs $3.15/GB, SSD $0.1/GB.
+//   - DRAM draws a constant 375 mW/GB; the SSD draws its 6.2 W rated
+//     power while actively reading/writing.
+//   - Hardware is replaced every five years, or when the SSD wears out,
+//     whichever comes first.
+package costmodel
+
+import (
+	"math"
+	"time"
+)
+
+// Constants from the paper's evaluation (Sec 6.1, 6.5).
+const (
+	// SSDEnduranceBytesPerTB is total writable bytes per TB of capacity.
+	SSDEnduranceBytesPerTB = 5.4e15
+	// DRAMCostPerGB / SSDCostPerGB in dollars.
+	DRAMCostPerGB = 3.15
+	SSDCostPerGB  = 0.10
+	// DRAMIdleWattsPerGB is the constant DRAM power draw.
+	DRAMIdleWattsPerGB = 0.375
+	// SSDActiveWatts is the SSD's draw while serving I/O.
+	SSDActiveWatts = 6.2
+	// ReplacementYears is the periodic hardware refresh.
+	ReplacementYears = 5.0
+)
+
+const (
+	secondsPerMonth = 365.25 * 24 * 3600 / 12
+	secondsPerYear  = 365.25 * 24 * 3600
+	bytesPerGB      = 1e9
+	bytesPerTB      = 1e12
+)
+
+// SSDLifetime returns the expected time until an SSD of capacityBytes
+// wears out, when every FL round writes bytesWrittenPerRound and rounds
+// complete every roundDuration. Zero write traffic means infinite life.
+func SSDLifetime(capacityBytes uint64, bytesWrittenPerRound uint64, roundDuration time.Duration) time.Duration {
+	if bytesWrittenPerRound == 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	endurance := float64(capacityBytes) / bytesPerTB * SSDEnduranceBytesPerTB
+	rounds := endurance / float64(bytesWrittenPerRound)
+	sec := rounds * roundDuration.Seconds()
+	if sec > float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Months converts a duration to months for Fig 7-style reporting.
+func Months(d time.Duration) float64 { return d.Seconds() / secondsPerMonth }
+
+// Years converts a duration to years.
+func Years(d time.Duration) float64 { return d.Seconds() / secondsPerYear }
+
+// Design describes one hardware configuration's steady-state behaviour,
+// from which the Fig 9 metrics derive.
+type Design struct {
+	Name string
+	// SSDBytes / DRAMBytes are the capacities the design must provision.
+	SSDBytes  uint64
+	DRAMBytes uint64
+	// SSDBusyPerRound is the modelled SSD active time per FL round.
+	SSDBusyPerRound time.Duration
+	// RoundDuration is the end-to-end FL round latency of this design.
+	RoundDuration time.Duration
+	// SSDBytesWrittenPerRound drives wear.
+	SSDBytesWrittenPerRound uint64
+}
+
+// Lifetime returns the design's SSD lifetime (infinite if no SSD).
+func (d Design) Lifetime() time.Duration {
+	if d.SSDBytes == 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return SSDLifetime(d.SSDBytes, d.SSDBytesWrittenPerRound, d.RoundDuration)
+}
+
+// HardwareCostPerYear amortizes purchase cost over the replacement
+// period: DRAM over 5 years; SSD over min(5 years, lifetime).
+func (d Design) HardwareCostPerYear() float64 {
+	cost := float64(d.DRAMBytes) / bytesPerGB * DRAMCostPerGB / ReplacementYears
+	if d.SSDBytes > 0 {
+		ssdPrice := float64(d.SSDBytes) / bytesPerGB * SSDCostPerGB
+		life := Years(d.Lifetime())
+		if life > ReplacementYears {
+			life = ReplacementYears
+		}
+		if life <= 0 {
+			life = 1.0 / 365.25 // degenerate: daily replacement floor
+		}
+		cost += ssdPrice / life
+	}
+	return cost
+}
+
+// AveragePowerWatts is the steady-state draw: DRAM idle power plus the
+// SSD's active power weighted by its duty cycle within a round.
+func (d Design) AveragePowerWatts() float64 {
+	p := float64(d.DRAMBytes) / bytesPerGB * DRAMIdleWattsPerGB
+	if d.SSDBytes > 0 && d.RoundDuration > 0 {
+		duty := d.SSDBusyPerRound.Seconds() / d.RoundDuration.Seconds()
+		if duty > 1 {
+			duty = 1
+		}
+		p += SSDActiveWatts * duty
+	}
+	return p
+}
+
+// EnergyPerRoundJoules is the energy one FL round consumes on this
+// design's memory system.
+func (d Design) EnergyPerRoundJoules() float64 {
+	e := float64(d.DRAMBytes) / bytesPerGB * DRAMIdleWattsPerGB * d.RoundDuration.Seconds()
+	e += SSDActiveWatts * d.SSDBusyPerRound.Seconds()
+	return e
+}
+
+// Relative reports this design's Fig 9 metrics normalized by a baseline
+// (the paper normalizes by the DRAM-based design).
+type Relative struct {
+	HardwareCost float64
+	Power        float64
+	Energy       float64
+}
+
+// RelativeTo computes the normalized triple.
+func (d Design) RelativeTo(base Design) Relative {
+	return Relative{
+		HardwareCost: ratio(d.HardwareCostPerYear(), base.HardwareCostPerYear()),
+		Power:        ratio(d.AveragePowerWatts(), base.AveragePowerWatts()),
+		Energy:       ratio(d.EnergyPerRoundJoules(), base.EnergyPerRoundJoules()),
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// --- Carbon model -------------------------------------------------------
+//
+// The paper motivates long device lifetimes partly through carbon
+// footprint (Sec 4.4 cites datacenter lifetimes being stretched to 5–6
+// years "for lower carbon footprint"). This model splits a design's
+// footprint into embodied carbon (manufacturing, amortized over the
+// replacement period) and operational carbon (energy × grid intensity).
+
+const (
+	// DRAMEmbodiedKgCO2PerGB / SSDEmbodiedKgCO2PerGB approximate
+	// manufacturing footprints from published LCA studies (DRAM ≈ 0.35,
+	// NAND ≈ 0.03 kgCO₂e per GB).
+	DRAMEmbodiedKgCO2PerGB = 0.35
+	SSDEmbodiedKgCO2PerGB  = 0.03
+	// GridKgCO2PerKWh is a typical grid carbon intensity.
+	GridKgCO2PerKWh = 0.4
+)
+
+// EmbodiedCarbonPerYear amortizes manufacturing carbon over each
+// component's replacement period: DRAM over the 5-year refresh, SSD over
+// min(5 years, its wear-limited lifetime). Frequent SSD replacement —
+// the Path ORAM+ regime — multiplies the embodied term.
+func (d Design) EmbodiedCarbonPerYear() float64 {
+	kg := float64(d.DRAMBytes) / bytesPerGB * DRAMEmbodiedKgCO2PerGB / ReplacementYears
+	if d.SSDBytes > 0 {
+		life := Years(d.Lifetime())
+		if life > ReplacementYears {
+			life = ReplacementYears
+		}
+		if life <= 0 {
+			life = 1.0 / 365.25
+		}
+		kg += float64(d.SSDBytes) / bytesPerGB * SSDEmbodiedKgCO2PerGB / life
+	}
+	return kg
+}
+
+// OperationalCarbonPerYear converts the design's average power draw into
+// yearly operational carbon.
+func (d Design) OperationalCarbonPerYear() float64 {
+	kWh := d.AveragePowerWatts() * 24 * 365.25 / 1000
+	return kWh * GridKgCO2PerKWh
+}
+
+// CarbonPerYear is the total yearly footprint in kgCO₂e.
+func (d Design) CarbonPerYear() float64 {
+	return d.EmbodiedCarbonPerYear() + d.OperationalCarbonPerYear()
+}

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `userId,movieId,rating,timestamp
+1,10,4.5,100
+1,20,2.0,200
+1,30,5.0,300
+1,40,3.0,400
+1,50,4.0,500
+2,10,1.0,100
+2,60,4.0,150
+2,20,4.5,200
+2,30,2.5,250
+2,70,5.0,300
+3,10,4.0,100
+`
+
+func TestLoadRatingsCSV(t *testing.T) {
+	cfg := DefaultCSVConfig()
+	cfg.MinInteractions = 5
+	d, err := LoadRatingsCSV(strings.NewReader(sampleCSV), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 3 has < 5 interactions and is dropped.
+	if len(d.Users) != 2 {
+		t.Fatalf("users = %d, want 2", len(d.Users))
+	}
+	if d.NumItems != 71 {
+		t.Errorf("NumItems = %d, want 71 (max item 70 + 1)", d.NumItems)
+	}
+	u1 := d.Users[0]
+	// User 1 positives: items 10 (4.5), 30 (5.0), 50 (4.0) — most recent first.
+	if len(u1.Hist) != 3 || u1.Hist[0] != 50 || u1.Hist[1] != 30 || u1.Hist[2] != 10 {
+		t.Errorf("user 1 history = %v", u1.Hist)
+	}
+	// 5 interactions, 25% test → 1 held out (the most recent), 4 train.
+	if len(u1.Train) != 4 || len(u1.Test) != 1 {
+		t.Errorf("user 1 split = %d/%d", len(u1.Train), len(u1.Test))
+	}
+	if u1.Test[0].Cand != 50 {
+		t.Errorf("held-out sample = %v, want the newest interaction", u1.Test[0].Cand)
+	}
+	// Labels thresholded at 4.0.
+	for _, s := range u1.Test {
+		if s.Label != 1 {
+			t.Errorf("item 50 rated 4.0 should be positive")
+		}
+	}
+}
+
+func TestLoadRatingsCSVNoHeader(t *testing.T) {
+	raw := "1,10,4.5,100\n1,20,2.0,200\n1,30,5.0,300\n"
+	cfg := DefaultCSVConfig()
+	cfg.MinInteractions = 1
+	d, err := LoadRatingsCSV(strings.NewReader(raw), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Users) != 1 {
+		t.Fatalf("users = %d", len(d.Users))
+	}
+}
+
+func TestLoadRatingsCSVErrors(t *testing.T) {
+	cfg := DefaultCSVConfig()
+	if _, err := LoadRatingsCSV(strings.NewReader(""), cfg); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := LoadRatingsCSV(strings.NewReader("1,2\n"), cfg); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := LoadRatingsCSV(strings.NewReader("1,abc,4,5\n"), cfg); err == nil {
+		t.Error("bad item accepted")
+	}
+	if _, err := LoadRatingsCSV(strings.NewReader("1,2,xyz,5\n"), cfg); err == nil {
+		t.Error("bad rating accepted")
+	}
+	// Non-numeric user beyond the header row fails.
+	if _, err := LoadRatingsCSV(strings.NewReader("1,2,3,4\nabc,2,3,4\n"), cfg); err == nil {
+		t.Error("bad user accepted")
+	}
+	// All users filtered out.
+	strict := cfg
+	strict.MinInteractions = 99
+	if _, err := LoadRatingsCSV(strings.NewReader(sampleCSV), strict); err == nil {
+		t.Error("fully filtered csv accepted")
+	}
+}
+
+func TestCSVDatasetTrainsEndToEnd(t *testing.T) {
+	// The loaded dataset plugs into the same User API the FL layer uses.
+	cfg := DefaultCSVConfig()
+	cfg.MinInteractions = 5
+	d, err := LoadRatingsCSV(strings.NewReader(sampleCSV), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := d.Users[0].Rows(100)
+	if len(rows) == 0 {
+		t.Error("no rows for FL requests")
+	}
+	for _, r := range rows {
+		if r >= d.NumItems {
+			t.Errorf("row %d out of table", r)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package dataset provides the data substrate for the evaluation:
+//
+//  1. Synthetic federated recommendation datasets with a *planted*
+//     latent-factor ground truth, standing in for MovieLens-20M, Taobao
+//     Ads and Criteo Kaggle (the paper's datasets; this environment is
+//     offline). The generators reproduce the properties the experiments
+//     rely on: Zipf-skewed item popularity (duplicate requests across
+//     users → the ε>0 savings of Table 1/Fig 7), heavy-tailed per-user
+//     behavioural-history lengths (extreme for Taobao — "heavy shoppers
+//     have hundreds of items ... many others have empty histories"), and
+//     per-user data for FL partitioning. Labels depend on the private
+//     history through the planted latents, so models that use private
+//     features beat "pub" models — the paper's central accuracy claim.
+//
+//  2. Scaled-up performance workloads (Sec 6.1: Small/Medium/Large tables
+//     × 10K/100K/1M updates per round) as per-round request traces whose
+//     duplicate rates are calibrated to the paper's measured
+//     reduced-access percentages (Table 1).
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/recmodel"
+)
+
+// User is one FL participant with a private behavioural history and
+// local train/test samples.
+type User struct {
+	ID int
+	// Hist is the private behavioural history (item row IDs).
+	Hist []uint64
+	// Train / Test are the user's local samples.
+	Train []recmodel.Sample
+	Test  []recmodel.Sample
+}
+
+// Dataset is a user-partitioned synthetic dataset.
+type Dataset struct {
+	Name     string
+	NumItems uint64
+	Users    []User
+	// Latent is the planted per-item ground truth (evaluation/debug only).
+	Latent [][]float32
+}
+
+// Config drives the synthetic generator.
+type Config struct {
+	Name     string
+	NumItems uint64
+	NumUsers int
+	// LatentDim is the planted ground-truth dimensionality.
+	LatentDim int
+	// SamplesPerUser is the number of labelled examples per user.
+	SamplesPerUser int
+	// TestFraction of samples held out per user.
+	TestFraction float64
+	// HistMean / HistSkew parameterize the per-user history length:
+	// length = round(HistMean · W) where W is Pareto(HistSkew)-ish;
+	// smaller HistSkew = heavier tail. HistZeroProb users are empty.
+	HistMean     float64
+	HistSkew     float64
+	HistZeroProb float64
+	HistMax      int
+	// PopZipfS is the item-popularity Zipf exponent.
+	PopZipfS float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// MovieLensConfig approximates MovieLens-20M's regime: moderate history
+// lengths, mild popularity skew, strong history→label signal (movie
+// tastes cluster).
+func MovieLensConfig() Config {
+	return Config{
+		Name: "movielens", NumItems: 4000, NumUsers: 600, LatentDim: 8,
+		SamplesPerUser: 40, TestFraction: 0.25,
+		HistMean: 18, HistSkew: 2.5, HistZeroProb: 0.02, HistMax: 100,
+		PopZipfS: 1.05, Seed: 101,
+	}
+}
+
+// TaobaoConfig approximates Taobao Ads: extremely skewed purchase
+// histories (many empty, a few huge) and weaker label signal (the
+// paper's Taobao AUCs are near 0.6).
+func TaobaoConfig() Config {
+	return Config{
+		Name: "taobao", NumItems: 6000, NumUsers: 800, LatentDim: 8,
+		SamplesPerUser: 30, TestFraction: 0.25,
+		HistMean: 6, HistSkew: 1.15, HistZeroProb: 0.45, HistMax: 100,
+		PopZipfS: 1.2, Seed: 202,
+	}
+}
+
+// Generate builds a dataset from a config.
+func Generate(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{Name: cfg.Name, NumItems: cfg.NumItems}
+
+	// Planted item latents, normalized to unit norm so the label logit
+	// operates on cosine similarities (strong, learnable per-sample
+	// signal rather than coin-flip labels).
+	dim := cfg.LatentDim
+	d.Latent = make([][]float32, cfg.NumItems)
+	for i := range d.Latent {
+		v := make([]float32, dim)
+		var norm float64
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+			norm += float64(v[j]) * float64(v[j])
+		}
+		norm = math.Sqrt(norm)
+		for j := range v {
+			v[j] = float32(float64(v[j]) / norm)
+		}
+		d.Latent[i] = v
+	}
+	// Per-item bias gives "pub" models a weak popularity signal.
+	bias := make([]float32, cfg.NumItems)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64()) * 0.25
+	}
+	pop := newZipf(rng, cfg.PopZipfS, cfg.NumItems)
+
+	for uid := 0; uid < cfg.NumUsers; uid++ {
+		u := User{ID: uid}
+		// User latent drives history composition (taste clusters).
+		taste := make([]float32, dim)
+		for j := range taste {
+			taste[j] = float32(rng.NormFloat64())
+		}
+		hlen := historyLen(rng, cfg)
+		for len(u.Hist) < hlen {
+			item := pop.draw()
+			// Preference-biased acceptance: users collect items aligned
+			// with their taste, creating recoverable structure.
+			if rng.Float64() < sigmoid64(5*dot(taste, d.Latent[item])) {
+				u.Hist = append(u.Hist, item)
+			}
+		}
+		// Normalized mean history latent is the signal private features
+		// expose: the label logit is a scaled cosine similarity between
+		// the user's taste direction (as revealed by the history) and the
+		// candidate item.
+		histMean := make([]float32, dim)
+		for _, h := range u.Hist {
+			for j := range histMean {
+				histMean[j] += d.Latent[h][j]
+			}
+		}
+		var hnorm float64
+		for j := range histMean {
+			hnorm += float64(histMean[j]) * float64(histMean[j])
+		}
+		if hnorm > 0 {
+			hnorm = math.Sqrt(hnorm)
+			for j := range histMean {
+				histMean[j] = float32(float64(histMean[j]) / hnorm)
+			}
+		}
+		for s := 0; s < cfg.SamplesPerUser; s++ {
+			cand := pop.draw()
+			logit := 3*dot(histMean, d.Latent[cand]) + float64(bias[cand])
+			label := float32(0)
+			if rng.Float64() < sigmoid64(logit) {
+				label = 1
+			}
+			sample := recmodel.Sample{Hist: u.Hist, Cand: cand, Label: label}
+			if float64(s) < cfg.TestFraction*float64(cfg.SamplesPerUser) {
+				u.Test = append(u.Test, sample)
+			} else {
+				u.Train = append(u.Train, sample)
+			}
+		}
+		d.Users = append(d.Users, u)
+	}
+	return d
+}
+
+// historyLen draws a heavy-tailed history length.
+func historyLen(rng *rand.Rand, cfg Config) int {
+	if rng.Float64() < cfg.HistZeroProb {
+		return 0
+	}
+	// Pareto(alpha = HistSkew) scaled to the configured mean-ish regime.
+	w := math.Pow(rng.Float64(), -1/cfg.HistSkew) // ≥ 1, heavy tail
+	n := int(cfg.HistMean / (cfg.HistSkew / (cfg.HistSkew - 1)) * w)
+	if n < 1 {
+		n = 1
+	}
+	if cfg.HistMax > 0 && n > cfg.HistMax {
+		n = cfg.HistMax
+	}
+	return n
+}
+
+// Rows returns the embedding rows a user needs for its training samples
+// (history + candidates), deduplicated, capped at maxRows.
+func (u *User) Rows(maxRows int) []uint64 {
+	seen := map[uint64]bool{}
+	var rows []uint64
+	add := func(r uint64) {
+		if !seen[r] && (maxRows <= 0 || len(rows) < maxRows) {
+			seen[r] = true
+			rows = append(rows, r)
+		}
+	}
+	for _, s := range u.Train {
+		add(s.Cand)
+	}
+	for _, h := range u.Hist {
+		add(h)
+	}
+	return rows
+}
+
+// PaddedRows returns exactly n request slots: the user's rows truncated
+// or padded with dummy, for the hide-count mode (Sec 3.1: "we made every
+// user have 100 real or dummy values through padding or random
+// subsampling"). dummy should be fedora.DummyRequest.
+func (u *User) PaddedRows(n int, dummy uint64, rng *rand.Rand) []uint64 {
+	rows := u.Rows(0)
+	if len(rows) > n {
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		rows = rows[:n]
+	}
+	for len(rows) < n {
+		rows = append(rows, dummy)
+	}
+	return rows
+}
+
+func dot(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func sigmoid64(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// zipf draws item IDs with P(rank r) ∝ 1/r^s over n items, with a random
+// rank→item permutation so popular rows are spread across the table.
+type zipf struct {
+	z    *rand.Zipf
+	perm []uint64
+	rng  *rand.Rand
+	n    uint64
+}
+
+func newZipf(rng *rand.Rand, s float64, n uint64) *zipf {
+	if s <= 1 {
+		s = 1.0001 // rand.Zipf requires s > 1
+	}
+	// Keep the permutation bounded for huge catalogs: only the hot head
+	// needs distinct identities; the cold tail is drawn uniformly.
+	head := n
+	const maxHead = 1 << 20
+	if head > maxHead {
+		head = maxHead
+	}
+	perm := make([]uint64, head)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return &zipf{
+		z:    rand.NewZipf(rng, s, 1, head-1),
+		perm: perm,
+		rng:  rng,
+		n:    n,
+	}
+}
+
+func (z *zipf) draw() uint64 {
+	r := z.z.Uint64()
+	if r < uint64(len(z.perm)) {
+		id := z.perm[r]
+		if id < z.n {
+			return id
+		}
+	}
+	return z.rng.Uint64() % z.n
+}

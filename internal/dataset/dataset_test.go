@@ -1,0 +1,326 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/recmodel"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(MovieLensConfig())
+	b := Generate(MovieLensConfig())
+	if len(a.Users) != len(b.Users) {
+		t.Fatal("user counts differ")
+	}
+	for i := range a.Users {
+		if len(a.Users[i].Hist) != len(b.Users[i].Hist) {
+			t.Fatalf("user %d history differs", i)
+		}
+	}
+	if len(a.Users[0].Train) == 0 || len(a.Users[0].Test) == 0 {
+		t.Error("missing train/test split")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := MovieLensConfig()
+	d := Generate(cfg)
+	if len(d.Users) != cfg.NumUsers {
+		t.Errorf("users = %d", len(d.Users))
+	}
+	for _, u := range d.Users {
+		if len(u.Train)+len(u.Test) != cfg.SamplesPerUser {
+			t.Fatalf("user %d has %d samples", u.ID, len(u.Train)+len(u.Test))
+		}
+		if cfg.HistMax > 0 && len(u.Hist) > cfg.HistMax {
+			t.Fatalf("user %d history %d exceeds max", u.ID, len(u.Hist))
+		}
+		for _, s := range u.Train {
+			if s.Cand >= cfg.NumItems {
+				t.Fatal("candidate out of range")
+			}
+		}
+	}
+}
+
+func TestTaobaoHistoryIsExtremelySkewed(t *testing.T) {
+	d := Generate(TaobaoConfig())
+	empty, big := 0, 0
+	for _, u := range d.Users {
+		if len(u.Hist) == 0 {
+			empty++
+		}
+		if len(u.Hist) >= 50 {
+			big++
+		}
+	}
+	frac := float64(empty) / float64(len(d.Users))
+	if frac < 0.3 || frac > 0.6 {
+		t.Errorf("empty-history fraction = %v, want the paper's 'many empty' regime", frac)
+	}
+	if big == 0 {
+		t.Error("no heavy shoppers generated")
+	}
+}
+
+func TestMovieLensHistoryModerate(t *testing.T) {
+	d := Generate(MovieLensConfig())
+	var sum int
+	for _, u := range d.Users {
+		sum += len(u.Hist)
+	}
+	mean := float64(sum) / float64(len(d.Users))
+	if mean < 5 || mean > 60 {
+		t.Errorf("mean history = %v", mean)
+	}
+}
+
+func TestLabelsCorrelateWithPlantedSignal(t *testing.T) {
+	// Within-user: samples whose candidate aligns with the user's history
+	// latent mean should be positive more often.
+	d := Generate(MovieLensConfig())
+	var alignedPos, alignedTot, antiPos, antiTot int
+	for _, u := range d.Users {
+		if len(u.Hist) == 0 {
+			continue
+		}
+		dim := len(d.Latent[0])
+		mean := make([]float32, dim)
+		for _, h := range u.Hist {
+			for j := range mean {
+				mean[j] += d.Latent[h][j]
+			}
+		}
+		for _, s := range u.Train {
+			a := dot(mean, d.Latent[s.Cand])
+			if a > 0 {
+				alignedTot++
+				if s.Label > 0.5 {
+					alignedPos++
+				}
+			} else {
+				antiTot++
+				if s.Label > 0.5 {
+					antiPos++
+				}
+			}
+		}
+	}
+	pa := float64(alignedPos) / float64(alignedTot)
+	pn := float64(antiPos) / float64(antiTot)
+	if pa < pn+0.15 {
+		t.Errorf("aligned positive rate %v not above anti-aligned %v", pa, pn)
+	}
+}
+
+func TestUserRows(t *testing.T) {
+	d := Generate(MovieLensConfig())
+	u := &d.Users[0]
+	rows := u.Rows(0)
+	seen := map[uint64]bool{}
+	for _, r := range rows {
+		if seen[r] {
+			t.Fatal("duplicate row")
+		}
+		seen[r] = true
+	}
+	capped := u.Rows(3)
+	if len(capped) > 3 {
+		t.Errorf("cap ignored: %d", len(capped))
+	}
+}
+
+func TestPaddedRows(t *testing.T) {
+	d := Generate(TaobaoConfig())
+	rng := rand.New(rand.NewSource(1))
+	for _, u := range d.Users[:50] {
+		rows := u.PaddedRows(100, DummyID, rng)
+		if len(rows) != 100 {
+			t.Fatalf("padded length = %d", len(rows))
+		}
+	}
+	// An empty user must be all dummies.
+	var emptyUser *User
+	for i := range d.Users {
+		if len(d.Users[i].Hist) == 0 && len(d.Users[i].Train) == 0 {
+			emptyUser = &d.Users[i]
+			break
+		}
+	}
+	if emptyUser != nil {
+		for _, r := range emptyUser.PaddedRows(10, DummyID, rng) {
+			if r != DummyID {
+				t.Fatal("empty user produced real request")
+			}
+		}
+	}
+}
+
+func TestWorkloadDupCalibration(t *testing.T) {
+	// Each workload's duplicate fraction should land near the paper's
+	// Table 1 reduced-access measurement (±8 points of tolerance).
+	want := map[string]struct{ lo, hi float64 }{
+		"kaggle":        {0.28, 0.46},
+		"taobao-val":    {0.43, 0.60},
+		"movielens-val": {0.44, 0.61},
+		"movielens-num": {0.83, 0.96},
+		"taobao-num":    {0.93, 0.995},
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range PerfWorkloads {
+		bounds := want[w.Key]
+		got := w.DupFraction(10_000_000, 100, 100, rng)
+		if got < bounds.lo || got > bounds.hi {
+			t.Errorf("%s dup fraction = %.3f, want [%.2f, %.2f]", w.Key, got, bounds.lo, bounds.hi)
+		}
+	}
+}
+
+func TestWorkloadDupStableAcrossK(t *testing.T) {
+	w, ok := WorkloadByKey("taobao-val")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	rng := rand.New(rand.NewSource(3))
+	small := w.DupFraction(10_000_000, 100, 100, rng)   // K = 10K
+	large := w.DupFraction(10_000_000, 1000, 1000, rng) // K = 1M
+	if diff := small - large; diff > 0.15 || diff < -0.15 {
+		t.Errorf("dup fraction drifts with K: %.3f vs %.3f", small, large)
+	}
+}
+
+func TestGenRoundShape(t *testing.T) {
+	w := PerfWorkloads[0]
+	rng := rand.New(rand.NewSource(4))
+	reqs := w.GenRound(1000, 10, 20, rng)
+	if len(reqs) != 10 {
+		t.Fatalf("clients = %d", len(reqs))
+	}
+	for _, rows := range reqs {
+		if len(rows) != 20 {
+			t.Fatalf("features = %d", len(rows))
+		}
+		for _, r := range rows {
+			if r != DummyID && r >= 1000 {
+				t.Fatal("row out of range")
+			}
+		}
+	}
+}
+
+func TestHideCountRoundsArePadded(t *testing.T) {
+	w, _ := WorkloadByKey("taobao-num")
+	rng := rand.New(rand.NewSource(5))
+	reqs := w.GenRound(100000, 50, 100, rng)
+	sawDummy, sawReal := false, false
+	for _, rows := range reqs {
+		if len(rows) != 100 {
+			t.Fatalf("client not padded to 100: %d", len(rows))
+		}
+		for _, r := range rows {
+			if r == DummyID {
+				sawDummy = true
+			} else {
+				sawReal = true
+			}
+		}
+	}
+	if !sawDummy || !sawReal {
+		t.Errorf("dummy=%v real=%v", sawDummy, sawReal)
+	}
+}
+
+func TestScalesMatchPaper(t *testing.T) {
+	if len(Scales) != 3 {
+		t.Fatal("want 3 scales")
+	}
+	s, ok := ScaleByName("Small")
+	if !ok || s.Rows != 10_000_000 || s.EntryBytes != 64 {
+		t.Errorf("Small = %+v", s)
+	}
+	if _, ok := ScaleByName("Huge"); ok {
+		t.Error("unknown scale resolved")
+	}
+	if len(UpdateCounts) != 3 || UpdateCounts[2] != 1_000_000 {
+		t.Errorf("UpdateCounts = %v", UpdateCounts)
+	}
+}
+
+func TestWorkloadByKey(t *testing.T) {
+	for _, w := range PerfWorkloads {
+		got, ok := WorkloadByKey(w.Key)
+		if !ok || got.Name != w.Name {
+			t.Errorf("WorkloadByKey(%q) failed", w.Key)
+		}
+	}
+	if _, ok := WorkloadByKey("nope"); ok {
+		t.Error("unknown key resolved")
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	z := newZipf(rng, 1.1, 500)
+	for i := 0; i < 10000; i++ {
+		if got := z.draw(); got >= 500 {
+			t.Fatalf("draw %d out of range", got)
+		}
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	z := newZipf(rng, 1.3, 10000)
+	counts := map[uint64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.draw()]++
+	}
+	// The most popular item should appear far more than uniform (5/item).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Errorf("max count %d — distribution not skewed", max)
+	}
+}
+
+func TestGenerateKaggle(t *testing.T) {
+	cfg := DefaultKaggleConfig()
+	cfg.NumUsers, cfg.SamplesPerUser = 100, 20
+	d := GenerateKaggle(cfg)
+	if len(d.Users) != 100 || d.NumItems != cfg.NumItems {
+		t.Fatalf("shape: users=%d items=%d", len(d.Users), d.NumItems)
+	}
+	for _, u := range d.Users {
+		if len(u.Hist) != cfg.HistLen {
+			t.Fatalf("user %d history = %d, want fixed %d (homogeneous data)", u.ID, len(u.Hist), cfg.HistLen)
+		}
+		for _, s := range append(append([]recmodel.Sample{}, u.Train...), u.Test...) {
+			if len(s.Dense) != cfg.DenseDim {
+				t.Fatalf("dense width = %d, want %d", len(s.Dense), cfg.DenseDim)
+			}
+			if s.Cand >= d.NumItems {
+				t.Fatal("candidate out of range")
+			}
+		}
+	}
+	// Label balance is sane (the logit is centered).
+	var pos, tot int
+	for _, u := range d.Users {
+		for _, s := range u.Train {
+			tot++
+			if s.Label > 0.5 {
+				pos++
+			}
+		}
+	}
+	frac := float64(pos) / float64(tot)
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("positive fraction = %v", frac)
+	}
+}

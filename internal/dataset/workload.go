@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DummyID mirrors fedora.DummyRequest without importing the package
+// (avoids a dependency cycle in tests); the values are both ^uint64(0).
+const DummyID = ^uint64(0)
+
+// Workload generates per-round request traces for the performance study
+// (Sec 6.1: the open-source datasets scaled up with synthetic
+// generation). Each workload's duplicate-request rate is calibrated to
+// the paper's measured Table 1 "Reduced Accesses" at ε=∞ — the quantity
+// that determines how much FEDORA's ε>0 configurations save.
+//
+// The generator draws each request from a two-component mixture: with
+// probability PHot from a small Zipf-skewed hot set (producing
+// duplicates), otherwise ~uniformly from the whole table (mostly
+// unique). The hot-set size scales with K so the duplicate fraction
+// stays roughly constant across 10K–1M updates, as it would for a real
+// dataset scaled with the paper's methodology.
+type Workload struct {
+	// Name matches the paper's legend, e.g. "Taobao (Hide # of priv val)".
+	Name string
+	// Key is a short identifier for CLI flags and filenames.
+	Key string
+	// HideCount selects the padded, hide-number-of-values mode.
+	HideCount bool
+	// PHot is the probability a request comes from the hot set — the
+	// approximate duplicate (reduced-access) fraction.
+	PHot float64
+	// HotFrac scales the hot-set size relative to K.
+	HotFrac float64
+	// RealMeanFrac / RealSkew shape the per-client count of real (non-
+	// dummy) requests in hide-count mode, as a fraction of the padded
+	// count: heavier skew (smaller RealSkew) = more empty clients.
+	RealMeanFrac float64
+	RealSkew     float64
+	ZeroProb     float64
+}
+
+// PerfWorkloads are the five workload flavors of Fig 7/8, calibrated so
+// that ε=∞ reduced-access fractions land near Table 1's measurements
+// (Kaggle ≈ 36%, MovieLens/Taobao hide-val ≈ 52%, MovieLens hide-# ≈
+// 91%, Taobao hide-# ≈ 99%).
+var PerfWorkloads = []Workload{
+	{
+		Name: "Kaggle", Key: "kaggle",
+		PHot: 0.37, HotFrac: 0.02,
+	},
+	{
+		Name: "Taobao (Hide priv val)", Key: "taobao-val",
+		PHot: 0.52, HotFrac: 0.02,
+	},
+	{
+		Name: "Movielens (Hide priv val)", Key: "movielens-val",
+		PHot: 0.53, HotFrac: 0.02,
+	},
+	{
+		Name: "Movielens (Hide # of priv val)", Key: "movielens-num",
+		HideCount: true, PHot: 0.5, HotFrac: 0.02,
+		RealMeanFrac: 0.17, RealSkew: 2.2, ZeroProb: 0.02,
+	},
+	{
+		Name: "Taobao (Hide # of priv val)", Key: "taobao-num",
+		HideCount: true, PHot: 0.55, HotFrac: 0.02,
+		RealMeanFrac: 0.05, RealSkew: 1.1, ZeroProb: 0.45,
+	},
+}
+
+// WorkloadByKey resolves a workload for CLIs.
+func WorkloadByKey(key string) (Workload, bool) {
+	for _, w := range PerfWorkloads {
+		if w.Key == key {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// GenRound produces one round's per-client request lists: numClients
+// clients × featuresPerClient request slots over a table of numRows.
+func (w Workload) GenRound(numRows uint64, numClients, featuresPerClient int, rng *rand.Rand) [][]uint64 {
+	k := numClients * featuresPerClient
+	hotN := int(float64(k) * w.HotFrac)
+	if hotN < 16 {
+		hotN = 16
+	}
+	hot := make([]uint64, hotN)
+	for i := range hot {
+		hot[i] = rng.Uint64() % numRows
+	}
+	hotZipf := rand.NewZipf(rng, 1.2, 1, uint64(hotN-1))
+
+	drawReal := func() uint64 {
+		if rng.Float64() < w.PHot {
+			return hot[hotZipf.Uint64()]
+		}
+		return rng.Uint64() % numRows
+	}
+
+	reqs := make([][]uint64, numClients)
+	for ci := range reqs {
+		rows := make([]uint64, 0, featuresPerClient)
+		if !w.HideCount {
+			for f := 0; f < featuresPerClient; f++ {
+				rows = append(rows, drawReal())
+			}
+		} else {
+			real := w.realCount(featuresPerClient, rng)
+			for f := 0; f < real; f++ {
+				rows = append(rows, drawReal())
+			}
+			for len(rows) < featuresPerClient {
+				rows = append(rows, DummyID)
+			}
+		}
+		reqs[ci] = rows
+	}
+	return reqs
+}
+
+// realCount draws the number of real feature values of one client in
+// hide-count mode (heavy-tailed; many zeros for Taobao-like workloads).
+func (w Workload) realCount(padded int, rng *rand.Rand) int {
+	if rng.Float64() < w.ZeroProb {
+		return 0
+	}
+	mean := w.RealMeanFrac * float64(padded)
+	tail := math.Pow(rng.Float64(), -1/w.RealSkew) // Pareto ≥ 1
+	n := int(mean / (w.RealSkew / (w.RealSkew - 1)) * tail)
+	if n < 1 {
+		n = 1
+	}
+	if n > padded {
+		n = padded
+	}
+	return n
+}
+
+// DupFraction empirically measures a workload's duplicate-request rate
+// (1 − k_union/K counting only real requests against total slots K);
+// used by calibration tests and the experiment reports.
+func (w Workload) DupFraction(numRows uint64, numClients, featuresPerClient int, rng *rand.Rand) float64 {
+	reqs := w.GenRound(numRows, numClients, featuresPerClient, rng)
+	seen := map[uint64]bool{}
+	total := 0
+	for _, rows := range reqs {
+		for _, r := range rows {
+			total++
+			if r != DummyID {
+				seen[r] = true
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(len(seen))/float64(total)
+}
+
+// TableScale is one of the paper's Small/Medium/Large table
+// configurations (Sec 6.1).
+type TableScale struct {
+	Name string
+	// Rows is the embedding-table height.
+	Rows uint64
+	// EntryBytes is the row size (Dim = EntryBytes/4 floats).
+	EntryBytes int
+}
+
+// Scales are the paper's three table sizes: Small 10M×64B, Medium
+// 50M×128B, Large 250M×256B.
+var Scales = []TableScale{
+	{Name: "Small", Rows: 10_000_000, EntryBytes: 64},
+	{Name: "Medium", Rows: 50_000_000, EntryBytes: 128},
+	{Name: "Large", Rows: 250_000_000, EntryBytes: 256},
+}
+
+// UpdateCounts are the paper's per-round request volumes.
+var UpdateCounts = []int{10_000, 100_000, 1_000_000}
+
+// ScaleByName resolves a table scale for CLIs.
+func ScaleByName(name string) (TableScale, bool) {
+	for _, s := range Scales {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return TableScale{}, false
+}

@@ -1,0 +1,105 @@
+package device
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error a Faulty device returns once triggered.
+var ErrInjected = errors.New("device: injected fault")
+
+// Faulty wraps a Device and fails operations after a configurable number
+// of successful ones — a failure-injection harness for exercising the
+// ORAM and controller error paths (a real SSD can and does fail
+// mid-workload; the system must surface that, not corrupt state).
+type Faulty struct {
+	inner Device
+
+	mu        sync.Mutex
+	remaining int  // successful ops left before failing
+	failing   bool // once true, every data op fails
+}
+
+// NewFaulty wraps inner; the device fails permanently after `successes`
+// successful data operations (ReadAt/WriteAt/PeekAt/PokeAt).
+func NewFaulty(inner Device, successes int) *Faulty {
+	return &Faulty{inner: inner, remaining: successes}
+}
+
+// trip consumes one success credit; returns true when the op must fail.
+func (f *Faulty) trip() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failing {
+		return true
+	}
+	if f.remaining <= 0 {
+		f.failing = true
+		return true
+	}
+	f.remaining--
+	return false
+}
+
+// Tripped reports whether the device has started failing.
+func (f *Faulty) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failing
+}
+
+// ReadAt implements Device.
+func (f *Faulty) ReadAt(addr uint64, p []byte) (time.Duration, error) {
+	if f.trip() {
+		return 0, ErrInjected
+	}
+	return f.inner.ReadAt(addr, p)
+}
+
+// WriteAt implements Device.
+func (f *Faulty) WriteAt(addr uint64, p []byte) (time.Duration, error) {
+	if f.trip() {
+		return 0, ErrInjected
+	}
+	return f.inner.WriteAt(addr, p)
+}
+
+// PeekAt implements Device.
+func (f *Faulty) PeekAt(addr uint64, p []byte) error {
+	if f.trip() {
+		return ErrInjected
+	}
+	return f.inner.PeekAt(addr, p)
+}
+
+// PokeAt implements Device.
+func (f *Faulty) PokeAt(addr uint64, p []byte) error {
+	if f.trip() {
+		return ErrInjected
+	}
+	return f.inner.PokeAt(addr, p)
+}
+
+// Charge implements Device (accounting never faults: it models time, not
+// hardware).
+func (f *Faulty) Charge(op Op, addr uint64, n int) time.Duration {
+	return f.inner.Charge(op, addr, n)
+}
+
+// ChargeN implements Device.
+func (f *Faulty) ChargeN(op Op, n, count int) time.Duration {
+	return f.inner.ChargeN(op, n, count)
+}
+
+// Stats implements Device.
+func (f *Faulty) Stats() Stats { return f.inner.Stats() }
+
+// ResetStats implements Device.
+func (f *Faulty) ResetStats() { f.inner.ResetStats() }
+
+// Capacity implements Device.
+func (f *Faulty) Capacity() uint64 { return f.inner.Capacity() }
+
+// PageSize implements Device.
+func (f *Faulty) PageSize() int { return f.inner.PageSize() }

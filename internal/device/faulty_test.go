@@ -1,0 +1,105 @@
+package device
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultyFailsAfterBudget(t *testing.T) {
+	f := NewFaulty(NewDRAM(1<<20), 2)
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if f.Tripped() {
+		t.Error("tripped early")
+	}
+	if _, err := f.ReadAt(0, buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("third op err = %v", err)
+	}
+	if !f.Tripped() {
+		t.Error("not tripped")
+	}
+	// Permanent failure.
+	if _, err := f.WriteAt(0, buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-trip op err = %v", err)
+	}
+	if err := f.PeekAt(0, buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("peek err = %v", err)
+	}
+	if err := f.PokeAt(0, buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("poke err = %v", err)
+	}
+}
+
+func TestFaultyChargeNeverFails(t *testing.T) {
+	f := NewFaulty(NewSSD(1<<20), 0)
+	if d := f.Charge(OpRead, 0, 4096); d <= 0 {
+		t.Error("charge failed on tripped device")
+	}
+	if d := f.ChargeN(OpWrite, 4096, 3); d <= 0 {
+		t.Error("chargeN failed on tripped device")
+	}
+}
+
+func TestFaultyDelegation(t *testing.T) {
+	inner := NewDRAM(12345)
+	f := NewFaulty(inner, 100)
+	if f.Capacity() != 12345 || f.PageSize() != 1 {
+		t.Error("delegation broken")
+	}
+	buf := make([]byte, 4)
+	_, _ = f.WriteAt(0, buf)
+	if f.Stats().Writes != 1 {
+		t.Error("stats not delegated")
+	}
+	f.ResetStats()
+	if f.Stats().Writes != 0 {
+		t.Error("reset not delegated")
+	}
+}
+
+func TestRecorderCapturesAddresses(t *testing.T) {
+	r := NewRecorder(NewDRAM(1 << 20))
+	buf := make([]byte, 8)
+	if _, err := r.WriteAt(100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAt(200, buf); err != nil {
+		t.Fatal(err)
+	}
+	r.Charge(OpRead, 300, 8)
+	r.Charge(OpWrite, 400, 8)
+	reads, writes := r.ReadAddrs(), r.WriteAddrs()
+	if len(reads) != 2 || reads[0] != 200 || reads[1] != 300 {
+		t.Errorf("reads = %v", reads)
+	}
+	if len(writes) != 2 || writes[0] != 100 || writes[1] != 400 {
+		t.Errorf("writes = %v", writes)
+	}
+	// Peek/Poke/ChargeN are unrecorded plumbing.
+	_ = r.PeekAt(500, buf)
+	_ = r.PokeAt(600, buf)
+	r.ChargeN(OpRead, 8, 3)
+	if len(r.ReadAddrs()) != 2 || len(r.WriteAddrs()) != 2 {
+		t.Error("plumbing ops were recorded")
+	}
+	r.Clear()
+	if len(r.ReadAddrs()) != 0 || len(r.WriteAddrs()) != 0 {
+		t.Error("Clear failed")
+	}
+	// Delegation.
+	if r.Capacity() != 1<<20 || r.PageSize() != 1 {
+		t.Error("delegation broken")
+	}
+	if r.Stats().Reads == 0 {
+		t.Error("stats not delegated")
+	}
+	r.ResetStats()
+	if r.Stats().Reads != 0 {
+		t.Error("reset not delegated")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvictPeriodAblation(t *testing.T) {
+	rows, err := RunEvictPeriodAblation(SweepOptions{Rounds: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Larger A → fewer EO accesses → longer lifetime, monotonically.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].A <= rows[i-1].A {
+			t.Fatalf("A not increasing: %v", rows)
+		}
+		if rows[i].LifetimeMonths <= rows[i-1].LifetimeMonths {
+			t.Errorf("lifetime not increasing with A: A=%d %.1f vs A=%d %.1f",
+				rows[i].A, rows[i].LifetimeMonths, rows[i-1].A, rows[i-1].LifetimeMonths)
+		}
+	}
+	// The span should be substantial (the paper moves A from 5 to 92 and
+	// cuts EO accesses to 1.1%).
+	if rows[len(rows)-1].LifetimeMonths < 5*rows[0].LifetimeMonths {
+		t.Errorf("A sweep gain only %.1fx", rows[len(rows)-1].LifetimeMonths/rows[0].LifetimeMonths)
+	}
+	out := RenderEvictPeriodAblation(rows)
+	if !strings.Contains(out, "eviction period") {
+		t.Error("render missing header")
+	}
+}
+
+func TestChunkAblation(t *testing.T) {
+	rows, err := RunChunkAblation(SweepOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller chunks: cheaper union, more chunks, more cross-chunk dups.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.ChunkSize >= last.ChunkSize {
+		t.Fatal("rows not ordered by chunk size")
+	}
+	if first.UnionTime >= last.UnionTime {
+		t.Errorf("union time not increasing with chunk size: %v vs %v",
+			first.UnionTime, last.UnionTime)
+	}
+	if first.CrossChunkDup <= last.CrossChunkDup {
+		t.Errorf("cross-chunk dups not decreasing with chunk size: %d vs %d",
+			first.CrossChunkDup, last.CrossChunkDup)
+	}
+	if first.Chunks <= last.Chunks {
+		t.Errorf("chunk count not decreasing: %d vs %d", first.Chunks, last.Chunks)
+	}
+	out := RenderChunkAblation(rows)
+	if !strings.Contains(out, "chunk") {
+		t.Error("render missing header")
+	}
+}
+
+func TestShapeAblation(t *testing.T) {
+	rows, err := RunShapeAblation(SweepOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ShapeRow{}
+	for _, r := range rows {
+		byName[r.Shape] = r
+	}
+	uni, pow, delta := byName["uniform"], byName["pow(5)"], byName["delta"]
+	// Observation 3: pow trades lost for dummy relative to uniform.
+	if !(pow.LostPct < uni.LostPct) {
+		t.Errorf("pow lost %.2f%% not below uniform %.2f%%", pow.LostPct, uni.LostPct)
+	}
+	if !(pow.DummyPct > uni.DummyPct) {
+		t.Errorf("pow dummy %.2f%% not above uniform %.2f%%", pow.DummyPct, uni.DummyPct)
+	}
+	// Observation 4: delta never loses anything (k = K always).
+	if delta.LostPct != 0 {
+		t.Errorf("delta lost %.2f%%, want 0", delta.LostPct)
+	}
+	out := RenderShapeAblation(rows)
+	if !strings.Contains(out, "Shape") {
+		t.Error("render missing header")
+	}
+}
+
+func TestScheduleAblation(t *testing.T) {
+	rows, err := RunScheduleAblation(SweepOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fl, vn := rows[0], rows[1]
+	// Optimization 1 halves the AO count and with it the EO-driven writes.
+	if vn.SSDBytesWritten < 15*fl.SSDBytesWritten/10 {
+		t.Errorf("vanilla wrote %d vs fl-friendly %d, want ≥1.5x", vn.SSDBytesWritten, fl.SSDBytesWritten)
+	}
+	if fl.LifetimeMonths <= vn.LifetimeMonths {
+		t.Errorf("fl-friendly lifetime %.1f not above vanilla %.1f", fl.LifetimeMonths, vn.LifetimeMonths)
+	}
+	out := RenderScheduleAblation(rows)
+	if !strings.Contains(out, "vanilla") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestPoolingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training ablation is slow")
+	}
+	rows, err := RunPoolingAblation(SweepOptions{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AUC < 0.5 {
+			t.Errorf("%s AUC = %v, below chance", r.Pooling, r.AUC)
+		}
+	}
+	out := RenderPoolingAblation(rows)
+	if !strings.Contains(out, "attention") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestFamilyAblation(t *testing.T) {
+	rows, err := RunFamilyAblation(SweepOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tree, shuffle := rows[0], rows[1]
+	// Sec 7's claim, quantified: the shuffling family writes orders of
+	// magnitude more for the same work.
+	if shuffle.SSDBytesWritten < 20*tree.SSDBytesWritten {
+		t.Errorf("shuffling wrote %d vs tree %d — want ≥20x", shuffle.SSDBytesWritten, tree.SSDBytesWritten)
+	}
+	if shuffle.LifetimeMonths >= tree.LifetimeMonths {
+		t.Errorf("shuffling lifetime %.2f not below tree %.2f", shuffle.LifetimeMonths, tree.LifetimeMonths)
+	}
+	out := RenderFamilyAblation(rows)
+	if !strings.Contains(out, "square-root") {
+		t.Error("render missing rows")
+	}
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestFig3Renders(t *testing.T) {
+	out, err := RenderFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(a)", "(f)", "P[lost]", "k_union=30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestFig3DeltaAlwaysK(t *testing.T) {
+	// Panel (f): delta shape must put all mass at k=K (Strawman 1).
+	out, err := RenderFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The (f) block should show P[dummy]=1.000 (all mass above k_union).
+	idx := strings.Index(out, "Y=delta")
+	if idx < 0 {
+		t.Fatal("missing delta panel")
+	}
+	tail := out[idx:]
+	if !strings.Contains(tail, "P[dummy]=1.000") {
+		t.Error("delta panel does not put all mass in the dummy region")
+	}
+}
+
+func quickSweep(t *testing.T) []SweepPoint {
+	t.Helper()
+	points, err := RunSweep(SweepOptions{Quick: true, Rounds: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func TestSweepShapesMatchPaper(t *testing.T) {
+	points := quickSweep(t)
+	var pathLife, e0Life, e1KaggleLife, e1TaobaoNumLife float64
+	var pathOv, e0Ov, e1Ov float64
+	for _, p := range points {
+		switch {
+		case p.System == SysPathORAMPlus.Name:
+			pathLife, pathOv = p.Result.LifetimeMonths(), p.Result.OverheadPct()
+		case p.System == SysFedoraEps0.Name:
+			e0Life, e0Ov = p.Result.LifetimeMonths(), p.Result.OverheadPct()
+		case p.System == SysFedoraEps1.Name && p.Workload == "Kaggle":
+			e1KaggleLife, e1Ov = p.Result.LifetimeMonths(), p.Result.OverheadPct()
+		case p.System == SysFedoraEps1.Name && strings.Contains(p.Workload, "Taobao (Hide #"):
+			e1TaobaoNumLife = p.Result.LifetimeMonths()
+		}
+	}
+	// Fig 7 orderings: PathORAM+ ≪ FEDORA(ε=0) < FEDORA(ε=1); the skewed
+	// hide-# Taobao workload gains the most.
+	if !(pathLife < e0Life && e0Life < e1KaggleLife) {
+		t.Errorf("lifetime ordering broken: path %v, e0 %v, e1 %v",
+			pathLife, e0Life, e1KaggleLife)
+	}
+	if e0Life/pathLife < 10 {
+		t.Errorf("FEDORA(e=0) lifetime gain = %.1fx, paper reports tens of x", e0Life/pathLife)
+	}
+	if e1TaobaoNumLife < 5*e0Life {
+		t.Errorf("Taobao hide-# gain over e=0 = %.1fx, paper reports up to 38x", e1TaobaoNumLife/e0Life)
+	}
+	// Fig 8 orderings: overhead(PathORAM+) > overhead(ε=0) > overhead(ε=1);
+	// at 10K updates even PathORAM+ stays below ~5%.
+	if !(pathOv > e0Ov && e0Ov > e1Ov) {
+		t.Errorf("overhead ordering broken: %v %v %v", pathOv, e0Ov, e1Ov)
+	}
+	if pathOv > 6 {
+		t.Errorf("PathORAM+ overhead at 10K updates = %.1f%%, paper <5%%", pathOv)
+	}
+}
+
+func TestOverheadGrowsWithUpdates(t *testing.T) {
+	w := dataset.PerfWorkloads[1]
+	var prev float64
+	for _, upd := range []int{10000, 100000} {
+		res, err := RunPerf(PerfConfig{
+			Scale: dataset.Scales[0], Updates: upd, System: SysPathORAMPlus,
+			Workload: w, Rounds: 1, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OverheadPct() <= prev {
+			t.Errorf("overhead did not grow: %v at %d updates", res.OverheadPct(), upd)
+		}
+		prev = res.OverheadPct()
+	}
+}
+
+func TestRenderFig7And8(t *testing.T) {
+	points := quickSweep(t)
+	f7 := RenderFig7(points)
+	if !strings.Contains(f7, "Lifetime (months)") || !strings.Contains(f7, "PathORAM+") {
+		t.Errorf("Fig7 render:\n%s", f7)
+	}
+	f8 := RenderFig8(points)
+	if !strings.Contains(f8, "Overhead %") {
+		t.Errorf("Fig8 render:\n%s", f8)
+	}
+}
+
+func TestFig9FedoraBeatsDRAMAndPathORAMPlusLoses(t *testing.T) {
+	rows, err := RunFig9(SweepOptions{Quick: true, Rounds: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fedora1, pathPlus Fig9Row
+	for _, r := range rows {
+		if r.System == SysFedoraEps1.Name {
+			fedora1 = r
+		}
+		if r.System == SysPathORAMPlus.Name {
+			pathPlus = r
+		}
+	}
+	// FEDORA(ε=1) is far cheaper than the DRAM design on all three axes.
+	if fedora1.Rel.HardwareCost > 0.5 || fedora1.Rel.Power > 0.6 || fedora1.Rel.Energy > 0.6 {
+		t.Errorf("FEDORA(e=1) relative = %+v, want well below 1", fedora1.Rel)
+	}
+	// Path ORAM+ wears the SSD out so fast its hardware cost exceeds the
+	// DRAM design (the paper's 160–337%% bars).
+	if pathPlus.Rel.HardwareCost < 1 {
+		t.Errorf("PathORAM+ relative HW cost = %v, want > 1", pathPlus.Rel.HardwareCost)
+	}
+	out := RenderFig9(rows)
+	if !strings.Contains(out, "normalized") {
+		t.Error("Fig9 render missing header")
+	}
+}
+
+func TestFig10ScratchpadHelps(t *testing.T) {
+	rows, err := RunFig10(SweepOptions{Quick: true, Rounds: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	r := rows[0]
+	if r.Slowdown <= 1.0 {
+		t.Errorf("no-scratchpad slowdown = %v, want > 1", r.Slowdown)
+	}
+	if r.Slowdown > 4 {
+		t.Errorf("slowdown = %v, implausibly large (paper ~1.5x)", r.Slowdown)
+	}
+	out := RenderFig10(rows)
+	if !strings.Contains(out, "scratchpad") {
+		t.Error("Fig10 render missing header")
+	}
+}
+
+func TestBucketAblationTradeoff(t *testing.T) {
+	rows, err := RunBucketAblation(SweepOptions{Rounds: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sec 6.6: larger buckets extend lifetime but add latency.
+	if rows[2].LifetimeMonths <= rows[0].LifetimeMonths {
+		t.Errorf("16KB lifetime %v not above 4KB %v", rows[2].LifetimeMonths, rows[0].LifetimeMonths)
+	}
+	if rows[2].Overhead <= rows[0].Overhead {
+		t.Errorf("16KB overhead %v not above 4KB %v", rows[2].Overhead, rows[0].Overhead)
+	}
+	out := RenderBucketAblation(rows)
+	if !strings.Contains(out, "Bucket") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable1QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy study is slow")
+	}
+	rows, err := RunTable1(Table1Options{Quick: true, Rounds: 25, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Table1Row{}
+	for _, r := range rows {
+		key := r.Dataset + "|" + r.Mode + "|" + epsName(r.Epsilon)
+		byKey[key] = r
+	}
+	// pub rows exist for both datasets.
+	mlPub, ok := byKey["movielens|pub|NaN"]
+	if !ok {
+		// epsName(NaN) prints "NaN"; fall back to scanning.
+		for _, r := range rows {
+			if r.Dataset == "movielens" && r.Mode == "pub" {
+				mlPub, ok = r, true
+			}
+		}
+	}
+	if !ok {
+		t.Fatal("missing movielens pub row")
+	}
+	var mlInf Table1Row
+	for _, r := range rows {
+		if r.Dataset == "movielens" && r.Mode == "hide priv val" && r.Epsilon > 1e6 {
+			mlInf = r
+		}
+	}
+	// Core claim: private features beat pub.
+	if mlInf.AUC < mlPub.AUC {
+		t.Errorf("movielens: priv AUC %.4f below pub %.4f", mlInf.AUC, mlPub.AUC)
+	}
+	// Reduced accesses meaningful; hide-# mode reduces much more.
+	var mlNumInf Table1Row
+	for _, r := range rows {
+		if r.Dataset == "movielens" && r.Mode == "hide # of priv vals" && r.Epsilon > 1e6 {
+			mlNumInf = r
+		}
+	}
+	if mlNumInf.ReducedPct < mlInf.ReducedPct {
+		t.Errorf("hide-# reduced %.1f%% not above hide-val %.1f%%",
+			mlNumInf.ReducedPct, mlInf.ReducedPct)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "AUC") {
+		t.Error("Table1 render missing header")
+	}
+}
+
+func TestSweepCSVExport(t *testing.T) {
+	points := quickSweep(t)
+	var buf strings.Builder
+	if err := WriteSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Count(out, "\n")
+	if lines != len(points)+1 {
+		t.Errorf("csv lines = %d, want %d", lines, len(points)+1)
+	}
+	if !strings.HasPrefix(out, "scale,updates_per_round") {
+		t.Errorf("csv header: %q", out[:40])
+	}
+}
+
+func TestTable1CSVExport(t *testing.T) {
+	rows := []Table1Row{
+		{Dataset: "movielens", Mode: "pub", Epsilon: nan(), ReducedPct: nan(), DummyPct: nan(), LostPct: nan(), AUC: 0.58},
+		{Dataset: "movielens", Mode: "hide priv val", Epsilon: 1.0, ReducedPct: 52.9, DummyPct: 0.2, LostPct: 0.2, AUC: 0.6},
+	}
+	var buf strings.Builder
+	if err := WriteTable1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "movielens,pub,,,") {
+		t.Errorf("pub row not blank-celled:\n%s", out)
+	}
+	if !strings.Contains(out, "hide priv val,1,52.9") {
+		t.Errorf("csv:\n%s", out)
+	}
+}
+
+func nan() float64 { return math.NaN() }
+
+func TestRunPerfSeeds(t *testing.T) {
+	sum, err := RunPerfSeeds(PerfConfig{
+		Scale: dataset.Scales[0], Updates: 10000, System: SysFedoraEps1,
+		Workload: dataset.PerfWorkloads[1], Rounds: 1, Seed: 5,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Lifetime.N != 3 || sum.Lifetime.Mean <= 0 {
+		t.Errorf("lifetime summary = %+v", sum.Lifetime)
+	}
+	if sum.Overhead.Mean <= 0 {
+		t.Errorf("overhead summary = %+v", sum.Overhead)
+	}
+	// Seeds differ, so some variance should exist (workload draws differ).
+	if sum.Lifetime.Min == sum.Lifetime.Max {
+		t.Log("warning: identical lifetimes across seeds (acceptable but unusual)")
+	}
+}
+
+func TestGeomeanLifetime(t *testing.T) {
+	points := quickSweep(t)
+	g, ok := GeomeanLifetime(points, "Small", 10000, SysFedoraEps1.Name)
+	if !ok || g <= 0 {
+		t.Errorf("geomean = %v ok=%v", g, ok)
+	}
+	if _, ok := GeomeanLifetime(points, "Nope", 1, "x"); ok {
+		t.Error("missing group resolved")
+	}
+}
+
+func TestGeometryReport(t *testing.T) {
+	rows, err := RunGeometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 scales × 2 backends
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Paper Sec 3.2: RAW/Ring-style amplification 1.5–2×(+page padding),
+		// Path ORAM 6–8×(+rounding). Generous sanity windows.
+		switch r.Backend {
+		case "fedora":
+			if r.Amplification < 1.5 || r.Amplification > 5 {
+				t.Errorf("%s fedora amplification = %.2f", r.Scale, r.Amplification)
+			}
+			if r.EvictPeriod <= 0 {
+				t.Errorf("%s fedora has no eviction period", r.Scale)
+			}
+		case "pathoram+":
+			if r.Amplification < 5 || r.Amplification > 16 {
+				t.Errorf("%s pathoram+ amplification = %.2f", r.Scale, r.Amplification)
+			}
+			if r.EvictPeriod != 0 {
+				t.Errorf("pathoram+ reports eviction period %d", r.EvictPeriod)
+			}
+		}
+		if r.ORAMBytes <= r.TableBytes {
+			t.Errorf("%s/%s ORAM smaller than table", r.Scale, r.Backend)
+		}
+	}
+	out := RenderGeometry(rows)
+	if !strings.Contains(out, "Amplification") {
+		t.Error("render missing header")
+	}
+}

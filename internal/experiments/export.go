@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// CSV export (the paper's artifact collects results into CSV files) and
+// multi-seed statistics.
+
+// WriteSweepCSV writes the Fig 7/8 sweep in machine-readable form.
+func WriteSweepCSV(w io.Writer, points []SweepPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scale", "updates_per_round", "system", "workload",
+		"lifetime_months", "overhead_seconds", "overhead_pct",
+		"ssd_written_per_round_bytes", "k_union", "k_sampled",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Scale,
+			strconv.Itoa(p.Updates),
+			p.System,
+			p.Workload,
+			f(p.Result.LifetimeMonths()),
+			f(p.Result.Overhead.Seconds()),
+			f(p.Result.OverheadPct()),
+			strconv.FormatUint(p.Result.SSDWrittenPerRound, 10),
+			f(p.Result.KUnion),
+			f(p.Result.KSampled),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable1CSV writes the accuracy study in machine-readable form.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"dataset", "mode", "epsilon", "reduced_pct", "dummy_pct", "lost_pct", "auc",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		eps := ""
+		if !math.IsNaN(r.Epsilon) {
+			eps = f(r.Epsilon)
+		}
+		if err := cw.Write([]string{
+			r.Dataset, r.Mode, eps, nanf(r.ReducedPct), nanf(r.DummyPct), nanf(r.LostPct), f(r.AUC),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func nanf(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return f(v)
+}
+
+// SeededSummary holds multi-seed statistics of one perf point.
+type SeededSummary struct {
+	Config   PerfConfig
+	Lifetime metrics.Summary
+	Overhead metrics.Summary // seconds
+}
+
+// RunPerfSeeds repeats a perf point across `seeds` seeds and summarizes
+// lifetime and overhead with confidence intervals, so reports can carry
+// error bars instead of single draws.
+func RunPerfSeeds(cfg PerfConfig, seeds int) (SeededSummary, error) {
+	if seeds <= 0 {
+		seeds = 3
+	}
+	var lifetimes, overheads []float64
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)*7919
+		res, err := RunPerf(c)
+		if err != nil {
+			return SeededSummary{}, fmt.Errorf("seed %d: %w", s, err)
+		}
+		lifetimes = append(lifetimes, res.LifetimeMonths())
+		overheads = append(overheads, res.Overhead.Seconds())
+	}
+	lsum, err := metrics.Summarize(lifetimes)
+	if err != nil {
+		return SeededSummary{}, err
+	}
+	osum, err := metrics.Summarize(overheads)
+	if err != nil {
+		return SeededSummary{}, err
+	}
+	return SeededSummary{Config: cfg, Lifetime: lsum, Overhead: osum}, nil
+}
+
+// GeomeanLifetime computes the per-(scale, updates, system) geometric
+// mean over workloads — the paper's "Geomean" bars in Figs 7/8.
+func GeomeanLifetime(points []SweepPoint, scale string, updates int, system string) (float64, bool) {
+	var vals []float64
+	for _, p := range points {
+		if p.Scale == scale && p.Updates == updates && p.System == system {
+			vals = append(vals, p.Result.LifetimeMonths())
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	g, err := metrics.GeoMean(vals)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}

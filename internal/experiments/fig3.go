@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fdp"
+)
+
+// Fig3Config is one panel of the paper's Figure 3: a (ε, Y) pair whose
+// Eq. 3 PDF is plotted for k_union = 30, K = 100.
+type Fig3Config struct {
+	Label   string
+	Epsilon float64
+	Shape   fdp.Shape
+}
+
+// Fig3Panels are the six panels of Figure 3.
+var Fig3Panels = []Fig3Config{
+	{"(a) eps=99999, Y=uniform", 99999, fdp.Uniform{}},
+	{"(b) eps=0.5,   Y=square", 0.5, fdp.Square{LoFrac: 0.25}},
+	{"(c) eps=3.0,   Y=uniform", 3.0, fdp.Uniform{}},
+	{"(d) eps=0.5,   Y=pow", 0.5, fdp.Pow{Exp: 5}},
+	{"(e) eps=1.0,   Y=uniform", 1.0, fdp.Uniform{}},
+	{"(f) eps=0.5,   Y=delta", 0.5, fdp.Delta{}},
+}
+
+// Fig3KUnion / Fig3K are the figure's parameters.
+const (
+	Fig3KUnion = 30
+	Fig3K      = 100
+)
+
+// RenderFig3 renders each panel as a text histogram, marking the
+// accurate (k = k_union), lost (k < k_union) and dummy (k > k_union)
+// regions, plus the summary statistics of each distribution.
+func RenderFig3() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — Eq.3 PDFs with k_union=%d, K=%d\n", Fig3KUnion, Fig3K)
+	fmt.Fprintf(&b, "legend: '<' lost region (k<k_union), '=' exact, '>' dummy region (k>k_union)\n\n")
+	for _, p := range Fig3Panels {
+		m := fdp.Mechanism{Epsilon: p.Epsilon, Shape: p.Shape}
+		pdf, err := m.Distribution(Fig3K, Fig3KUnion)
+		if err != nil {
+			return "", fmt.Errorf("panel %q: %w", p.Label, err)
+		}
+		dummy, lost, err := m.Expected(Fig3K, Fig3KUnion)
+		if err != nil {
+			return "", err
+		}
+		var pLost, pExact, pDummy, maxP float64
+		for j, pj := range pdf {
+			k := j + 1
+			switch {
+			case k < Fig3KUnion:
+				pLost += pj
+			case k == Fig3KUnion:
+				pExact += pj
+			default:
+				pDummy += pj
+			}
+			if pj > maxP {
+				maxP = pj
+			}
+		}
+		fmt.Fprintf(&b, "%s\n", p.Label)
+		fmt.Fprintf(&b, "  P[lost]=%.3f  P[exact]=%.3f  P[dummy]=%.3f  E[lost]=%.2f  E[dummy]=%.2f\n",
+			pLost, pExact, pDummy, lost, dummy)
+		// Coarse 20-bucket histogram of the PDF.
+		const bins = 20
+		binW := Fig3K / bins
+		for bin := 0; bin < bins; bin++ {
+			lo, hi := bin*binW+1, (bin+1)*binW
+			var mass float64
+			for k := lo; k <= hi; k++ {
+				mass += pdf[k-1]
+			}
+			bar := int(mass / 0.02)
+			if bar > 50 {
+				bar = 50
+			}
+			marker := ">"
+			if hi < Fig3KUnion {
+				marker = "<"
+			} else if lo <= Fig3KUnion && Fig3KUnion <= hi {
+				marker = "="
+			}
+			fmt.Fprintf(&b, "  k %3d-%3d %s |%s %.3f\n", lo, hi, marker, strings.Repeat("#", bar), mass)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/fedora"
+)
+
+// GeometryRow describes one (scale, backend) ORAM configuration — the
+// derived geometry behind the Sec 6.1 setups: tree shape, bucket
+// occupancy, eviction period, and the memory amplification the paper
+// discusses in Sec 3.2 (1.5–2× for RAW/Ring-style trees, 6–8× for Path
+// ORAM).
+type GeometryRow struct {
+	Scale         string
+	Backend       string
+	TableBytes    uint64
+	ORAMBytes     uint64
+	Amplification float64
+	EvictPeriod   int // 0 for Path ORAM+
+	DRAMBytes     uint64
+}
+
+// RunGeometry derives the configurations without running any rounds.
+func RunGeometry() ([]GeometryRow, error) {
+	var rows []GeometryRow
+	for _, sc := range dataset.Scales {
+		table := sc.Rows * uint64(sc.EntryBytes)
+		for _, be := range []fedora.Backend{fedora.BackendFedora, fedora.BackendPathORAMPlus} {
+			ctrl, err := fedora.New(fedora.Config{
+				Backend: be,
+				NumRows: sc.Rows,
+				Dim:     sc.EntryBytes / 4,
+				Phantom: true,
+				Seed:    1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, GeometryRow{
+				Scale:         sc.Name,
+				Backend:       be.String(),
+				TableBytes:    table,
+				ORAMBytes:     ctrl.MainORAMBytes(),
+				Amplification: float64(ctrl.MainORAMBytes()) / float64(table),
+				EvictPeriod:   ctrl.MainEvictPeriod(),
+				DRAMBytes:     ctrl.DRAMResidentBytes(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderGeometry renders the configuration table.
+func RenderGeometry(rows []GeometryRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ORAM geometry per Sec 6.1 configuration\n")
+	tw := newTable(&b, "Scale", "Backend", "Table", "ORAM", "Amplification", "A", "Controller DRAM")
+	gb := func(v uint64) string { return fmt.Sprintf("%.2f GB", float64(v)/1e9) }
+	for _, r := range rows {
+		a := "-"
+		if r.EvictPeriod > 0 {
+			a = fmt.Sprint(r.EvictPeriod)
+		}
+		tw.row(r.Scale, r.Backend, gb(r.TableBytes), gb(r.ORAMBytes),
+			fmt.Sprintf("%.2fx", r.Amplification), a, gb(r.DRAMBytes))
+	}
+	tw.flush()
+	return b.String()
+}

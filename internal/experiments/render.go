@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// table is a small helper around tabwriter for aligned report tables.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer, headers ...string) *table {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(headers, "\t"))
+	sep := make([]string, len(headers))
+	for i, h := range headers {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	return &table{w: tw}
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.w, strings.Join(cells, "\t"))
+}
+
+func (t *table) flush() { t.w.Flush() }

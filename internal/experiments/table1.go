@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/fdp"
+	"repro/internal/fl"
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Dataset string
+	Mode    string // "pub", "hide priv val", "hide # of priv vals"
+	Epsilon float64
+	// ReducedPct is accesses saved vs the perfect-privacy ε=0 (k=K) case.
+	ReducedPct float64
+	// DummyPct / LostPct are relative to the ε=∞ optimal access count.
+	DummyPct, LostPct float64
+	AUC               float64
+}
+
+// Table1Options scales the accuracy study.
+type Table1Options struct {
+	// Quick trims the datasets and round count for tests/CI.
+	Quick bool
+	// Rounds of FL per configuration (0 = 150 full / 40 quick).
+	Rounds int
+	Seed   int64
+}
+
+func (o Table1Options) rounds() int {
+	if o.Rounds > 0 {
+		return o.Rounds
+	}
+	if o.Quick {
+		return 40
+	}
+	return 150
+}
+
+func (o Table1Options) datasets() []*dataset.Dataset {
+	ml := dataset.MovieLensConfig()
+	tb := dataset.TaobaoConfig()
+	if o.Quick {
+		ml.NumItems, ml.NumUsers, ml.SamplesPerUser = 400, 150, 40
+		tb.NumItems, tb.NumUsers, tb.SamplesPerUser = 500, 150, 30
+	}
+	return []*dataset.Dataset{dataset.Generate(ml), dataset.Generate(tb)}
+}
+
+// RunTable1 executes the accuracy study: for each dataset, the pub
+// baseline plus both protection modes at ε ∈ {∞, 1.0, 0.1}.
+func RunTable1(o Table1Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	epsilons := []float64{fdp.EpsilonInfinity, 1.0, 0.1}
+	for _, ds := range o.datasets() {
+		// pub: no private features.
+		res, err := runFL(ds, fdp.EpsilonInfinity, false, false, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Dataset: ds.Name, Mode: "pub", Epsilon: math.NaN(),
+			ReducedPct: math.NaN(), DummyPct: math.NaN(), LostPct: math.NaN(),
+			AUC: res.AUC,
+		})
+		for _, mode := range []struct {
+			name      string
+			hideCount bool
+		}{
+			{"hide priv val", false},
+			{"hide # of priv vals", true},
+		} {
+			for _, eps := range epsilons {
+				res, err := runFL(ds, eps, true, mode.hideCount, o)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Table1Row{
+					Dataset: ds.Name, Mode: mode.name, Epsilon: eps,
+					ReducedPct: 100 * res.ReducedAccesses,
+					DummyPct:   100 * res.DummyFrac,
+					LostPct:    100 * res.LostFrac,
+					AUC:        res.AUC,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func runFL(ds *dataset.Dataset, eps float64, usePrivate, hideCount bool, o Table1Options) (fl.Result, error) {
+	cfg := fl.Config{
+		Dataset:              ds,
+		Dim:                  8,
+		Hidden:               16,
+		UsePrivate:           usePrivate,
+		Epsilon:              eps,
+		HideCount:            hideCount,
+		ClientsPerRound:      40,
+		MaxFeaturesPerClient: 100,
+		LocalLR:              0.1,
+		LocalEpochs:          2,
+		Seed:                 o.Seed,
+	}
+	if ds.Name == "movielens" {
+		cfg.Dropout = 0.5 // the paper adds p=0.5 dropout for MovieLens
+	}
+	tr, err := fl.New(cfg)
+	if err != nil {
+		return fl.Result{}, err
+	}
+	return tr.Run(o.rounds())
+}
+
+// RenderTable1 renders the accuracy table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — ORAM access reduction and model quality under e-FDP\n")
+	tw := newTable(&b, "Dataset", "Mode", "eps", "Reduced", "Dummy", "Lost", "AUC")
+	for _, r := range rows {
+		pct := func(v float64) string {
+			if math.IsNaN(v) {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f%%", v)
+		}
+		eps := "-"
+		if !math.IsNaN(r.Epsilon) {
+			eps = epsName(r.Epsilon)
+		}
+		tw.row(r.Dataset, r.Mode, eps, pct(r.ReducedPct), pct(r.DummyPct), pct(r.LostPct),
+			fmt.Sprintf("%.4f", r.AUC))
+	}
+	tw.flush()
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package fdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOptimalAdversaryBoundedByEpsilon simulates the strongest possible
+// adversary against the Eq. 3 mechanism — the Bayes-optimal likelihood
+// ratio test — and verifies its empirical success rate stays within the
+// theoretical e^ε/(1+e^ε) bound (Sec 3.1's interpretation of ε-FDP).
+//
+// Setup: two neighbouring worlds (k_union = u vs u+1), a fair coin picks
+// the world, the mechanism publishes k, the adversary guesses the world
+// with the maximum-likelihood rule.
+func TestOptimalAdversaryBoundedByEpsilon(t *testing.T) {
+	const K, u, trials = 60, 20, 200000
+	for _, eps := range []float64{0.1, 0.5, 1.0, 2.0} {
+		m := Mechanism{Epsilon: eps}
+		p0, err := m.Distribution(K, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := m.Distribution(K, u+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(eps * 1000)))
+		wins := 0
+		for i := 0; i < trials; i++ {
+			world := rng.Intn(2)
+			var k int
+			if world == 0 {
+				k, err = m.Sample(K, u, rng)
+			} else {
+				k, err = m.Sample(K, u+1, rng)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			guess := 0
+			if p1[k-1] > p0[k-1] {
+				guess = 1
+			}
+			if guess == world {
+				wins++
+			}
+		}
+		got := float64(wins) / trials
+		bound := AdversarySuccessBound(eps)
+		// 5-sigma statistical tolerance on the empirical estimate.
+		tol := 5 * math.Sqrt(0.25/trials)
+		if got > bound+tol {
+			t.Errorf("eps=%v: empirical adversary success %.4f exceeds bound %.4f",
+				eps, got, bound)
+		}
+		// The bound should not be absurdly loose either: at large ε the
+		// optimal adversary should actually achieve a decent fraction of it.
+		if eps >= 1 && got < 0.5 {
+			t.Errorf("eps=%v: adversary success %.4f below chance — test broken", eps, got)
+		}
+	}
+}
+
+// TestAdversaryGainsWithEpsilon checks the empirical success rate is
+// monotone in ε — more budget, more leakage.
+func TestAdversaryGainsWithEpsilon(t *testing.T) {
+	const K, u, trials = 60, 20, 100000
+	success := func(eps float64) float64 {
+		m := Mechanism{Epsilon: eps}
+		p0, _ := m.Distribution(K, u)
+		p1, _ := m.Distribution(K, u+1)
+		rng := rand.New(rand.NewSource(7))
+		wins := 0
+		for i := 0; i < trials; i++ {
+			world := rng.Intn(2)
+			var k int
+			if world == 0 {
+				k, _ = m.Sample(K, u, rng)
+			} else {
+				k, _ = m.Sample(K, u+1, rng)
+			}
+			guess := 0
+			if p1[k-1] > p0[k-1] {
+				guess = 1
+			}
+			if guess == world {
+				wins++
+			}
+		}
+		return float64(wins) / trials
+	}
+	low := success(0.1)
+	high := success(3.0)
+	if high <= low {
+		t.Errorf("adversary success not increasing with eps: %.4f (0.1) vs %.4f (3.0)", low, high)
+	}
+	// At ε=0.1 the adversary should be near chance.
+	if low > 0.56 {
+		t.Errorf("eps=0.1 adversary already at %.4f", low)
+	}
+}

@@ -1,0 +1,269 @@
+// Package fdp implements ε-feature-level differential privacy (ε-FDP),
+// the formal privacy notion FEDORA introduces in Sec 3 of the paper.
+//
+// Setting: K requests arrive at the controller (public), of which k_union
+// are unique (secret — a function of the users' private feature values).
+// The controller must pick how many main-ORAM accesses k ∈ [1, K] to
+// issue. The observable k must give only e^ε-bounded information about
+// k_union. Equation 3 achieves this with an exponential mechanism:
+//
+//	p_i ∝ Y_i · exp(−ε·|k_union − i| / 2),  1 ≤ i ≤ K
+//
+// where the predefined shape Y balances performance (k > k_union wastes
+// dummy accesses) against accuracy (k < k_union loses needed entries).
+//
+// The two strawmen of Sec 3.2 are special cases (Observation 4):
+//   - Vanilla ORAM (always k = K): the Delta shape — perfectly private
+//     (the output no longer depends on k_union at all) but slow.
+//   - Naive dedup (always k = k_union): ε → ∞ with any positive shape —
+//     fast but leaks k_union exactly.
+//
+// Hiding the *number* of features a user has (n values padded/subsampled
+// to a fixed count) uses DP group privacy: hiding n correlated values at
+// total budget ε requires running the mechanism at ε/n (Sec 3.1).
+//
+// When K is large the controller splits requests into chunks and runs
+// the mechanism per chunk (Sec 4.2); by parallel composition over
+// disjoint user data the round still satisfies the same ε-FDP, but the
+// per-chunk noise accumulates — the accuracy cost the paper notes.
+package fdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Shape is the Y_i weighting of Eq. 3. Weight must be non-negative;
+// i ranges over [1, K].
+type Shape interface {
+	// Weight returns Y_i for a mechanism over K outcomes.
+	Weight(i, K int) float64
+	// Name identifies the shape in reports.
+	Name() string
+}
+
+// Uniform is Y_i = 1 (Fig 3 a, c, e).
+type Uniform struct{}
+
+// Weight implements Shape.
+func (Uniform) Weight(i, K int) float64 { return 1 }
+
+// Name implements Shape.
+func (Uniform) Name() string { return "uniform" }
+
+// Square is Y_i = 1 on [LoFrac·K, K], else 0 (Fig 3 b uses [K/4, K]).
+type Square struct {
+	// LoFrac is the lower cut as a fraction of K, in [0, 1].
+	LoFrac float64
+}
+
+// Weight implements Shape.
+func (s Square) Weight(i, K int) float64 {
+	if float64(i) >= s.LoFrac*float64(K) {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Shape.
+func (s Square) Name() string { return fmt.Sprintf("square(%.2f)", s.LoFrac) }
+
+// Pow is Y_i = (i/K)^Exp, biasing towards more accesses (Fig 3 d uses
+// i^5). Normalizing by K keeps weights finite for large K.
+type Pow struct {
+	Exp float64
+}
+
+// Weight implements Shape.
+func (p Pow) Weight(i, K int) float64 {
+	return math.Pow(float64(i)/float64(K), p.Exp)
+}
+
+// Name implements Shape.
+func (p Pow) Name() string { return fmt.Sprintf("pow(%.0f)", p.Exp) }
+
+// Delta is Y_i = 1 only at i = K: the vanilla-ORAM strawman (Fig 3 f).
+type Delta struct{}
+
+// Weight implements Shape.
+func (Delta) Weight(i, K int) float64 {
+	if i == K {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Shape.
+func (Delta) Name() string { return "delta" }
+
+// Mechanism is an ε-FDP access-count sampler.
+type Mechanism struct {
+	// Epsilon is the per-invocation privacy parameter. 0 is perfect FDP
+	// (output independent of k_union for symmetric shapes only when the
+	// shape forces it; with Uniform it makes the PDF flat). math.Inf(1)
+	// reproduces Strawman 2: k = k_union exactly.
+	Epsilon float64
+	// Shape is Y; nil means Uniform.
+	Shape Shape
+}
+
+// EpsilonInfinity is a convenience for the no-privacy setting (ε = ∞).
+var EpsilonInfinity = math.Inf(1)
+
+// shape returns the effective shape.
+func (m Mechanism) shape() Shape {
+	if m.Shape == nil {
+		return Uniform{}
+	}
+	return m.Shape
+}
+
+func (m Mechanism) validate(K, kUnion int) error {
+	if K <= 0 {
+		return errors.New("fdp: K must be positive")
+	}
+	if kUnion < 0 || kUnion > K {
+		return fmt.Errorf("fdp: k_union %d outside [0, %d]", kUnion, K)
+	}
+	if m.Epsilon < 0 {
+		return errors.New("fdp: epsilon must be non-negative")
+	}
+	return nil
+}
+
+// Distribution returns the PDF of Eq. 3 as a slice p where p[j] is the
+// probability of choosing k = j+1, for j in [0, K).
+func (m Mechanism) Distribution(K, kUnion int) ([]float64, error) {
+	if err := m.validate(K, kUnion); err != nil {
+		return nil, err
+	}
+	p := make([]float64, K)
+	sh := m.shape()
+	if math.IsInf(m.Epsilon, 1) {
+		// Limit of Eq. 3: all mass on the feasible i closest to k_union.
+		best, bestDist := -1, math.MaxInt64
+		for i := 1; i <= K; i++ {
+			if sh.Weight(i, K) <= 0 {
+				continue
+			}
+			d := i - kUnion
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best < 0 {
+			return nil, errors.New("fdp: shape assigns zero weight everywhere")
+		}
+		p[best-1] = 1
+		return p, nil
+	}
+	// Shift exponents by the minimum distance over the shape's support so
+	// extreme ε values (the paper's Fig 3 uses ε up to 99999) do not
+	// underflow every weight to zero.
+	minDist := math.Inf(1)
+	for i := 1; i <= K; i++ {
+		if sh.Weight(i, K) <= 0 {
+			continue
+		}
+		if d := math.Abs(float64(kUnion - i)); d < minDist {
+			minDist = d
+		}
+	}
+	if math.IsInf(minDist, 1) {
+		return nil, errors.New("fdp: shape assigns zero weight everywhere")
+	}
+	var sum float64
+	for i := 1; i <= K; i++ {
+		y := sh.Weight(i, K)
+		if y <= 0 {
+			continue // avoid 0·exp(+huge) = NaN for outcomes off-support
+		}
+		d := math.Abs(float64(kUnion - i))
+		w := y * math.Exp(-m.Epsilon*(d-minDist)/2)
+		p[i-1] = w
+		sum += w
+	}
+	if sum <= 0 || math.IsNaN(sum) {
+		return nil, errors.New("fdp: distribution has zero total mass")
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p, nil
+}
+
+// Sample draws k from the Eq. 3 distribution using inverse-CDF sampling.
+func (m Mechanism) Sample(K, kUnion int, rng *rand.Rand) (int, error) {
+	p, err := m.Distribution(K, kUnion)
+	if err != nil {
+		return 0, err
+	}
+	u := rng.Float64()
+	var cdf float64
+	for j, pj := range p {
+		cdf += pj
+		if u < cdf {
+			return j + 1, nil
+		}
+	}
+	return K, nil // guard against floating-point shortfall
+}
+
+// Expected returns the mean dummy accesses E[max(0, k−k_union)] and lost
+// entries E[max(0, k_union−k)] under the mechanism, the quantities the
+// paper's Table 1 reports as Dummy/Lost percentages.
+func (m Mechanism) Expected(K, kUnion int) (dummy, lost float64, err error) {
+	p, err := m.Distribution(K, kUnion)
+	if err != nil {
+		return 0, 0, err
+	}
+	for j, pj := range p {
+		k := j + 1
+		if k > kUnion {
+			dummy += pj * float64(k-kUnion)
+		} else {
+			lost += pj * float64(kUnion-k)
+		}
+	}
+	return dummy, lost, nil
+}
+
+// GroupEpsilon returns the per-value budget needed to hide n values
+// simultaneously at total budget eps (group privacy of DP): eps/n.
+// n <= 1 returns eps unchanged.
+func GroupEpsilon(eps float64, n int) float64 {
+	if n <= 1 {
+		return eps
+	}
+	return eps / float64(n)
+}
+
+// Accountant tracks the per-round ε-FDP guarantee across chunks
+// (parallel composition: chunks partition disjoint requests, so the round
+// budget is the maximum per-chunk ε, not the sum).
+type Accountant struct {
+	chunks  int
+	maxEps  float64
+	samples int
+}
+
+// Observe records one chunk mechanism invocation at eps.
+func (a *Accountant) Observe(eps float64) {
+	a.chunks++
+	if eps > a.maxEps {
+		a.maxEps = eps
+	}
+	a.samples++
+}
+
+// RoundEpsilon is the ε-FDP guarantee of the whole round under parallel
+// composition.
+func (a *Accountant) RoundEpsilon() float64 { return a.maxEps }
+
+// Chunks reports how many chunk invocations were observed.
+func (a *Accountant) Chunks() int { return a.chunks }

@@ -1,0 +1,253 @@
+package fdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDistributionSumsToOne(t *testing.T) {
+	shapes := []Shape{Uniform{}, Square{LoFrac: 0.25}, Pow{Exp: 5}, Delta{}}
+	for _, sh := range shapes {
+		for _, eps := range []float64{0, 0.1, 1, 3, 99999} {
+			m := Mechanism{Epsilon: eps, Shape: sh}
+			p, err := m.Distribution(100, 30)
+			if err != nil {
+				t.Fatalf("%s eps=%v: %v", sh.Name(), eps, err)
+			}
+			var sum float64
+			for _, x := range p {
+				if x < 0 {
+					t.Fatalf("%s eps=%v: negative probability", sh.Name(), eps)
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("%s eps=%v: sum = %v", sh.Name(), eps, sum)
+			}
+		}
+	}
+}
+
+// TestPrivacyRatioBound verifies the Sec 3.3 proof numerically: for
+// neighbouring inputs (k_union differing by 1), the probability of any
+// output k changes by at most e^ε.
+func TestPrivacyRatioBound(t *testing.T) {
+	shapes := []Shape{Uniform{}, Square{LoFrac: 0.25}, Pow{Exp: 5}}
+	for _, sh := range shapes {
+		for _, eps := range []float64{0.1, 0.5, 1, 3} {
+			m := Mechanism{Epsilon: eps, Shape: sh}
+			const K = 60
+			for ku := 0; ku < K; ku++ {
+				p1, err := m.Distribution(K, ku)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p2, err := m.Distribution(K, ku+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bound := math.Exp(eps) * (1 + 1e-9)
+				for i := range p1 {
+					if p1[i] == 0 && p2[i] == 0 {
+						continue
+					}
+					if p2[i] == 0 || p1[i] == 0 {
+						t.Fatalf("%s eps=%v ku=%d i=%d: support changed (%v vs %v)",
+							sh.Name(), eps, ku, i, p1[i], p2[i])
+					}
+					r := p1[i] / p2[i]
+					if r > bound || 1/r > bound {
+						t.Fatalf("%s eps=%v ku=%d i=%d: ratio %v exceeds e^eps=%v",
+							sh.Name(), eps, ku, i, r, math.Exp(eps))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaShapeIsStrawman1 checks Observation 4: the delta shape always
+// issues K accesses regardless of k_union or ε (vanilla ORAM).
+func TestDeltaShapeIsStrawman1(t *testing.T) {
+	for _, eps := range []float64{0, 1, 100} {
+		m := Mechanism{Epsilon: eps, Shape: Delta{}}
+		for _, ku := range []int{0, 1, 30, 100} {
+			p, err := m.Distribution(100, ku)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p[99] != 1 {
+				t.Errorf("eps=%v ku=%d: P[k=K] = %v, want 1", eps, ku, p[99])
+			}
+		}
+	}
+}
+
+// TestInfiniteEpsilonIsStrawman2 checks the other degenerate case: ε = ∞
+// puts all mass exactly at k_union (the naive dedup optimization).
+func TestInfiniteEpsilonIsStrawman2(t *testing.T) {
+	m := Mechanism{Epsilon: EpsilonInfinity}
+	for _, ku := range []int{1, 30, 100} {
+		p, err := m.Distribution(100, ku)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[ku-1] != 1 {
+			t.Errorf("ku=%d: P[k=ku] = %v, want 1", ku, p[ku-1])
+		}
+	}
+	// With k_union = 0, the closest feasible outcome is k = 1.
+	p, err := m.Distribution(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 {
+		t.Errorf("ku=0: P[k=1] = %v, want 1", p[0])
+	}
+}
+
+func TestEpsilonZeroUniformIsFlat(t *testing.T) {
+	m := Mechanism{Epsilon: 0}
+	p, err := m.Distribution(50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range p {
+		if math.Abs(x-1.0/50) > 1e-12 {
+			t.Errorf("p[%d] = %v, want uniform 0.02", i, x)
+		}
+	}
+}
+
+func TestLowerEpsilonSpreadsMass(t *testing.T) {
+	// Observation 2: reducing ε increases the chance of inaccurate
+	// (k < ku) and inefficient (k > ku) outcomes.
+	const K, ku = 100, 30
+	tightDummy, tightLost, err := (Mechanism{Epsilon: 3}).Expected(K, ku)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseDummy, looseLost, err := (Mechanism{Epsilon: 0.5}).Expected(K, ku)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looseDummy <= tightDummy || looseLost <= tightLost {
+		t.Errorf("eps=0.5 (dummy %v, lost %v) not noisier than eps=3 (%v, %v)",
+			looseDummy, looseLost, tightDummy, tightLost)
+	}
+}
+
+func TestPowShapeTradesLostForDummy(t *testing.T) {
+	// Observation 3: a shape biased to high i (pow) lowers lost entries
+	// relative to uniform, at the cost of more dummies.
+	const K, ku = 100, 30
+	uDummy, uLost, err := (Mechanism{Epsilon: 0.3, Shape: Uniform{}}).Expected(K, ku)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pDummy, pLost, err := (Mechanism{Epsilon: 0.3, Shape: Pow{Exp: 5}}).Expected(K, ku)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pLost < uLost && pDummy > uDummy) {
+		t.Errorf("pow (dummy %.2f lost %.2f) vs uniform (dummy %.2f lost %.2f)",
+			pDummy, pLost, uDummy, uLost)
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	m := Mechanism{Epsilon: 1}
+	const K, ku, n = 40, 12, 200000
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, K)
+	for i := 0; i < n; i++ {
+		k, err := m.Sample(K, ku, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < 1 || k > K {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k-1]++
+	}
+	p, _ := m.Distribution(K, ku)
+	for i := range p {
+		got := float64(counts[i]) / n
+		// 5-sigma binomial tolerance.
+		tol := 5*math.Sqrt(p[i]*(1-p[i])/n) + 1e-6
+		if math.Abs(got-p[i]) > tol {
+			t.Errorf("k=%d: freq %v vs p %v", i+1, got, p[i])
+		}
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	m := Mechanism{Epsilon: 0.5}
+	a, _ := m.Sample(100, 30, rand.New(rand.NewSource(7)))
+	b, _ := m.Sample(100, 30, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Errorf("same seed, different samples: %d vs %d", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := Mechanism{Epsilon: 1}
+	if _, err := m.Distribution(0, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := m.Distribution(10, 11); err == nil {
+		t.Error("k_union > K accepted")
+	}
+	if _, err := m.Distribution(10, -1); err == nil {
+		t.Error("negative k_union accepted")
+	}
+	if _, err := (Mechanism{Epsilon: -1}).Distribution(10, 5); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestZeroMassShapeRejected(t *testing.T) {
+	// A square cutting off everything yields zero mass.
+	m := Mechanism{Epsilon: 1, Shape: Square{LoFrac: 2.0}}
+	if _, err := m.Distribution(10, 5); err == nil {
+		t.Error("zero-mass distribution accepted")
+	}
+	m = Mechanism{Epsilon: EpsilonInfinity, Shape: Square{LoFrac: 2.0}}
+	if _, err := m.Distribution(10, 5); err == nil {
+		t.Error("zero-mass infinite-eps distribution accepted")
+	}
+}
+
+func TestGroupEpsilon(t *testing.T) {
+	if got := GroupEpsilon(1.0, 100); got != 0.01 {
+		t.Errorf("GroupEpsilon(1,100) = %v", got)
+	}
+	if got := GroupEpsilon(2.0, 1); got != 2.0 {
+		t.Errorf("GroupEpsilon(2,1) = %v", got)
+	}
+	if got := GroupEpsilon(2.0, 0); got != 2.0 {
+		t.Errorf("GroupEpsilon(2,0) = %v", got)
+	}
+}
+
+func TestAccountantParallelComposition(t *testing.T) {
+	var a Accountant
+	a.Observe(0.5)
+	a.Observe(1.0)
+	a.Observe(0.7)
+	if a.RoundEpsilon() != 1.0 {
+		t.Errorf("RoundEpsilon = %v, want max = 1.0", a.RoundEpsilon())
+	}
+	if a.Chunks() != 3 {
+		t.Errorf("Chunks = %d", a.Chunks())
+	}
+}
+
+func TestSquareShapeMatchesPaperFigure(t *testing.T) {
+	// Fig 3(b): Y=1 for 25 <= i <= 100 with K=100.
+	s := Square{LoFrac: 0.25}
+	if s.Weight(24, 100) != 0 || s.Weight(25, 100) != 1 || s.Weight(100, 100) != 1 {
+		t.Error("square shape boundary wrong")
+	}
+}

@@ -1,0 +1,84 @@
+package fdp
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements the interpretation toolkit of Sec 3.1: "Prior
+// works on DP showed that ε can bound the success rate of an adversary,
+// which directly extends to ε-FDP", plus the standard composition rules
+// the round structure relies on (parallel composition within a round,
+// Sec 4.2; sequential composition across rounds).
+
+// SequentialComposition returns the cumulative ε after `rounds`
+// invocations of an ε-FDP mechanism on the SAME user features (basic
+// composition: budgets add). The paper reports per-round ε; a user whose
+// features persist across T rounds should read their total exposure
+// through this bound.
+func SequentialComposition(eps float64, rounds int) float64 {
+	if rounds <= 0 {
+		return 0
+	}
+	return eps * float64(rounds)
+}
+
+// AdvancedComposition returns the tighter (ε', δ) cumulative bound of
+// Dwork–Rothblum–Vadhan for k-fold composition at slack δ:
+//
+//	ε' = ε·√(2k·ln(1/δ)) + k·ε·(e^ε − 1)
+//
+// Useful when rounds are many and a small δ is acceptable.
+func AdvancedComposition(eps float64, rounds int, delta float64) (float64, error) {
+	if rounds <= 0 {
+		return 0, nil
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, errors.New("fdp: delta must be in (0,1)")
+	}
+	k := float64(rounds)
+	return eps*math.Sqrt(2*k*math.Log(1/delta)) + k*eps*(math.Exp(eps)-1), nil
+}
+
+// AdversarySuccessBound returns the maximum probability that an
+// adversary observing an ε-FDP output correctly guesses which of two
+// neighbouring inputs produced it, starting from a uniform prior:
+//
+//	P[success] ≤ e^ε / (1 + e^ε)
+//
+// ε = 0 gives 1/2 (no better than guessing); ε = ∞ gives 1.
+func AdversarySuccessBound(eps float64) float64 {
+	if math.IsInf(eps, 1) {
+		return 1
+	}
+	e := math.Exp(eps)
+	return e / (1 + e)
+}
+
+// PosteriorBound generalizes AdversarySuccessBound to an arbitrary prior
+// p on the "true" hypothesis:
+//
+//	posterior ≤ p·e^ε / (1 − p + p·e^ε)
+func PosteriorBound(eps, prior float64) (float64, error) {
+	if prior < 0 || prior > 1 {
+		return 0, errors.New("fdp: prior must be in [0,1]")
+	}
+	if math.IsInf(eps, 1) {
+		if prior == 0 {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	e := math.Exp(eps)
+	return prior * e / (1 - prior + prior*e), nil
+}
+
+// EpsilonForSuccessBound inverts AdversarySuccessBound: the largest ε
+// under which an adversary's success probability stays below target
+// (target in (0.5, 1)).
+func EpsilonForSuccessBound(target float64) (float64, error) {
+	if target <= 0.5 || target >= 1 {
+		return 0, errors.New("fdp: target must be in (0.5, 1)")
+	}
+	return math.Log(target / (1 - target)), nil
+}

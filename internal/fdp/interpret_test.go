@@ -1,0 +1,88 @@
+package fdp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSequentialComposition(t *testing.T) {
+	if got := SequentialComposition(0.5, 10); got != 5 {
+		t.Errorf("got %v", got)
+	}
+	if got := SequentialComposition(1, 0); got != 0 {
+		t.Errorf("zero rounds = %v", got)
+	}
+}
+
+func TestAdvancedCompositionTighterForManyRounds(t *testing.T) {
+	const eps, rounds = 0.1, 1000
+	basic := SequentialComposition(eps, rounds)
+	adv, err := AdvancedComposition(eps, rounds, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv >= basic {
+		t.Errorf("advanced %v not tighter than basic %v at %d rounds", adv, basic, rounds)
+	}
+	if _, err := AdvancedComposition(eps, rounds, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if got, _ := AdvancedComposition(eps, 0, 1e-6); got != 0 {
+		t.Errorf("zero rounds = %v", got)
+	}
+}
+
+func TestAdversarySuccessBound(t *testing.T) {
+	if got := AdversarySuccessBound(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("eps=0 bound = %v, want 0.5", got)
+	}
+	if got := AdversarySuccessBound(EpsilonInfinity); got != 1 {
+		t.Errorf("eps=inf bound = %v", got)
+	}
+	// ε=1: e/(1+e) ≈ 0.731.
+	if got := AdversarySuccessBound(1); math.Abs(got-0.7311) > 0.001 {
+		t.Errorf("eps=1 bound = %v", got)
+	}
+	// Monotone in ε.
+	if AdversarySuccessBound(0.1) >= AdversarySuccessBound(2) {
+		t.Error("bound not monotone")
+	}
+}
+
+func TestPosteriorBound(t *testing.T) {
+	// Uniform prior reduces to AdversarySuccessBound.
+	got, err := PosteriorBound(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-AdversarySuccessBound(1)) > 1e-12 {
+		t.Errorf("posterior(0.5) = %v", got)
+	}
+	// Zero prior stays zero even at infinite epsilon.
+	if got, _ := PosteriorBound(EpsilonInfinity, 0); got != 0 {
+		t.Errorf("posterior(0) = %v", got)
+	}
+	if got, _ := PosteriorBound(EpsilonInfinity, 0.3); got != 1 {
+		t.Errorf("posterior(inf, 0.3) = %v", got)
+	}
+	if _, err := PosteriorBound(1, 1.5); err == nil {
+		t.Error("bad prior accepted")
+	}
+}
+
+func TestEpsilonForSuccessBound(t *testing.T) {
+	eps, err := EpsilonForSuccessBound(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip.
+	if got := AdversarySuccessBound(eps); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("round trip = %v", got)
+	}
+	if _, err := EpsilonForSuccessBound(0.4); err == nil {
+		t.Error("target below 0.5 accepted")
+	}
+	if _, err := EpsilonForSuccessBound(1); err == nil {
+		t.Error("target 1 accepted")
+	}
+}

@@ -1,0 +1,413 @@
+// Package fedora implements the FEDORA controller — the paper's primary
+// contribution (Sec 4): an FL server-side system that lets clients
+// download/train/upload only the embedding rows they need while hiding
+// the access pattern with ORAM and bounding the leakage of the access
+// *count* with ε-FDP.
+//
+// One FL round follows Fig 4:
+//
+//	① union the K client requests obliviously (chunked when K is large)
+//	② sample k per chunk from the ε-FDP mechanism (Eq. 3)
+//	③ move k entries from the main ORAM (SSD) to the buffer ORAM (DRAM)
+//	④ serve client downloads from the buffer ORAM
+//	⑤ clients train locally (outside the controller)
+//	⑥ aggregate uploaded gradients inside the buffer ORAM
+//	⑦ move k entries back, applying the aggregated update
+//
+// Three backends share this structure:
+//
+//   - BackendFedora: RAW ORAM on SSD with FEDORA's optimizations + ε-FDP.
+//     ε = 0 forces the Delta shape (k = K always — perfect FDP, Sec 6.2's
+//     "FEDORA (ε=0)"); ε = ∞ degenerates to k = k_union (Strawman 2).
+//   - BackendPathORAMPlus: the paper's baseline — an SSD-friendly Path
+//     ORAM accessed once per user request (k = K policy, perfect FDP),
+//     with full path read+write on every access.
+//   - BackendDRAM: the Fig 9 comparison point — FEDORA's structure with
+//     the main ORAM held in (expensive) DRAM instead of an SSD.
+package fedora
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bufferoram"
+	"repro/internal/device"
+	"repro/internal/fdp"
+	"repro/internal/pathoram"
+	"repro/internal/raworam"
+	"repro/internal/tee"
+)
+
+// Backend selects the main-ORAM organization.
+type Backend int
+
+const (
+	// BackendFedora is the full FEDORA design (RAW ORAM on SSD + ε-FDP).
+	BackendFedora Backend = iota
+	// BackendPathORAMPlus is the paper's SSD Path ORAM baseline.
+	BackendPathORAMPlus
+	// BackendDRAM holds the main ORAM in DRAM (cost/power comparison).
+	BackendDRAM
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendFedora:
+		return "fedora"
+	case BackendPathORAMPlus:
+		return "pathoram+"
+	case BackendDRAM:
+		return "dram-based"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// DefaultChunkSize is the paper's empirically chosen union chunk (16K
+// entries, Sec 4.2).
+const DefaultChunkSize = 16384
+
+// Config parameterizes a controller.
+type Config struct {
+	// Backend selects the main-ORAM design.
+	Backend Backend
+	// NumRows is the embedding-table height N.
+	NumRows uint64
+	// Dim is the embedding dimension; rows are 4·Dim bytes (the paper's
+	// 64–256 byte entries are Dim 16–64).
+	Dim int
+	// Epsilon is the per-round ε-FDP budget. 0 forces Delta shape (k=K);
+	// use fdp.EpsilonInfinity for Strawman 2.
+	Epsilon float64
+	// Shape is the Y_i weighting (nil = Uniform; ignored when Epsilon==0).
+	Shape fdp.Shape
+	// HideCount, when true, divides ε by MaxFeaturesPerClient (group
+	// privacy) so the number of feature values is hidden too (Sec 3.1's
+	// "hide # of priv vals" mode; callers must pad requests to the max).
+	HideCount bool
+	// ChunkSize bounds the oblivious union's quadratic scan (0 = 16384).
+	ChunkSize int
+	// MaxClientsPerRound / MaxFeaturesPerClient size the buffer ORAM
+	// (its capacity must make overflow impossible, Sec 4.3).
+	MaxClientsPerRound   int
+	MaxFeaturesPerClient int
+	// Aggregator is the operation mode (nil = FedAvg).
+	Aggregator bufferoram.Aggregator
+	// LearningRate is η.
+	LearningRate float32
+	// Seed makes the controller deterministic.
+	Seed int64
+	// Phantom runs all ORAMs in accounting-only mode for large sweeps.
+	Phantom bool
+	// Encrypt seals off-chip structures with the TEE engine.
+	Encrypt bool
+	// HasScratchpad models the 4 KB on-chip scratch space (Fig 10).
+	HasScratchpad bool
+	// InitRow supplies initial embedding values (nil = zeros).
+	InitRow func(row uint64) []float32
+	// BucketBytes overrides the SSD bucket size (0 = one 4 KB page); used
+	// by the Sec 6.6 bucket-size ablation.
+	BucketBytes int
+	// Selection picks WHICH k entries to read when k < k_union
+	// (Sec 4.2); default SelectFirst, the paper prototype's choice.
+	Selection SelectionPolicy
+	// EvictPeriod overrides the main RAW ORAM's eviction period A
+	// (0 = derive from the bucket size; Sec 4.4 Optimization 3).
+	EvictPeriod int
+	// SortedUnion replaces the paper's Θ(K²) linear-scan union with the
+	// O(K·log²K) oblivious sorting-network union (obliv.UnionSorted).
+	// Union entries then come out in ascending-ID rather than first-seen
+	// order, which changes what "SelectFirst" means.
+	SortedUnion bool
+}
+
+func (c *Config) setDefaults() {
+	if c.ChunkSize == 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.MaxClientsPerRound == 0 {
+		c.MaxClientsPerRound = 100
+	}
+	if c.MaxFeaturesPerClient == 0 {
+		c.MaxFeaturesPerClient = 100
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+}
+
+func (c *Config) validate() error {
+	if c.NumRows == 0 {
+		return errors.New("fedora: NumRows must be positive")
+	}
+	if c.Dim <= 0 {
+		return errors.New("fedora: Dim must be positive")
+	}
+	if c.Epsilon < 0 {
+		return errors.New("fedora: Epsilon must be non-negative")
+	}
+	if c.ChunkSize < 0 {
+		return errors.New("fedora: ChunkSize must be non-negative")
+	}
+	return nil
+}
+
+// Controller is the trusted FEDORA controller plus its devices.
+type Controller struct {
+	cfg Config
+
+	ssd  *device.Sim // main ORAM home (SSD profile, or DRAM profile for BackendDRAM)
+	dram *device.Sim // buffer ORAM, VTree, stash, position map
+
+	raw  *raworam.ORAM  // BackendFedora / BackendDRAM
+	path *pathoram.ORAM // BackendPathORAMPlus
+	buf  *bufferoram.Buffer
+
+	mech    fdp.Mechanism
+	effEps  float64 // per-value epsilon after group privacy
+	sel     *selector
+	rng     *rand.Rand
+	scratch *tee.Scratchpad
+	round   uint64
+	inRound bool
+	acct    fdp.Accountant
+}
+
+// New builds a controller, provisioning simulated devices sized to the
+// ORAM (the paper reports SSD lifetime for an SSD the size of the ORAM).
+func New(cfg Config) (*Controller, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 3))}
+	c.sel = newSelector(cfg.Selection, rand.New(rand.NewSource(cfg.Seed+29)))
+
+	var engine *tee.Engine
+	if cfg.Encrypt {
+		var key [32]byte
+		key[0], key[1] = byte(cfg.Seed), byte(cfg.Seed>>8)
+		engine = tee.NewEngine(key)
+	}
+	c.scratch = tee.NewScratchpad(tee.DefaultScratchpadSize)
+	if err := c.scratch.Reserve("key", 32); err != nil {
+		return nil, err
+	}
+	if err := c.scratch.Reserve("root-counter", 8); err != nil {
+		return nil, err
+	}
+	if cfg.HasScratchpad {
+		if err := c.scratch.Reserve("eviction-scratch", c.scratch.Free()); err != nil {
+			return nil, err
+		}
+	}
+
+	blockSize := 4 * cfg.Dim
+	var initFn func(uint64) []byte
+	if cfg.InitRow != nil {
+		dim := cfg.Dim
+		initFn = func(row uint64) []byte {
+			f := cfg.InitRow(row)
+			if len(f) != dim {
+				panic(fmt.Sprintf("fedora: InitRow returned %d floats, want %d", len(f), dim))
+			}
+			b := make([]byte, 4*dim)
+			encodeF32s(b, f)
+			return b
+		}
+	}
+
+	// Provision devices. The main device's profile depends on the backend.
+	mainProfile := device.PM9A1SSD
+	if cfg.Backend == BackendDRAM {
+		mainProfile = device.DDR5DRAM
+	}
+	// Size via a trial geometry: construct the ORAM against a probe
+	// device, then recreate the real one at exactly the required size.
+	probe := device.NewSim(mainProfile, 1<<62)
+	dram := device.NewDRAM(1 << 62)
+	c.dram = dram
+
+	switch cfg.Backend {
+	case BackendFedora, BackendDRAM:
+		rawCfg := raworam.Config{
+			NumBlocks:     cfg.NumRows,
+			BlockSize:     blockSize,
+			EvictPeriod:   cfg.EvictPeriod,
+			Seed:          cfg.Seed,
+			Engine:        engine,
+			Phantom:       cfg.Phantom,
+			HasScratchpad: cfg.HasScratchpad,
+			InitFn:        initFn,
+		}
+		if cfg.BucketBytes > 0 {
+			rawCfg.BucketSlots = bucketSlotsFor(cfg.BucketBytes, blockSize, engine != nil)
+		}
+		trial, err := raworam.New(rawCfg, probe, dram)
+		if err != nil {
+			return nil, err
+		}
+		c.ssd = device.NewSim(mainProfile, trial.RequiredBytes())
+		c.raw, err = raworam.New(rawCfg, c.ssd, dram)
+		if err != nil {
+			return nil, err
+		}
+	case BackendPathORAMPlus:
+		// SSD-friendly layout (the prior-work optimizations the paper
+		// adopts, Sec 6.1): buckets sized to fill whole 4 KB pages rather
+		// than Path ORAM's classic Z=4, so no page capacity is wasted.
+		pageBytes := cfg.BucketBytes
+		if pageBytes == 0 {
+			pageBytes = 4096
+		}
+		pCfg := pathoram.Config{
+			NumBlocks:         cfg.NumRows,
+			BlockSize:         blockSize,
+			BucketSlots:       bucketSlotsFor(pageBytes, blockSize, engine != nil),
+			Amplification:     8,
+			Seed:              cfg.Seed,
+			Engine:            engine,
+			Phantom:           cfg.Phantom,
+			AlignBucketToPage: true,
+			InitFn:            initFn,
+		}
+		trial, err := pathoram.New(pCfg, probe)
+		if err != nil {
+			return nil, err
+		}
+		c.ssd = device.NewSim(mainProfile, trial.RequiredBytes())
+		c.path, err = pathoram.New(pCfg, c.ssd)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("fedora: unknown backend %v", cfg.Backend)
+	}
+
+	buf, err := bufferoram.New(bufferoram.Config{
+		Capacity:     cfg.MaxClientsPerRound * cfg.MaxFeaturesPerClient,
+		Dim:          cfg.Dim,
+		Aggregator:   cfg.Aggregator,
+		LearningRate: cfg.LearningRate,
+		Seed:         cfg.Seed + 11,
+		Phantom:      cfg.Phantom,
+	}, dram)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = buf
+
+	// ε-FDP mechanism. ε = 0 means perfect FDP: the paper achieves it
+	// with the Delta shape (always k = K). Group privacy divides ε by the
+	// padded per-client feature count when hiding the count itself.
+	c.effEps = cfg.Epsilon
+	if cfg.HideCount {
+		c.effEps = fdp.GroupEpsilon(cfg.Epsilon, cfg.MaxFeaturesPerClient)
+	}
+	shape := cfg.Shape
+	if cfg.Epsilon == 0 {
+		shape = fdp.Delta{}
+	}
+	c.mech = fdp.Mechanism{Epsilon: c.effEps, Shape: shape}
+	return c, nil
+}
+
+// bucketSlotsFor derives Z so the stored bucket fits bucketBytes.
+func bucketSlotsFor(bucketBytes, blockSize int, encrypted bool) int {
+	avail := bucketBytes
+	if encrypted {
+		avail -= tee.TagSize
+	}
+	z := avail / (12 + blockSize)
+	if z < 2 {
+		z = 2
+	}
+	return z
+}
+
+// Backend reports the configured backend.
+func (c *Controller) Backend() Backend { return c.cfg.Backend }
+
+// EffectiveEpsilon is the per-value ε after group privacy.
+func (c *Controller) EffectiveEpsilon() float64 { return c.effEps }
+
+// MainORAMBytes is the main ORAM's device footprint (= the SSD size used
+// for lifetime reporting).
+func (c *Controller) MainORAMBytes() uint64 {
+	if c.path != nil {
+		return c.path.RequiredBytes()
+	}
+	return c.raw.RequiredBytes()
+}
+
+// DRAMResidentBytes is the capacity the design must provision in DRAM:
+// buffer ORAM + position map + VTree (FEDORA backends) + stash headroom.
+func (c *Controller) DRAMResidentBytes() uint64 {
+	total := c.buf.RequiredBytes()
+	total += c.cfg.NumRows * 4 // position map
+	if c.raw != nil {
+		total += c.raw.VTreeBytes()
+	}
+	return total
+}
+
+// SSDDevice / DRAMDevice expose the simulated devices for stats capture.
+func (c *Controller) SSDDevice() *device.Sim  { return c.ssd }
+func (c *Controller) DRAMDevice() *device.Sim { return c.dram }
+
+// Round returns the number of completed rounds.
+func (c *Controller) Round() uint64 { return c.round }
+
+// MainEvictPeriod reports the main ORAM's eviction period A (0 for the
+// Path ORAM+ backend, which has no eviction period).
+func (c *Controller) MainEvictPeriod() int {
+	if c.raw == nil {
+		return 0
+	}
+	return c.raw.EvictPeriod()
+}
+
+// PeekRow returns the current value of an embedding row without any ORAM
+// traffic or state change. It exists so evaluation code can score the
+// global model; a deployment has no such backdoor.
+func (c *Controller) PeekRow(row uint64) ([]float32, error) {
+	var (
+		payload []byte
+		err     error
+	)
+	if c.path != nil {
+		payload, err = c.path.Peek(row)
+	} else {
+		payload, err = c.raw.Peek(row)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeF32s(payload), nil
+}
+
+// encodeF32s packs floats little-endian (shared with bufferoram's codec).
+func encodeF32s(data []byte, f []float32) {
+	for i, v := range f {
+		bits := math.Float32bits(v)
+		off := i * 4
+		data[off] = byte(bits)
+		data[off+1] = byte(bits >> 8)
+		data[off+2] = byte(bits >> 16)
+		data[off+3] = byte(bits >> 24)
+	}
+}
+
+func decodeF32s(data []byte) []float32 {
+	out := make([]float32, len(data)/4)
+	for i := range out {
+		off := i * 4
+		bits := uint32(data[off]) | uint32(data[off+1])<<8 |
+			uint32(data[off+2])<<16 | uint32(data[off+3])<<24
+		out[i] = math.Float32frombits(bits)
+	}
+	return out
+}

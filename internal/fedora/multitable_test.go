@@ -1,0 +1,147 @@
+package fedora
+
+import (
+	"testing"
+
+	"repro/internal/fdp"
+)
+
+func testSpecs() []TableSpec {
+	return []TableSpec{
+		{Name: "items", Rows: 1000},
+		{Name: "categories", Rows: 50},
+		{Name: "brands", Rows: 200},
+	}
+}
+
+func TestTableLayoutMapping(t *testing.T) {
+	l, err := NewTableLayout(testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.TotalRows() != 1250 {
+		t.Errorf("TotalRows = %d", l.TotalRows())
+	}
+	cases := []struct {
+		table int
+		row   uint64
+		want  uint64
+	}{
+		{0, 0, 0}, {0, 999, 999},
+		{1, 0, 1000}, {1, 49, 1049},
+		{2, 0, 1050}, {2, 199, 1249},
+	}
+	for _, c := range cases {
+		got, err := l.GlobalRow(c.table, c.row)
+		if err != nil || got != c.want {
+			t.Errorf("GlobalRow(%d,%d) = %d,%v, want %d", c.table, c.row, got, err, c.want)
+		}
+		tb, row, err := l.Locate(c.want)
+		if err != nil || tb != c.table || row != c.row {
+			t.Errorf("Locate(%d) = %d,%d,%v", c.want, tb, row, err)
+		}
+	}
+}
+
+func TestTableLayoutValidation(t *testing.T) {
+	if _, err := NewTableLayout(nil); err == nil {
+		t.Error("empty layout accepted")
+	}
+	if _, err := NewTableLayout([]TableSpec{{Name: "x", Rows: 0}}); err == nil {
+		t.Error("zero-row table accepted")
+	}
+	if _, err := NewTableLayout([]TableSpec{{Name: "x", Rows: 1}, {Name: "x", Rows: 1}}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	l, _ := NewTableLayout(testSpecs())
+	if _, err := l.GlobalRow(3, 0); err == nil {
+		t.Error("bad table accepted")
+	}
+	if _, err := l.GlobalRow(1, 50); err == nil {
+		t.Error("out-of-table row accepted")
+	}
+	if _, err := l.GlobalRowByName("nope", 0); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, _, err := l.Locate(1250); err == nil {
+		t.Error("out-of-space global accepted")
+	}
+}
+
+func TestMultiControllerRound(t *testing.T) {
+	mc, err := NewMulti(Config{
+		Dim: 4, Epsilon: fdp.EpsilonInfinity,
+		MaxClientsPerRound: 4, MaxFeaturesPerClient: 8,
+		LearningRate: 1, Seed: 1,
+	}, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 0 touches a row in every table; client 1 overlaps on the
+	// category row (cross-table dedup must NOT merge distinct tables).
+	reqs, err := mc.FlattenRequests([][]TableRequest{
+		{{Table: 0, Row: 7}, {Table: 1, Row: 3}, {Table: 2, Row: 9}},
+		{{Table: 1, Row: 3}, {Table: 0, Row: 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mc.BeginRound(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := []float32{1, 1, 1, 1}
+	for _, rows := range reqs {
+		for _, row := range rows {
+			if _, _, err := r.ServeEntry(row); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.SubmitGradient(row, grad, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K != 5 || st.KUnion != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Every table's touched row moved by −1 (two uploads of mean 1 on the
+	// shared rows, one on brands).
+	for _, probe := range []struct {
+		name string
+		row  uint64
+	}{{"items", 7}, {"categories", 3}, {"brands", 9}} {
+		v, err := mc.PeekTableRow(probe.name, probe.row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v[0] != -1 {
+			t.Errorf("%s[%d] = %v, want -1", probe.name, probe.row, v[0])
+		}
+	}
+	// Untouched rows of other tables unaffected.
+	v, err := mc.PeekTableRow("items", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0 {
+		t.Errorf("untouched row = %v", v[0])
+	}
+}
+
+func TestFlattenRequestsValidation(t *testing.T) {
+	mc, err := NewMulti(Config{Dim: 4, MaxClientsPerRound: 2, MaxFeaturesPerClient: 4, Seed: 2},
+		testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.FlattenRequests([][]TableRequest{{{Table: 9, Row: 0}}}); err == nil {
+		t.Error("bad table accepted")
+	}
+	if _, err := mc.FlattenRequests([][]TableRequest{{{Table: 1, Row: 500}}}); err == nil {
+		t.Error("out-of-table row accepted")
+	}
+}

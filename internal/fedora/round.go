@@ -1,0 +1,356 @@
+package fedora
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bufferoram"
+	"repro/internal/fdp"
+	"repro/internal/obliv"
+)
+
+// DummyRequest is the padding value clients use in the hide-number-of-
+// features mode (Sec 3.1): it counts toward the public K but never joins
+// the union, exactly like a request for a value the user does not have.
+const DummyRequest = obliv.InvalidID
+
+// RoundStats summarizes one FL round for the evaluation harness.
+type RoundStats struct {
+	// K is the total number of client requests (public).
+	K int
+	// KUnion is Σ per-chunk unique requests (secret; exposed here for
+	// experiment reporting only).
+	KUnion int
+	// KSampled is Σ per-chunk sampled k — the main-ORAM access count an
+	// adversary observes.
+	KSampled int
+	// Dummy / Lost are Σ max(0, k−k_union) and Σ max(0, k_union−k).
+	Dummy int
+	Lost  int
+	// CrossChunkDup counts accesses wasted on rows already fetched by an
+	// earlier chunk this round (the chunking overhead the paper notes).
+	CrossChunkDup int
+	// Chunks is the number of union chunks.
+	Chunks int
+	// RoundEpsilon is the ε-FDP guarantee of the round (parallel
+	// composition over chunks).
+	RoundEpsilon float64
+	// Phase durations (modelled device time, not wall clock).
+	UnionTime     time.Duration
+	ReadTime      time.Duration
+	ServeTime     time.Duration
+	AggregateTime time.Duration
+	UpdateTime    time.Duration
+}
+
+// Total is the controller-side critical-path time added to the FL round.
+func (s RoundStats) Total() time.Duration {
+	return s.UnionTime + s.ReadTime + s.ServeTime + s.AggregateTime + s.UpdateTime
+}
+
+// Round is an in-flight FL round (between BeginRound and Finish).
+type Round struct {
+	c      *Controller
+	loaded map[uint64]bool
+	stats  RoundStats
+	done   bool
+}
+
+// ErrRoundInProgress is returned by BeginRound when the previous round
+// was not finished.
+var ErrRoundInProgress = errors.New("fedora: previous round not finished")
+
+// BeginRound runs steps ①–③ for the given per-client request lists and
+// returns the Round handle used for serving, aggregation and completion.
+// Clients pad with DummyRequest in the hide-count mode.
+func (c *Controller) BeginRound(requests [][]uint64) (*Round, error) {
+	if c.inRound {
+		return nil, ErrRoundInProgress
+	}
+	if len(requests) > c.cfg.MaxClientsPerRound {
+		return nil, fmt.Errorf("fedora: %d clients exceed the configured max %d",
+			len(requests), c.cfg.MaxClientsPerRound)
+	}
+	var flat []uint64
+	for ci, reqs := range requests {
+		if len(reqs) > c.cfg.MaxFeaturesPerClient {
+			return nil, fmt.Errorf("fedora: client %d has %d features, max %d",
+				ci, len(reqs), c.cfg.MaxFeaturesPerClient)
+		}
+		for _, row := range reqs {
+			if row != DummyRequest && row >= c.cfg.NumRows {
+				return nil, fmt.Errorf("fedora: client %d requests row %d out of range %d",
+					ci, row, c.cfg.NumRows)
+			}
+			flat = append(flat, row)
+		}
+	}
+	c.inRound = true
+	c.round++
+	c.buf.SetRound(c.round)
+
+	r := &Round{c: c, loaded: make(map[uint64]bool)}
+	r.stats.K = len(flat)
+
+	for start := 0; start < len(flat); start += c.cfg.ChunkSize {
+		end := start + c.cfg.ChunkSize
+		if end > len(flat) {
+			end = len(flat)
+		}
+		if err := r.processChunk(flat[start:end]); err != nil {
+			c.inRound = false
+			return nil, err
+		}
+	}
+	r.stats.Chunks = c.acct.Chunks()
+	r.stats.RoundEpsilon = c.acct.RoundEpsilon()
+	c.acct = fdp.Accountant{} // reset per round
+	return r, nil
+}
+
+// union computes the chunk union: the real oblivious scan in functional
+// mode, a behaviour-identical map dedup in phantom mode (running the
+// Θ(K·chunk) scan for a million requests would only re-derive the same
+// sizes). Either way the oblivious scan's DRAM traffic is charged.
+func (c *Controller) union(chunk []uint64) ([]uint64, int, time.Duration) {
+	cost := obliv.UnionScanCost(len(chunk)) * 8 // 8-byte slots
+	if c.cfg.SortedUnion {
+		cost = obliv.UnionSortedScanCost(len(chunk)) * 8
+	}
+	d := c.dram.Charge(0 /* read */, 0, int(cost))
+	if c.cfg.Phantom {
+		seen := make(map[uint64]bool, len(chunk))
+		var ids []uint64
+		for _, r := range chunk {
+			if r == DummyRequest || seen[r] {
+				continue
+			}
+			seen[r] = true
+			ids = append(ids, r)
+		}
+		return ids, len(ids), d
+	}
+	var res obliv.UnionResult
+	if c.cfg.SortedUnion {
+		res = obliv.UnionSorted(chunk)
+	} else {
+		res = obliv.Union(chunk)
+	}
+	return res.IDs[:res.Size], res.Size, d
+}
+
+// processChunk runs steps ①–③ for one chunk of requests.
+func (r *Round) processChunk(chunk []uint64) error {
+	c := r.c
+	ids, kUnion, unionDur := c.union(chunk)
+	r.stats.UnionTime += unionDur
+	r.stats.KUnion += kUnion
+	if len(chunk) == 0 {
+		return nil
+	}
+
+	// ② choose k. Path ORAM+ has no mechanism: one main-ORAM access per
+	// request (Strawman 1 policy, Sec 6.1).
+	var k int
+	if c.cfg.Backend == BackendPathORAMPlus {
+		k = len(chunk)
+	} else {
+		var err error
+		k, err = c.mech.Sample(len(chunk), kUnion, c.rng)
+		if err != nil {
+			return err
+		}
+	}
+	c.acct.Observe(c.effEps)
+	r.stats.KSampled += k
+	if k > kUnion {
+		r.stats.Dummy += k - kUnion
+	} else {
+		r.stats.Lost += kUnion - k
+	}
+
+	// ③ read k entries, chosen by the configured selection policy
+	// (Sec 4.2), padded with dummies when k > k_union.
+	nReal := k
+	if nReal > kUnion {
+		nReal = kUnion
+	}
+	c.sel.observe(ids)
+	ordered := c.sel.order(ids)
+	for _, row := range ordered[:nReal] {
+		if err := r.fetchRow(row); err != nil {
+			return err
+		}
+		c.sel.markRead(row)
+	}
+	for i := 0; i < k-nReal; i++ {
+		if err := r.dummyFetch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchRow moves one row from the main ORAM to the buffer ORAM. Rows
+// already resident (cross-chunk duplicates) still cost a full,
+// indistinguishable access pair.
+func (r *Round) fetchRow(row uint64) error {
+	c := r.c
+	if r.loaded[row] {
+		r.stats.CrossChunkDup++
+		return r.dummyFetch()
+	}
+	var (
+		payload []byte
+		d       time.Duration
+		err     error
+	)
+	if c.path != nil {
+		payload, d, err = c.path.Read(row)
+	} else {
+		payload, d, err = c.raw.AOAccess(row)
+	}
+	r.stats.ReadTime += d
+	if err != nil {
+		return err
+	}
+	var entry []float32
+	if c.cfg.Phantom {
+		entry = make([]float32, c.cfg.Dim)
+	} else {
+		entry = decodeF32s(payload)
+	}
+	d, err = c.buf.Load(row, entry)
+	r.stats.ReadTime += d
+	if err != nil {
+		return err
+	}
+	r.loaded[row] = true
+	return nil
+}
+
+// dummyFetch burns an indistinguishable main-ORAM + buffer-ORAM access.
+func (r *Round) dummyFetch() error {
+	c := r.c
+	var (
+		d   time.Duration
+		err error
+	)
+	if c.path != nil {
+		_, d, err = c.path.Read(uint64(c.rng.Int63n(int64(c.cfg.NumRows))))
+	} else {
+		d, err = c.raw.AODummy()
+	}
+	r.stats.ReadTime += d
+	if err != nil {
+		return err
+	}
+	d, err = c.buf.LoadDummy()
+	r.stats.ReadTime += d
+	return err
+}
+
+// ServeEntry serves a client's download request (step ④). ok reports
+// whether the entry was read this round; rows sacrificed by the ε-FDP
+// mechanism (k < k_union) return ok = false, and the caller applies its
+// lost-entry policy (our FL layer, like the paper's prototype, drops the
+// affected training samples).
+func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
+	if r.done {
+		return nil, false, errors.New("fedora: round already finished")
+	}
+	entry, d, err := r.c.buf.Serve(row)
+	r.stats.ServeTime += d
+	if errors.Is(err, bufferoram.ErrNotLoaded) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// SubmitGradient folds one client's gradient for a row into the round's
+// aggregate (step ⑥). delivered is false when the row was not resident
+// (the gradient is dropped, matching a lost entry).
+func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delivered bool, err error) {
+	if r.done {
+		return false, errors.New("fedora: round already finished")
+	}
+	d, err := r.c.buf.Aggregate(row, grad, nSamples)
+	r.stats.AggregateTime += d
+	if errors.Is(err, bufferoram.ErrNotLoaded) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Finish applies aggregated updates back to the main ORAM (step ⑦) and
+// closes the round.
+func (r *Round) Finish() (RoundStats, error) {
+	if r.done {
+		return r.stats, errors.New("fedora: round already finished")
+	}
+	c := r.c
+	for row := range r.loaded {
+		entry, d, err := c.buf.Unload(row)
+		r.stats.UpdateTime += d
+		if err != nil {
+			return r.stats, err
+		}
+		var wd time.Duration
+		if c.path != nil {
+			wd, err = c.path.Write(row, f32bytes(entry))
+		} else {
+			var payload []byte
+			if !c.cfg.Phantom {
+				payload = f32bytes(entry)
+			}
+			wd, err = c.raw.WriteBack(row, payload)
+		}
+		r.stats.UpdateTime += wd
+		if err != nil {
+			return r.stats, err
+		}
+	}
+	// Dummy write-backs keep the outbound access count at k (the adversary
+	// sees k entries move in each direction, Sec 4.3).
+	for i := 0; i < r.stats.Dummy; i++ {
+		var (
+			d   time.Duration
+			err error
+		)
+		if c.path != nil {
+			_, d, err = c.path.Read(uint64(c.rng.Int63n(int64(c.cfg.NumRows))))
+		} else {
+			err = func() error {
+				var e error
+				d, e = c.raw.WriteBackDummy()
+				return e
+			}()
+		}
+		r.stats.UpdateTime += d
+		if err != nil {
+			return r.stats, err
+		}
+		d, err = c.buf.UnloadDummy()
+		r.stats.UpdateTime += d
+		if err != nil {
+			return r.stats, err
+		}
+	}
+	r.done = true
+	c.inRound = false
+	return r.stats, nil
+}
+
+// f32bytes packs floats for the main ORAM payload.
+func f32bytes(f []float32) []byte {
+	b := make([]byte, 4*len(f))
+	encodeF32s(b, f)
+	return b
+}

@@ -1,0 +1,130 @@
+package fedora
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SelectionPolicy decides WHICH k entries to read when the ε-FDP
+// mechanism returns k < k_union (Sec 4.2: "FEDORA has the liberty to
+// choose which k entries to read. Some strategies include choosing the
+// first k entries, choosing randomly, prioritizing popular entries or
+// previously unseen entries").
+//
+// The choice is made inside the trusted controller, so it may depend on
+// secret data without leaking: the adversary only observes k accesses
+// to (indistinguishable) ORAM paths either way.
+type SelectionPolicy int
+
+const (
+	// SelectFirst takes the first k union entries in first-seen order —
+	// the paper prototype's simple default, which "empirically worked
+	// well".
+	SelectFirst SelectionPolicy = iota
+	// SelectRandom takes a uniform k-subset.
+	SelectRandom
+	// SelectPopular prioritizes entries requested most often across past
+	// rounds (popular rows serve the most users per access).
+	SelectPopular
+	// SelectUnseen prioritizes entries never read in past rounds (cold
+	// rows are the furthest from their initialization).
+	SelectUnseen
+)
+
+// String implements fmt.Stringer.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case SelectFirst:
+		return "first"
+	case SelectRandom:
+		return "random"
+	case SelectPopular:
+		return "popular"
+	case SelectUnseen:
+		return "unseen"
+	default:
+		return "unknown"
+	}
+}
+
+// SelectionPolicyByName resolves a policy for CLIs.
+func SelectionPolicyByName(name string) (SelectionPolicy, bool) {
+	switch name {
+	case "first":
+		return SelectFirst, true
+	case "random":
+		return SelectRandom, true
+	case "popular":
+		return SelectPopular, true
+	case "unseen":
+		return SelectUnseen, true
+	default:
+		return 0, false
+	}
+}
+
+// selector applies a policy to a chunk's union set.
+type selector struct {
+	policy SelectionPolicy
+	rng    *rand.Rand
+	// requestCount tracks cross-round popularity (trusted controller
+	// metadata; never observable).
+	requestCount map[uint64]uint64
+	// readBefore tracks which rows were ever fetched.
+	readBefore map[uint64]bool
+}
+
+func newSelector(policy SelectionPolicy, rng *rand.Rand) *selector {
+	return &selector{
+		policy:       policy,
+		rng:          rng,
+		requestCount: make(map[uint64]uint64),
+		readBefore:   make(map[uint64]bool),
+	}
+}
+
+// observe records this chunk's requests for popularity tracking.
+func (s *selector) observe(ids []uint64) {
+	if s.policy != SelectPopular {
+		return
+	}
+	for _, id := range ids {
+		s.requestCount[id]++
+	}
+}
+
+// order returns the union entries in fetch-priority order (the first
+// nReal of the returned slice will be fetched). The input is the union
+// in first-seen order; it is not mutated.
+func (s *selector) order(ids []uint64) []uint64 {
+	switch s.policy {
+	case SelectFirst:
+		return ids
+	case SelectRandom:
+		out := append([]uint64(nil), ids...)
+		s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	case SelectPopular:
+		out := append([]uint64(nil), ids...)
+		sort.SliceStable(out, func(i, j int) bool {
+			return s.requestCount[out[i]] > s.requestCount[out[j]]
+		})
+		return out
+	case SelectUnseen:
+		out := append([]uint64(nil), ids...)
+		sort.SliceStable(out, func(i, j int) bool {
+			// Unseen rows first; ties keep first-seen order.
+			return !s.readBefore[out[i]] && s.readBefore[out[j]]
+		})
+		return out
+	default:
+		return ids
+	}
+}
+
+// markRead records fetched rows for the unseen policy.
+func (s *selector) markRead(id uint64) {
+	if s.policy == SelectUnseen {
+		s.readBefore[id] = true
+	}
+}

@@ -1,0 +1,67 @@
+package fl
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Checkpointing: serialize the global model (MLP parameters + every
+// embedding row the training has touched) so a run can be snapshotted,
+// inspected, or resumed. Rows are read through the evaluation backdoor;
+// a production deployment would snapshot the encrypted ORAM image
+// instead — this is the library-user convenience.
+
+// checkpoint is the serialized form (gob; stdlib-only).
+type checkpoint struct {
+	Version   int
+	Dim       int
+	NumRows   uint64
+	MLPParams []float32
+	Rows      map[uint64][]float32
+}
+
+const checkpointVersion = 1
+
+// SaveModel writes the global MLP and all embedding rows to w.
+func (t *Trainer) SaveModel(w io.Writer) error {
+	cp := checkpoint{
+		Version:   checkpointVersion,
+		Dim:       t.cfg.Dim,
+		NumRows:   t.cfg.Dataset.NumItems,
+		MLPParams: t.global.MLP.Params(),
+		Rows:      make(map[uint64][]float32, t.cfg.Dataset.NumItems),
+	}
+	for row := uint64(0); row < cp.NumRows; row++ {
+		v, err := t.ctrl.PeekRow(row)
+		if err != nil {
+			return fmt.Errorf("fl: snapshot row %d: %w", row, err)
+		}
+		cp.Rows[row] = v
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadModel restores the global MLP from r and returns the embedding
+// table snapshot. The trainer's ORAM state is NOT rewritten (ORAM
+// contents evolve through rounds); use the returned table with
+// recmodel.MapSource for inference, or seed a fresh trainer's InitRow.
+func LoadModel(r io.Reader) (mlpParams []float32, dim int, rows map[uint64][]float32, err error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, 0, nil, fmt.Errorf("fl: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, 0, nil, fmt.Errorf("fl: unsupported checkpoint version %d", cp.Version)
+	}
+	if cp.Dim <= 0 || len(cp.MLPParams) == 0 {
+		return nil, 0, nil, errors.New("fl: malformed checkpoint")
+	}
+	return cp.MLPParams, cp.Dim, cp.Rows, nil
+}
+
+// RestoreMLP installs checkpointed MLP parameters into this trainer.
+func (t *Trainer) RestoreMLP(params []float32) error {
+	return t.global.MLP.SetParams(params)
+}

@@ -1,0 +1,546 @@
+// Package fl orchestrates federated learning of a recommendation model
+// through the FEDORA controller, reproducing the paper's accuracy study
+// (Sec 6.4 / Table 1, which the authors run on the RF2 FL simulator).
+//
+// Each round (FedAvg):
+//
+//  1. A random subset of users is selected.
+//  2. Each user requests the embedding rows its local data needs
+//     (padded to the fixed count in hide-# mode); the controller runs
+//     FEDORA steps ①–③.
+//  3. Users download their rows (step ④), train locally — the small MLP
+//     with plain SGD, the embedding rows by accumulating gradients —
+//     and upload: embedding gradients through the buffer ORAM (step ⑥),
+//     MLP deltas through ordinary FedAvg (the dense part is small and
+//     uses conventional FL, Sec 2.2).
+//  4. The controller applies aggregated updates (step ⑦); the server
+//     averages MLP deltas.
+//
+// Entries lost to the ε-FDP mechanism follow the paper's policy:
+// training samples touching a lost candidate row are dropped for the
+// round; lost history rows are skipped from pooling.
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fdp"
+	"repro/internal/fedora"
+	"repro/internal/recmodel"
+	"repro/internal/secagg"
+)
+
+// LostPolicy selects how clients handle embedding rows the ε-FDP
+// mechanism sacrificed (paper Sec 4.2: "using a random/default value or
+// simply dropping the corresponding training sample").
+type LostPolicy int
+
+const (
+	// LostDrop drops training samples whose candidate row is missing —
+	// the paper prototype's choice.
+	LostDrop LostPolicy = iota
+	// LostDefault substitutes the row's initialization value, keeping the
+	// sample; the substituted row's gradient is discarded (it cannot be
+	// uploaded — the row is not in the buffer ORAM).
+	LostDefault
+)
+
+// Config parameterizes a training run.
+type Config struct {
+	// Dataset supplies users and samples.
+	Dataset *dataset.Dataset
+	// Dim is the embedding dimension.
+	Dim int
+	// Hidden is the MLP width.
+	Hidden int
+	// UsePrivate enables private behavioural-history features; false is
+	// the paper's "pub" baseline.
+	UsePrivate bool
+	// Dropout for the MLP hidden layer (paper: 0.5 for MovieLens).
+	Dropout float32
+	// Pooling selects the history reduction (mean or attention).
+	Pooling recmodel.Pooling
+	// DenseIn is the dense-feature width of the samples (0 = none).
+	DenseIn int
+	// Epsilon / Shape / HideCount configure ε-FDP (see fedora.Config).
+	Epsilon   float64
+	Shape     fdp.Shape
+	HideCount bool
+	// ClientsPerRound users participate each round.
+	ClientsPerRound int
+	// MaxFeaturesPerClient caps (and, in hide-# mode, pads) requests.
+	MaxFeaturesPerClient int
+	// LocalLR is the client-side SGD rate; LocalEpochs the local passes.
+	LocalLR     float32
+	LocalEpochs int
+	// ServerLR scales the averaged MLP delta (1 = plain FedAvg).
+	ServerLR float32
+	// Seed drives client selection and initialization.
+	Seed int64
+	// Backend selects the main-ORAM design (default BackendFedora).
+	Backend fedora.Backend
+	// Lost selects the lost-entry strategy (default LostDrop).
+	Lost LostPolicy
+	// Selection picks which k entries the controller reads (Sec 4.2).
+	Selection fedora.SelectionPolicy
+	// DPClip/DPSigma enable DP-FedAvg on the dense model (McMahan et al.,
+	// reference [78]): per-client MLP deltas are L2-clipped to DPClip and
+	// Gaussian noise N(0, (DPSigma·DPClip)²·I) is added to their sum.
+	// Zero disables. This is the model-protecting DP the paper notes is
+	// orthogonal to (and composable with) ε-FDP.
+	DPClip  float64
+	DPSigma float64
+	// UseSecAgg masks the MLP deltas with pairwise secure aggregation
+	// (Bonawitz et al., reference [8]) so the server only learns their
+	// sum; the paper states FEDORA is compatible with SecAgg (Sec 2.2).
+	UseSecAgg bool
+	// DropoutProb is the probability a selected client downloads its rows
+	// but never uploads (network loss, device churn). FEDORA tolerates
+	// this natively: n_t adjusts and untouched entries keep their values
+	// (Sec 4.3).
+	DropoutProb float64
+}
+
+func (c *Config) setDefaults() {
+	if c.Dim == 0 {
+		c.Dim = 16
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.ClientsPerRound == 0 {
+		c.ClientsPerRound = 20
+	}
+	if c.MaxFeaturesPerClient == 0 {
+		c.MaxFeaturesPerClient = 100
+	}
+	if c.LocalLR == 0 {
+		c.LocalLR = 0.1
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.ServerLR == 0 {
+		c.ServerLR = 1
+	}
+}
+
+// Trainer runs FL rounds against a FEDORA controller.
+type Trainer struct {
+	cfg     Config
+	ctrl    *fedora.Controller
+	global  *recmodel.Model
+	rng     *rand.Rand
+	initRow func(row uint64) []float32
+
+	// aggregate statistics across rounds for Table 1 reporting
+	totK, totUnion, totSampled, totDummy, totLost int
+	// epsSpent accumulates the per-round ε (sequential composition: a
+	// user's features recur across rounds).
+	epsSpent float64
+	rounds   int
+}
+
+// New builds a trainer and its controller.
+func New(cfg Config) (*Trainer, error) {
+	cfg.setDefaults()
+	if cfg.Dataset == nil {
+		return nil, errors.New("fl: Dataset required")
+	}
+	scale := float32(0.05)
+	dim := cfg.Dim
+	initRow := func(row uint64) []float32 {
+		// Deterministic per-row init so every run starts identically.
+		r := rand.New(rand.NewSource(cfg.Seed ^ int64(row*2654435761)))
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = (r.Float32()*2 - 1) * scale
+		}
+		return v
+	}
+	ctrl, err := fedora.New(fedora.Config{
+		Backend:              cfg.Backend,
+		NumRows:              cfg.Dataset.NumItems,
+		Dim:                  dim,
+		Epsilon:              cfg.Epsilon,
+		Shape:                cfg.Shape,
+		HideCount:            cfg.HideCount,
+		MaxClientsPerRound:   cfg.ClientsPerRound,
+		MaxFeaturesPerClient: cfg.MaxFeaturesPerClient,
+		LearningRate:         1, // FedAvg applies the mean delta directly
+		Seed:                 cfg.Seed,
+		Selection:            cfg.Selection,
+		InitRow:              initRow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{
+		cfg:  cfg,
+		ctrl: ctrl,
+		global: recmodel.New(recmodel.Config{
+			Dim: cfg.Dim, Hidden: cfg.Hidden, UsePrivate: cfg.UsePrivate,
+			LR: cfg.LocalLR, Seed: cfg.Seed, Dropout: cfg.Dropout, Pooling: cfg.Pooling,
+			DenseIn: cfg.DenseIn,
+		}),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		initRow: initRow,
+	}, nil
+}
+
+// Controller exposes the underlying FEDORA controller (for stats).
+func (t *Trainer) Controller() *fedora.Controller { return t.ctrl }
+
+// RoundReport summarizes one round.
+type RoundReport struct {
+	fedora.RoundStats
+	// Participants is the number of selected users.
+	Participants int
+	// TrainedSamples / DroppedSamples count local examples used/dropped.
+	TrainedSamples int
+	DroppedSamples int
+	// DroppedClients counts participants that downloaded but never
+	// uploaded this round.
+	DroppedClients int
+	// MeanLoss is the average local training loss.
+	MeanLoss float64
+}
+
+// RunRound executes one FL round.
+func (t *Trainer) RunRound() (RoundReport, error) {
+	cfg := t.cfg
+	users := t.selectUsers()
+	report := RoundReport{Participants: len(users)}
+
+	// Build requests.
+	reqs := make([][]uint64, len(users))
+	for i, u := range users {
+		if cfg.HideCount {
+			reqs[i] = u.PaddedRows(cfg.MaxFeaturesPerClient, fedora.DummyRequest, t.rng)
+		} else {
+			reqs[i] = u.Rows(cfg.MaxFeaturesPerClient)
+		}
+	}
+	round, err := t.ctrl.BeginRound(reqs)
+	if err != nil {
+		return report, err
+	}
+
+	// Per-client local training.
+	var mlpUploads []mlpUpload
+	var lossSum float64
+	var lossN int
+	for i, u := range users {
+		// Download the working set, keeping pristine copies so the upload
+		// can be the local-SGD delta Δθ_c = θ_downloaded − θ_trained.
+		local := recmodel.MapSource{}
+		downloaded := recmodel.MapSource{} // resident rows only: these upload
+		for _, row := range reqs[i] {
+			if row == fedora.DummyRequest {
+				continue
+			}
+			entry, ok, err := round.ServeEntry(row)
+			if err != nil {
+				return report, err
+			}
+			if ok {
+				local[row] = entry
+				downloaded[row] = append([]float32(nil), entry...)
+			} else if cfg.Lost == LostDefault {
+				// Substitute the initialization value so samples touching
+				// this row still train; its local updates are discarded at
+				// upload (the row is not resident in the buffer ORAM).
+				local[row] = t.initRow(row)
+			}
+		}
+		// Client dropout: the rows were fetched (and their ORAM cost paid)
+		// but this client vanishes before uploading anything.
+		if cfg.DropoutProb > 0 && t.rng.Float64() < cfg.DropoutProb {
+			report.DroppedClients++
+			continue
+		}
+		// Local model: clone of the global MLP.
+		localModel := recmodel.New(recmodel.Config{
+			Dim: cfg.Dim, Hidden: cfg.Hidden, UsePrivate: cfg.UsePrivate,
+			LR: cfg.LocalLR, Seed: cfg.Seed + int64(u.ID), Dropout: cfg.Dropout,
+			Pooling: cfg.Pooling, DenseIn: cfg.DenseIn,
+		})
+		if err := localModel.MLP.SetParams(t.global.MLP.Params()); err != nil {
+			return report, err
+		}
+		trained := 0
+		for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+			for _, s := range u.Train {
+				step := recmodel.EmbGrad{}
+				loss, ok := localModel.TrainStep(s, local, step)
+				if !ok {
+					if epoch == 0 {
+						report.DroppedSamples++
+					}
+					continue
+				}
+				// Apply the step to the local embedding copies (true local
+				// SGD on the downloaded rows).
+				for row, g := range step {
+					vec := local[row]
+					for j := range vec {
+						vec[j] -= cfg.LocalLR * g[j]
+					}
+				}
+				if epoch == 0 {
+					trained++
+				}
+				lossSum += float64(loss)
+				lossN++
+			}
+		}
+		report.TrainedSamples += trained
+		if trained == 0 {
+			continue // user contributed nothing (all samples dropped)
+		}
+		// Upload embedding deltas for resident rows; FedAvg weights them
+		// by n_c = trained. (LostDefault substitutes never upload.)
+		for row, down := range downloaded {
+			vec := local[row]
+			delta := make([]float32, len(vec))
+			changed := false
+			for j := range vec {
+				delta[j] = down[j] - vec[j]
+				if delta[j] != 0 {
+					changed = true
+				}
+			}
+			if !changed {
+				continue // row downloaded but untouched by training
+			}
+			if _, err := round.SubmitGradient(row, delta, trained); err != nil {
+				return report, err
+			}
+		}
+		// Upload the MLP delta (dense FedAvg outside FEDORA).
+		gp := t.global.MLP.Params()
+		lp := localModel.MLP.Params()
+		delta := make([]float32, len(gp))
+		for j := range delta {
+			delta[j] = gp[j] - lp[j]
+		}
+		mlpUploads = append(mlpUploads, mlpUpload{delta: delta, n: trained})
+	}
+
+	st, err := round.Finish()
+	if err != nil {
+		return report, err
+	}
+	report.RoundStats = st
+	if lossN > 0 {
+		report.MeanLoss = lossSum / float64(lossN)
+	}
+
+	// FedAvg the MLP deltas, optionally through DP clipping/noise and
+	// secure aggregation.
+	if len(mlpUploads) > 0 {
+		if err := t.applyMLPUpdates(mlpUploads); err != nil {
+			return report, err
+		}
+	}
+
+	t.totK += st.K
+	t.totUnion += st.KUnion
+	t.totSampled += st.KSampled
+	t.totDummy += st.Dummy
+	t.totLost += st.Lost
+	t.epsSpent += st.RoundEpsilon
+	t.rounds++
+	return report, nil
+}
+
+// mlpUpload is one client's dense-model contribution.
+type mlpUpload struct {
+	delta []float32
+	n     int
+}
+
+// applyMLPUpdates folds the clients' dense-model deltas into the global
+// MLP: per-client weighting by n_c, optional DP-FedAvg clip+noise, and
+// optional SecAgg masking (the server then only ever sees the sum).
+func (t *Trainer) applyMLPUpdates(uploads []mlpUpload) error {
+	cfg := t.cfg
+	var nTot float32
+	for _, up := range uploads {
+		nTot += float32(up.n)
+	}
+	length := len(uploads[0].delta)
+
+	// Per-client pre-processing: weight by n_c/n_t, then DP-clip.
+	weighted := make([][]float32, len(uploads))
+	for i, up := range uploads {
+		w := float32(up.n) / nTot
+		v := make([]float32, length)
+		for j := range v {
+			v[j] = w * up.delta[j]
+		}
+		if cfg.DPClip > 0 {
+			clipL2(v, cfg.DPClip)
+		}
+		weighted[i] = v
+	}
+
+	// Sum — through SecAgg when enabled, so no individual v is visible.
+	var sum []float32
+	if cfg.UseSecAgg && len(weighted) >= 2 {
+		var key [32]byte
+		key[0], key[1], key[2] = byte(t.cfg.Seed), byte(t.ctrl.Round()), 0x5A
+		sess, err := secagg.NewSession(key, len(weighted), length)
+		if err != nil {
+			return err
+		}
+		masked := map[int][]uint32{}
+		for i, v := range weighted {
+			up, err := sess.Mask(i, v)
+			if err != nil {
+				return err
+			}
+			masked[i] = up
+		}
+		sum, err = sess.Aggregate(masked, nil)
+		if err != nil {
+			return err
+		}
+	} else {
+		sum = make([]float32, length)
+		for _, v := range weighted {
+			for j := range sum {
+				sum[j] += v[j]
+			}
+		}
+	}
+
+	// DP-FedAvg noise on the aggregate.
+	if cfg.DPClip > 0 && cfg.DPSigma > 0 {
+		sd := cfg.DPSigma * cfg.DPClip
+		for j := range sum {
+			sum[j] += float32(t.rng.NormFloat64() * sd)
+		}
+	}
+
+	gp := t.global.MLP.Params()
+	for j := range gp {
+		gp[j] -= cfg.ServerLR * sum[j]
+	}
+	return t.global.MLP.SetParams(gp)
+}
+
+// clipL2 scales v to L2 norm at most c.
+func clipL2(v []float32, c float64) {
+	var norm2 float64
+	for _, x := range v {
+		norm2 += float64(x) * float64(x)
+	}
+	if norm2 <= c*c || norm2 == 0 {
+		return
+	}
+	scale := float32(c / sqrt64(norm2))
+	for i := range v {
+		v[i] *= scale
+	}
+}
+
+func sqrt64(x float64) float64 { return math.Sqrt(x) }
+
+// selectUsers picks ClientsPerRound distinct users.
+func (t *Trainer) selectUsers() []*dataset.User {
+	n := t.cfg.ClientsPerRound
+	users := t.cfg.Dataset.Users
+	if n > len(users) {
+		n = len(users)
+	}
+	perm := t.rng.Perm(len(users))[:n]
+	out := make([]*dataset.User, n)
+	for i, idx := range perm {
+		out[i] = &users[idx]
+	}
+	return out
+}
+
+// EvaluateAUC scores the global model on every user's held-out samples,
+// reading current embedding rows directly (evaluation backdoor).
+func (t *Trainer) EvaluateAUC() (float64, error) {
+	cache := recmodel.MapSource{}
+	src := recmodel.FuncSource(func(id uint64) ([]float32, bool) {
+		if v, ok := cache[id]; ok {
+			return v, true
+		}
+		v, err := t.ctrl.PeekRow(id)
+		if err != nil {
+			return nil, false
+		}
+		cache[id] = v
+		return v, true
+	})
+	var scores, labels []float32
+	for _, u := range t.cfg.Dataset.Users {
+		for _, s := range u.Test {
+			p, ok := t.global.Predict(s, src)
+			if !ok {
+				continue
+			}
+			scores = append(scores, p)
+			labels = append(labels, s.Label)
+		}
+	}
+	if len(scores) == 0 {
+		return 0, errors.New("fl: no test samples evaluated")
+	}
+	return recmodel.AUC(scores, labels), nil
+}
+
+// Result summarizes a full training run with Table 1's metrics.
+type Result struct {
+	Rounds int
+	AUC    float64
+	// ReducedAccesses is 1 − Σk / ΣK: the fraction of main-ORAM accesses
+	// saved relative to the perfect-privacy (ε=0, k=K) configuration.
+	ReducedAccesses float64
+	// DummyFrac / LostFrac are Σdummy and Σlost over Σk_union — the
+	// paper's Dummy/Lost columns (relative to the ε=∞ optimum).
+	DummyFrac float64
+	LostFrac  float64
+	// CumulativeEpsilon is the total ε-FDP budget spent across all rounds
+	// (basic sequential composition; +Inf when the mechanism ran at ε=∞).
+	CumulativeEpsilon float64
+	// AdversaryBound is the success-probability bound implied by the
+	// PER-ROUND ε (Sec 3.1's interpretation).
+	AdversaryBound float64
+	// Elapsed is the wall-clock training time (simulator-side).
+	Elapsed time.Duration
+}
+
+// Run trains for the given number of rounds and evaluates.
+func (t *Trainer) Run(rounds int) (Result, error) {
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if _, err := t.RunRound(); err != nil {
+			return Result{}, fmt.Errorf("round %d: %w", r, err)
+		}
+	}
+	auc, err := t.EvaluateAUC()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Rounds: rounds, AUC: auc, Elapsed: time.Since(start)}
+	res.CumulativeEpsilon = t.epsSpent
+	res.AdversaryBound = fdp.AdversarySuccessBound(t.ctrl.EffectiveEpsilon())
+	if t.totK > 0 {
+		res.ReducedAccesses = 1 - float64(t.totSampled)/float64(t.totK)
+	}
+	if t.totUnion > 0 {
+		res.DummyFrac = float64(t.totDummy) / float64(t.totUnion)
+		res.LostFrac = float64(t.totLost) / float64(t.totUnion)
+	}
+	return res, nil
+}

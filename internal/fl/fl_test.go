@@ -1,0 +1,221 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fdp"
+	"repro/internal/fedora"
+)
+
+// smallMovieLens trims the generator config so tests stay fast.
+func smallMovieLens() *dataset.Dataset {
+	cfg := dataset.MovieLensConfig()
+	cfg.NumItems = 400
+	cfg.NumUsers = 150
+	cfg.SamplesPerUser = 40
+	return dataset.Generate(cfg)
+}
+
+func smallTaobao() *dataset.Dataset {
+	cfg := dataset.TaobaoConfig()
+	cfg.NumItems = 800
+	cfg.NumUsers = 120
+	cfg.SamplesPerUser = 20
+	return dataset.Generate(cfg)
+}
+
+func newTrainer(t *testing.T, cfg Config) *Trainer {
+	t.Helper()
+	if cfg.Dataset == nil {
+		cfg.Dataset = smallMovieLens()
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = 8
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 16
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRoundRunsAndReports(t *testing.T) {
+	tr := newTrainer(t, Config{Epsilon: fdp.EpsilonInfinity, UsePrivate: true, Seed: 1})
+	rep, err := tr.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Participants == 0 || rep.TrainedSamples == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.K == 0 || rep.KUnion == 0 {
+		t.Errorf("round stats = %+v", rep.RoundStats)
+	}
+	if rep.MeanLoss <= 0 {
+		t.Errorf("loss = %v", rep.MeanLoss)
+	}
+}
+
+func TestTrainingImprovesAUC(t *testing.T) {
+	tr := newTrainer(t, Config{
+		Epsilon: fdp.EpsilonInfinity, UsePrivate: true, Seed: 2,
+		ClientsPerRound: 40, LocalEpochs: 2, LocalLR: 0.1,
+	})
+	before, err := tr.EvaluateAUC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tr.EvaluateAUC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before+0.05 {
+		t.Errorf("AUC %v → %v: no learning", before, after)
+	}
+	if after < 0.58 {
+		t.Errorf("final AUC %v too low", after)
+	}
+}
+
+func TestPrivateFeaturesBeatPub(t *testing.T) {
+	run := func(usePrivate bool) float64 {
+		tr := newTrainer(t, Config{
+			Epsilon: fdp.EpsilonInfinity, UsePrivate: usePrivate, Seed: 3,
+			ClientsPerRound: 40, LocalEpochs: 2, LocalLR: 0.1,
+		})
+		res, err := tr.Run(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AUC
+	}
+	priv := run(true)
+	pub := run(false)
+	if priv < pub+0.03 {
+		t.Errorf("private AUC %v not above pub AUC %v (the paper's core claim)", priv, pub)
+	}
+}
+
+func TestEpsilonOneCloseToInfinity(t *testing.T) {
+	run := func(eps float64) Result {
+		tr := newTrainer(t, Config{
+			Epsilon: eps, UsePrivate: true, Seed: 4,
+			ClientsPerRound: 30, LocalEpochs: 1, LocalLR: 0.1,
+		})
+		res, err := tr.Run(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inf := run(fdp.EpsilonInfinity)
+	one := run(1.0)
+	// ε=1 adds a little noise (some dummy and lost accesses) but should
+	// land near the ε=∞ accuracy (paper Table 1: within ~0.002 AUC).
+	if one.AUC < inf.AUC-0.05 {
+		t.Errorf("eps=1 AUC %v far below eps=inf %v", one.AUC, inf.AUC)
+	}
+	if one.DummyFrac == 0 && one.LostFrac == 0 {
+		t.Error("eps=1 produced no mechanism noise at all")
+	}
+	if inf.DummyFrac != 0 || inf.LostFrac != 0 {
+		t.Errorf("eps=inf has noise: dummy %v lost %v", inf.DummyFrac, inf.LostFrac)
+	}
+}
+
+func TestReducedAccessesTracksDuplication(t *testing.T) {
+	tr := newTrainer(t, Config{Epsilon: fdp.EpsilonInfinity, UsePrivate: true, Seed: 5, ClientsPerRound: 30})
+	res, err := tr.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf-skewed requests must produce meaningful duplicate savings.
+	if res.ReducedAccesses <= 0.05 {
+		t.Errorf("reduced accesses = %v — no duplication benefit", res.ReducedAccesses)
+	}
+	if res.ReducedAccesses >= 0.95 {
+		t.Errorf("reduced accesses = %v — implausibly high", res.ReducedAccesses)
+	}
+}
+
+func TestHideCountPadsRequests(t *testing.T) {
+	tr := newTrainer(t, Config{
+		Dataset: smallTaobao(), Epsilon: 1, HideCount: true, UsePrivate: true,
+		Seed: 6, ClientsPerRound: 20, MaxFeaturesPerClient: 50,
+	})
+	rep, err := tr.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every client submits exactly MaxFeaturesPerClient request slots.
+	if rep.K != rep.Participants*50 {
+		t.Errorf("K = %d, want %d", rep.K, rep.Participants*50)
+	}
+	// Effective epsilon is divided by the padded count (group privacy).
+	if got := tr.Controller().EffectiveEpsilon(); got != 1.0/50 {
+		t.Errorf("effective eps = %v", got)
+	}
+}
+
+func TestLostSamplesAreDroppedNotFatal(t *testing.T) {
+	// Tiny ε loses many entries; training must proceed with drops.
+	tr := newTrainer(t, Config{
+		Epsilon: 0.001, UsePrivate: true, Seed: 7, ClientsPerRound: 20,
+	})
+	sawDrop := false
+	for r := 0; r < 10; r++ {
+		rep, err := tr.RunRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DroppedSamples > 0 {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Error("tiny epsilon never dropped a sample")
+	}
+	if _, err := tr.EvaluateAUC(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathORAMPlusBackendTrains(t *testing.T) {
+	tr := newTrainer(t, Config{
+		Backend: fedora.BackendPathORAMPlus, UsePrivate: true, Seed: 8,
+		ClientsPerRound: 10,
+	})
+	if _, err := tr.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Controller().SSDDevice().Stats().BytesWritten == 0 {
+		t.Error("PathORAM+ backend wrote nothing")
+	}
+}
+
+func TestMissingDatasetRejected(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		tr := newTrainer(t, Config{Epsilon: 1, UsePrivate: true, Seed: 9, ClientsPerRound: 10})
+		res, err := tr.Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AUC
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed different AUC: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,103 @@
+package obliv
+
+// Additional oblivious algorithms built on the sorting network:
+// permutation (oblivious shuffle), merging, and top-k selection. These
+// are the standard toolbox of oblivious controllers — e.g. shuffle-based
+// ORAMs (the paper's Sec 7 "oblivious shuffling" family) and selection
+// policies that must not reveal which entries were preferred.
+
+import "math/rand"
+
+// Shuffle applies a uniformly random permutation to kvs with an access
+// pattern independent of the permutation: it tags each element with a
+// random key and runs the bitonic network. (With high probability keys
+// are distinct; ties only reduce the permutation's uniformity by a
+// negligible amount for 64-bit keys.)
+func Shuffle(kvs []KV, rng *rand.Rand) {
+	tagged := make([]KV, len(kvs))
+	vals := make([]uint64, len(kvs))
+	keys := make([]uint64, len(kvs))
+	for i, kv := range kvs {
+		tagged[i] = KV{Key: rng.Uint64(), Val: uint64(i)}
+		vals[i] = kv.Val
+		keys[i] = kv.Key
+	}
+	BitonicSortKV(tagged)
+	out := make([]KV, len(kvs))
+	for i, tag := range tagged {
+		out[i] = KV{Key: keys[tag.Val], Val: vals[tag.Val]}
+	}
+	copy(kvs, out)
+}
+
+// ShuffleIDs obliviously permutes a plain ID slice.
+func ShuffleIDs(ids []uint64, rng *rand.Rand) {
+	kvs := make([]KV, len(ids))
+	for i, id := range ids {
+		kvs[i] = KV{Key: id, Val: id}
+	}
+	Shuffle(kvs, rng)
+	for i := range ids {
+		ids[i] = kvs[i].Val
+	}
+}
+
+// Merge obliviously merges two individually sorted KV slices into one
+// sorted slice. The compare-exchange sequence depends only on the input
+// lengths (it concatenates and runs the full network — simple and
+// correct; a Batcher odd-even merge would halve the constant).
+func Merge(a, b []KV) []KV {
+	out := make([]KV, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	BitonicSortKV(out)
+	return out
+}
+
+// TopK obliviously selects the k smallest-key elements of kvs, in sorted
+// order, touching every element identically regardless of values. The
+// input is not modified. k > len(kvs) returns all elements sorted.
+func TopK(kvs []KV, k int) []KV {
+	sorted := append([]KV(nil), kvs...)
+	BitonicSortKV(sorted)
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return sorted[:k]
+}
+
+// MaxKTags keeps ids in their original order but returns a bitmask (as a
+// []uint64 of 0/1 choices) marking the k elements with the LARGEST
+// scores, computed with a fixed access pattern. It is the oblivious
+// primitive behind "prioritize popular entries": the k winners are
+// marked without revealing the ranking order beyond membership.
+func MaxKTags(ids []uint64, scores []uint64, k int) []uint64 {
+	if len(ids) != len(scores) {
+		panic("obliv: MaxKTags length mismatch")
+	}
+	n := len(ids)
+	kvs := make([]KV, n)
+	for i := range kvs {
+		// Sort by descending score: invert the key. Ties keep index order.
+		kvs[i] = KV{Key: ^scores[i], Val: uint64(i)}
+	}
+	BitonicSortKV(kvs)
+	tags := make([]uint64, n)
+	for rank, kv := range kvs {
+		selected := Lt64(uint64(rank), uint64(k))
+		// Oblivious scatter of the selected bit to the original position.
+		ScanScatterSelect(tags, kv.Val, selected)
+	}
+	return tags
+}
+
+// ScanScatterSelect ORs `bit` into arr[idx] via a full linear scan.
+func ScanScatterSelect(arr []uint64, idx uint64, bit uint64) {
+	for i := range arr {
+		hit := Eq64(uint64(i), idx)
+		arr[i] |= hit & bit
+	}
+}

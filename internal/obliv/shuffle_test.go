@@ -1,0 +1,139 @@
+package obliv
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kvs := make([]KV, 37)
+	for i := range kvs {
+		kvs[i] = KV{Key: uint64(i), Val: uint64(i * 10)}
+	}
+	Shuffle(kvs, rng)
+	seen := map[uint64]bool{}
+	for _, kv := range kvs {
+		if kv.Val != kv.Key*10 {
+			t.Fatalf("key/val pairing broken: %+v", kv)
+		}
+		if seen[kv.Key] {
+			t.Fatalf("duplicate key %d", kv.Key)
+		}
+		seen[kv.Key] = true
+	}
+	if len(seen) != 37 {
+		t.Errorf("lost elements: %d", len(seen))
+	}
+}
+
+func TestShuffleActuallyPermutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ids := make([]uint64, 100)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	ShuffleIDs(ids, rng)
+	inPlace := 0
+	for i, id := range ids {
+		if id == uint64(i) {
+			inPlace++
+		}
+	}
+	// Expected fixed points of a random permutation ≈ 1.
+	if inPlace > 10 {
+		t.Errorf("%d/100 fixed points — not shuffled", inPlace)
+	}
+}
+
+func TestShuffleUniformish(t *testing.T) {
+	// Element 0's final position should be ~uniform across trials.
+	counts := make([]int, 4)
+	for trial := 0; trial < 4000; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		ids := []uint64{0, 1, 2, 3}
+		ShuffleIDs(ids, rng)
+		for pos, id := range ids {
+			if id == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	for pos, c := range counts {
+		if c < 800 || c > 1200 { // expect ~1000 ± 5σ(≈150)
+			t.Errorf("position %d count %d, want ≈1000", pos, c)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []KV{{1, 10}, {4, 40}, {9, 90}}
+	b := []KV{{2, 20}, {3, 30}, {11, 110}}
+	out := Merge(a, b)
+	if len(out) != 6 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key > out[i].Key {
+			t.Fatalf("not sorted: %v", out)
+		}
+	}
+	if out[0].Val != 10 || out[5].Val != 110 {
+		t.Errorf("values wrong: %v", out)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	kvs := []KV{{5, 0}, {1, 1}, {9, 2}, {3, 3}, {7, 4}}
+	top := TopK(kvs, 3)
+	var keys []int
+	for _, kv := range top {
+		keys = append(keys, int(kv.Key))
+	}
+	sort.Ints(keys)
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 3 || keys[2] != 5 {
+		t.Errorf("TopK = %v", top)
+	}
+	// Input untouched.
+	if kvs[0].Key != 5 {
+		t.Error("input mutated")
+	}
+	// Degenerate k.
+	if got := TopK(kvs, 99); len(got) != 5 {
+		t.Errorf("overlarge k = %v", got)
+	}
+	if got := TopK(kvs, -1); len(got) != 0 {
+		t.Errorf("negative k = %v", got)
+	}
+}
+
+func TestMaxKTags(t *testing.T) {
+	ids := []uint64{100, 200, 300, 400}
+	scores := []uint64{7, 2, 9, 5}
+	tags := MaxKTags(ids, scores, 2)
+	// Winners: index 2 (score 9) and index 0 (score 7).
+	want := []uint64{1, 0, 1, 0}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Errorf("tags = %v, want %v", tags, want)
+			break
+		}
+	}
+}
+
+func TestMaxKTagsTieBreaksByIndex(t *testing.T) {
+	tags := MaxKTags([]uint64{1, 2, 3}, []uint64{5, 5, 5}, 1)
+	if tags[0] != 1 || tags[1] != 0 || tags[2] != 0 {
+		t.Errorf("tie tags = %v, want first index wins", tags)
+	}
+}
+
+func TestMaxKTagsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	MaxKTags([]uint64{1}, []uint64{1, 2}, 1)
+}

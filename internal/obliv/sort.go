@@ -1,0 +1,82 @@
+package obliv
+
+// Bitonic sort: an oblivious sorting network whose compare-exchange
+// sequence depends only on the (public) input length. FEDORA uses
+// oblivious sorting when the eviction logic must reorder stash blocks by
+// secret keys without revealing the permutation; we also use it to pick
+// "the first k" union entries without leaking which slots were real.
+//
+// The network sorts any length n by operating over the next power of two
+// and treating out-of-range positions as +inf keys (compare-exchanges
+// touching them are executed against a dummy element so the touched
+// addresses remain a function of n alone).
+
+// KV is a sortable key/value pair. Sorting is by Key ascending; Val rides
+// along (e.g., a block index or request payload pointer index).
+type KV struct {
+	Key uint64
+	Val uint64
+}
+
+// BitonicSortKV sorts kvs in place by Key ascending using a bitonic
+// network. The sequence of (i, j) compare-exchange index pairs depends
+// only on len(kvs). Non-power-of-two lengths are handled by padding to
+// the next power of two with max-key sentinels, which sort to the tail
+// and are discarded; the padding size is a function of the public length.
+func BitonicSortKV(kvs []KV) {
+	n := len(kvs)
+	if n < 2 {
+		return
+	}
+	pow2 := 1
+	for pow2 < n {
+		pow2 <<= 1
+	}
+	buf := make([]KV, pow2)
+	copy(buf, kvs)
+	for i := n; i < pow2; i++ {
+		buf[i] = KV{Key: ^uint64(0), Val: ^uint64(0)}
+	}
+	for size := 2; size <= pow2; size <<= 1 {
+		for stride := size >> 1; stride > 0; stride >>= 1 {
+			for i := 0; i < pow2; i++ {
+				j := i ^ stride
+				if j <= i {
+					continue
+				}
+				a, b := &buf[i], &buf[j]
+				var swap uint64
+				if i&size == 0 { // ascending region
+					swap = Lt64(b.Key, a.Key)
+				} else { // descending region
+					swap = Lt64(a.Key, b.Key)
+				}
+				CondSwap64(swap, &a.Key, &b.Key)
+				CondSwap64(swap, &a.Val, &b.Val)
+			}
+		}
+	}
+	copy(kvs, buf[:n])
+}
+
+// CompactIDs obliviously moves all real entries (!= InvalidID) of ids to
+// the front, preserving their relative order, and returns the count of
+// real entries. It is implemented by a stable bitonic sort on the key
+// (isDummy, originalIndex).
+func CompactIDs(ids []uint64) int {
+	n := len(ids)
+	kvs := make([]KV, n)
+	for i, id := range ids {
+		dummyBit := Eq64(id, InvalidID)
+		// Key layout: [dummy bit | original index]; real entries sort
+		// first and keep order.
+		kvs[i] = KV{Key: dummyBit<<63 | uint64(i), Val: id}
+	}
+	BitonicSortKV(kvs)
+	var count uint64
+	for i := range kvs {
+		ids[i] = kvs[i].Val
+		count += Neq64(kvs[i].Val, InvalidID)
+	}
+	return int(count)
+}

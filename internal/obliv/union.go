@@ -1,0 +1,155 @@
+package obliv
+
+// This file implements the data-oblivious union of user requests from
+// FEDORA step ① (Sec 4.2 of the paper): the controller receives K
+// embedding-row requests from the selected clients and must compute the
+// set of unique row IDs — and its size k_union — without leaking, through
+// its memory access pattern, which requests were duplicates.
+//
+// The algorithm is the paper's O(K²) linear scan: for each incoming
+// request, scan the entire result array once, obliviously recording
+// whether the ID is already present and obliviously appending it to the
+// (secret) tail position if not. The result array is conservatively sized
+// to K entries so overflow is impossible. Every input element causes
+// exactly one full pass over the result array, so the access pattern is a
+// deterministic function of the public K alone.
+
+// InvalidID is the sentinel stored in unused union slots. Real row IDs
+// must be < InvalidID. It doubles as the "dummy request" marker: inputs
+// equal to InvalidID are scanned like every other element but never
+// inserted, which lets callers pad request lists to a public length.
+const InvalidID = ^uint64(0)
+
+// UnionResult is the output of the oblivious union: a K-sized slice whose
+// first Size entries (a secret count) are the unique IDs in first-seen
+// order and whose remaining entries are InvalidID.
+type UnionResult struct {
+	// IDs has length equal to the input K. Entries at positions >= Size
+	// hold InvalidID. Consumers must take care to only reveal information
+	// about IDs/Size through channels covered by the ε-FDP mechanism.
+	IDs []uint64
+	// Size is k_union, the number of unique real IDs.
+	Size int
+}
+
+// Union computes the oblivious union of reqs. The access pattern depends
+// only on len(reqs). Cost is Θ(K²) slot touches, as in the paper.
+func Union(reqs []uint64) UnionResult {
+	k := len(reqs)
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = InvalidID
+	}
+	var size uint64
+	for _, r := range reqs {
+		real := Neq64(r, InvalidID)
+		var present uint64
+		// Pass 1 semantics are fused into one pass: a slot matches either
+		// if it already holds r (present) or if it is the current tail
+		// slot and r is new. Both conditions are evaluated for every slot.
+		for j := range out {
+			present |= Eq64(out[j], r)
+		}
+		insert := And(real, Not(present))
+		// Second full pass performs the (possibly dummy) append: slot
+		// `size` receives r when insert==1; every slot is rewritten.
+		for j := range out {
+			hit := And(insert, Eq64(uint64(j), size))
+			out[j] = Select64(hit, r, out[j])
+		}
+		size += insert
+	}
+	return UnionResult{IDs: out, Size: int(size)}
+}
+
+// UnionChunked splits reqs into ceil(K/chunkSize) chunks and unions each
+// chunk independently, as the paper does when K is large (16K entries per
+// chunk in the evaluation). This reduces the quadratic scan cost from
+// Θ(K²) to Θ(K·chunkSize) at the price of (a) duplicates across chunks
+// not being merged and (b) the ε-FDP noise being added per chunk
+// (parallel composition, Sec 4.2). The final (possibly short) chunk keeps
+// its natural size; chunk boundaries are public.
+func UnionChunked(reqs []uint64, chunkSize int) []UnionResult {
+	if chunkSize <= 0 {
+		panic("obliv: UnionChunked chunkSize must be positive")
+	}
+	var res []UnionResult
+	for start := 0; start < len(reqs); start += chunkSize {
+		end := start + chunkSize
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		res = append(res, Union(reqs[start:end]))
+	}
+	return res
+}
+
+// UnionScanCost returns the number of slot touches Union performs for K
+// requests: 2·K² (two full passes over a K-slot array per request). Used
+// by the latency model.
+func UnionScanCost(k int) int64 {
+	return 2 * int64(k) * int64(k)
+}
+
+// UnionChunkedScanCost returns total slot touches for the chunked union.
+func UnionChunkedScanCost(k, chunkSize int) int64 {
+	if chunkSize <= 0 {
+		panic("obliv: chunkSize must be positive")
+	}
+	var total int64
+	for start := 0; start < k; start += chunkSize {
+		c := chunkSize
+		if start+c > k {
+			c = k - start
+		}
+		total += UnionScanCost(c)
+	}
+	return total
+}
+
+// UnionSorted computes the same union as Union with an O(K·log²K)
+// oblivious algorithm instead of the paper's Θ(K²) linear scan: bitonic-
+// sort the requests by ID, obliviously mark the first occurrence of each
+// run of duplicates, replace the rest with InvalidID, and obliviously
+// compact the survivors to the front. The resulting IDs are in ASCENDING
+// order (not first-seen order); callers that need arrival order — e.g.
+// the SelectFirst policy — must use Union. The access pattern depends
+// only on K.
+func UnionSorted(reqs []uint64) UnionResult {
+	k := len(reqs)
+	kvs := make([]KV, k)
+	for i, r := range reqs {
+		kvs[i] = KV{Key: r, Val: r}
+	}
+	BitonicSortKV(kvs)
+	out := make([]uint64, k)
+	var size uint64
+	for i := range kvs {
+		id := kvs[i].Val
+		dup := uint64(0)
+		if i > 0 {
+			dup = Eq64(id, kvs[i-1].Val)
+		}
+		real := Neq64(id, InvalidID)
+		keep := And(real, Not(dup))
+		out[i] = Select64(keep, id, InvalidID)
+		size += keep
+	}
+	CompactIDs(out)
+	return UnionResult{IDs: out, Size: int(size)}
+}
+
+// UnionSortedScanCost estimates the slot touches of UnionSorted: two
+// bitonic networks (sort + compaction) of ~K·log²K compare-exchanges
+// each, plus two linear passes.
+func UnionSortedScanCost(k int) int64 {
+	if k < 2 {
+		return int64(k)
+	}
+	log2 := 0
+	for p := 1; p < k; p <<= 1 {
+		log2++
+	}
+	network := int64(k) * int64(log2) * int64(log2+1) / 2
+	return 2*network + 2*int64(k)
+}

@@ -1,0 +1,124 @@
+package pathoram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// Access-pattern tests: replay workloads against a recording device and
+// check the statistical properties the ORAM guarantees — every access
+// reads one uniformly random path, independent of WHICH block is
+// accessed (the bus-level adversary of Sec 4.1 learns nothing).
+
+// observedLeaves runs `accesses` reads through a recorded ORAM and
+// returns the leaf index touched by each access.
+func observedLeaves(t *testing.T, pickBlock func(i int) uint64, accesses int) []int {
+	t.Helper()
+	rec := device.NewRecorder(device.NewDRAM(1 << 30))
+	o, err := New(Config{NumBlocks: 256, BlockSize: 16, Seed: 42}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := o.Levels()
+	leaves := int(o.Leaves())
+	bucket := uint64(o.BucketStoredSize())
+	rec.Clear()
+	out := make([]int, 0, accesses)
+	for i := 0; i < accesses; i++ {
+		if _, _, err := o.Read(pickBlock(i)); err != nil {
+			t.Fatal(err)
+		}
+		reads := rec.ReadAddrs()
+		if len(reads) != levels {
+			t.Fatalf("access %d: %d bucket reads, want %d", i, len(reads), levels)
+		}
+		// The deepest read is the leaf bucket; its heap index minus the
+		// internal-node count is the leaf number.
+		leafBucket := int(reads[levels-1] / bucket)
+		leaf := leafBucket - (leaves - 1)
+		if leaf < 0 || leaf >= leaves {
+			t.Fatalf("access %d: decoded leaf %d out of range", i, leaf)
+		}
+		out = append(out, leaf)
+		rec.Clear()
+	}
+	return out
+}
+
+func leafHistogram(leaves []int, n int) []float64 {
+	h := make([]float64, n)
+	for _, l := range leaves {
+		h[l]++
+	}
+	for i := range h {
+		h[i] /= float64(len(leaves))
+	}
+	return h
+}
+
+func TestAccessPathsUniform(t *testing.T) {
+	const accesses = 4000
+	o, _ := New(Config{NumBlocks: 256, BlockSize: 16, Seed: 42}, device.NewDRAM(1<<30))
+	nLeaves := int(o.Leaves())
+
+	// Hammer one single block: the adversary still sees uniform leaves.
+	fixed := observedLeaves(t, func(int) uint64 { return 7 }, accesses)
+	h := leafHistogram(fixed, nLeaves)
+	want := 1.0 / float64(nLeaves)
+	sigma := math.Sqrt(want * (1 - want) / accesses)
+	for leaf, p := range h {
+		if math.Abs(p-want) > 6*sigma {
+			t.Errorf("leaf %d frequency %.4f deviates from uniform %.4f", leaf, p, want)
+		}
+	}
+}
+
+func TestAccessPatternIndependentOfBlock(t *testing.T) {
+	// Compare the leaf distribution when hammering block 7 vs block 200:
+	// total-variation distance must be small (the trace cannot identify
+	// the block).
+	const accesses = 4000
+	o, _ := New(Config{NumBlocks: 256, BlockSize: 16, Seed: 42}, device.NewDRAM(1<<30))
+	nLeaves := int(o.Leaves())
+
+	a := leafHistogram(observedLeaves(t, func(int) uint64 { return 7 }, accesses), nLeaves)
+	b := leafHistogram(observedLeaves(t, func(int) uint64 { return 200 }, accesses), nLeaves)
+	var tv float64
+	for i := range a {
+		tv += math.Abs(a[i]-b[i]) / 2
+	}
+	// Two independent samples of the same uniform distribution have
+	// expected TV distance ≈ sqrt(nLeaves/(π·accesses)); allow 3×.
+	limit := 3 * math.Sqrt(float64(nLeaves)/(math.Pi*accesses))
+	if tv > limit {
+		t.Errorf("TV distance between block-7 and block-200 traces = %.4f (limit %.4f)", tv, limit)
+	}
+}
+
+func TestEveryAccessReadsAndWritesOneFullPath(t *testing.T) {
+	rec := device.NewRecorder(device.NewDRAM(1 << 30))
+	o, err := New(Config{NumBlocks: 128, BlockSize: 8, Seed: 1}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Clear()
+	if _, _, err := o.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := rec.ReadAddrs(), rec.WriteAddrs()
+	if len(reads) != o.Levels() || len(writes) != o.Levels() {
+		t.Fatalf("reads=%d writes=%d, want %d each", len(reads), len(writes), o.Levels())
+	}
+	// The written path is the read path (eviction targets the same path).
+	read := map[uint64]bool{}
+	for _, a := range reads {
+		read[a] = true
+	}
+	for _, a := range writes {
+		if !read[a] {
+			t.Errorf("write to %d outside the read path", a)
+		}
+	}
+}

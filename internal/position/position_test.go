@@ -1,0 +1,145 @@
+package position
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDenseAndSparseAgreeInitially(t *testing.T) {
+	const n, leaves, seed = 1000, 128, 42
+	d := NewDense(n, leaves, seed)
+	s := NewSparse(n, leaves, seed)
+	for id := uint64(0); id < n; id++ {
+		if d.Get(id) != s.Get(id) {
+			t.Fatalf("id %d: dense %d vs sparse %d", id, d.Get(id), s.Get(id))
+		}
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	for _, m := range []Map{NewDense(100, 16, 1), NewSparse(100, 16, 1)} {
+		m.Set(7, 3)
+		if got := m.Get(7); got != 3 {
+			t.Errorf("%T: Get(7) = %d, want 3", m, got)
+		}
+		m.Set(7, 9)
+		if got := m.Get(7); got != 9 {
+			t.Errorf("%T: Get(7) after reset = %d, want 9", m, got)
+		}
+	}
+}
+
+func TestInitialAssignmentIsInRangeAndRoughlyUniform(t *testing.T) {
+	const n, leaves = 100000, 64
+	s := NewSparse(n, leaves, 7)
+	counts := make([]int, leaves)
+	for id := uint64(0); id < n; id++ {
+		leaf := s.Get(id)
+		if leaf >= leaves {
+			t.Fatalf("leaf %d out of range", leaf)
+		}
+		counts[leaf]++
+	}
+	// Chi-squared sanity: every leaf within 5 sigma of the mean.
+	mean := float64(n) / leaves
+	sigma := math.Sqrt(mean)
+	for leaf, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*sigma {
+			t.Errorf("leaf %d count %d deviates from mean %.0f", leaf, c, mean)
+		}
+	}
+}
+
+func TestSparseOverlayStaysSparse(t *testing.T) {
+	s := NewSparse(1<<30, 1<<20, 3) // a billion-entry map
+	for id := uint64(0); id < 100; id++ {
+		s.Set(id*1000, uint32(id))
+	}
+	if s.DirtyCount() != 100 {
+		t.Errorf("DirtyCount = %d, want 100", s.DirtyCount())
+	}
+	if s.SizeBytes() != (1<<30)*4 {
+		t.Errorf("SizeBytes = %d (must reflect full logical map)", s.SizeBytes())
+	}
+}
+
+func TestOutOfRangeIDPanics(t *testing.T) {
+	for _, m := range []Map{NewDense(10, 4, 1), NewSparse(10, 4, 1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T: Get(out of range) did not panic", m)
+				}
+			}()
+			m.Get(10)
+		}()
+	}
+}
+
+func TestOutOfRangeLeafPanics(t *testing.T) {
+	for _, m := range []Map{NewDense(10, 4, 1), NewSparse(10, 4, 1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T: Set(leaf out of range) did not panic", m)
+				}
+			}()
+			m.Set(0, 4)
+		}()
+	}
+}
+
+func TestDifferentSeedsDifferentAssignments(t *testing.T) {
+	a := NewSparse(1000, 1024, 1)
+	b := NewSparse(1000, 1024, 2)
+	same := 0
+	for id := uint64(0); id < 1000; id++ {
+		if a.Get(id) == b.Get(id) {
+			same++
+		}
+	}
+	if same > 50 { // expect ~1000/1024 ≈ 1 collision by chance
+		t.Errorf("seeds produce %d/1000 identical assignments", same)
+	}
+}
+
+func TestGetSetHelpers(t *testing.T) {
+	for _, m := range []Map{NewDense(16, 8, 1), NewSparse(16, 8, 1)} {
+		m.Set(2, 5)
+		old := GetSet(m, 2, 7)
+		if old != 5 {
+			t.Errorf("%T GetSet old = %d, want 5", m, old)
+		}
+		if got := m.Get(2); got != 7 {
+			t.Errorf("%T after GetSet = %d, want 7", m, got)
+		}
+	}
+}
+
+// plainMap is a Map WITHOUT the GetSetter fast path, exercising the
+// helper's fallback.
+type plainMap struct{ leafs map[uint64]uint32 }
+
+func (p *plainMap) Get(id uint64) uint32       { return p.leafs[id] }
+func (p *plainMap) Set(id uint64, leaf uint32) { p.leafs[id] = leaf }
+func (p *plainMap) NumLeaves() uint32          { return 16 }
+func (p *plainMap) SizeBytes() uint64          { return 0 }
+
+func TestGetSetFallback(t *testing.T) {
+	m := &plainMap{leafs: map[uint64]uint32{3: 9}}
+	if old := GetSet(m, 3, 11); old != 9 {
+		t.Errorf("fallback old = %d", old)
+	}
+	if m.Get(3) != 11 {
+		t.Error("fallback did not set")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if NewDense(100, 8, 1).SizeBytes() != 400 {
+		t.Error("dense SizeBytes")
+	}
+	if NewSparse(100, 8, 1).SizeBytes() != 400 {
+		t.Error("sparse SizeBytes")
+	}
+}

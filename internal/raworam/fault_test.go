@@ -1,0 +1,62 @@
+package raworam
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// Failure injection: ORAM operations must surface device errors cleanly
+// instead of corrupting state or panicking.
+
+func TestAOAccessSurfacesDeviceFault(t *testing.T) {
+	ssd := device.NewSSD(1 << 32)
+	dram := device.NewDRAM(1 << 30)
+	o, err := New(Config{NumBlocks: 128, BlockSize: 16, BucketSlots: 4, EvictPeriod: 4, Seed: 1},
+		ssd, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write one block so a later AO has something to read back.
+	d, _, err := o.AOAccess(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.WriteBack(5, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Flush(100); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the data path to a device that fails immediately. The charging
+	// path is unaffected; the functional bucket read must error out.
+	o.ssd = device.NewFaulty(ssd, 0)
+	if _, _, err := o.AOAccess(5); !errors.Is(err, device.ErrInjected) {
+		t.Errorf("AOAccess err = %v, want injected fault", err)
+	}
+}
+
+func TestEvictionSurfacesDeviceFault(t *testing.T) {
+	ssd := device.NewSSD(1 << 32)
+	dram := device.NewDRAM(1 << 30)
+	o, err := New(Config{NumBlocks: 128, BlockSize: 16, BucketSlots: 4, EvictPeriod: 2, Seed: 2},
+		ssd, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := o.AOAccess(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.ssd = device.NewFaulty(ssd, 0)
+	// First write-back stays in the stash; the second triggers an EO whose
+	// path write must fail loudly.
+	if _, err := o.WriteBack(1, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.WriteBackDummy(); !errors.Is(err, device.ErrInjected) {
+		t.Errorf("EO err = %v, want injected fault", err)
+	}
+}

@@ -1,0 +1,128 @@
+package raworam
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+// Model-based property test: random FEDORA-round scripts executed
+// against the ORAM and a plain map must agree. testing/quick generates
+// the scripts; the reflect-based generator keeps them well-formed
+// (AO-before-WriteBack discipline).
+
+// opKind is one scripted action.
+type opKind uint8
+
+const (
+	opRound opKind = iota // full mini-round over a random working set
+	opDummy               // a burst of dummy AO + dummy write-backs
+	opFlush               // drain the stash
+)
+
+// script is a generated sequence of actions.
+type script struct {
+	ops   []opKind
+	seeds []int64
+}
+
+// Generate implements quick.Generator.
+func (script) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(8)
+	s := script{ops: make([]opKind, n), seeds: make([]int64, n)}
+	for i := range s.ops {
+		s.ops[i] = opKind(r.Intn(3))
+		s.seeds[i] = r.Int63()
+	}
+	return reflect.ValueOf(s)
+}
+
+func TestQuickScriptsMatchReferenceModel(t *testing.T) {
+	const numBlocks, blockSize = 128, 8
+	run := func(s script) bool {
+		ssd := device.NewSSD(1 << 31)
+		dram := device.NewDRAM(1 << 30)
+		o, err := New(Config{
+			NumBlocks: numBlocks, BlockSize: blockSize,
+			BucketSlots: 4, EvictPeriod: 5, Seed: 1,
+		}, ssd, dram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[uint64][]byte{}
+		for step, op := range s.ops {
+			rng := rand.New(rand.NewSource(s.seeds[step]))
+			switch op {
+			case opRound:
+				// A mini FL round: AO-read a working set, verify against
+				// the model, write back mutated values.
+				ids := map[uint64]bool{}
+				for len(ids) < 1+rng.Intn(8) {
+					ids[uint64(rng.Intn(numBlocks))] = true
+				}
+				fetched := map[uint64][]byte{}
+				for id := range ids {
+					data, _, err := o.AOAccess(id)
+					if err != nil {
+						t.Logf("step %d AO(%d): %v", step, id, err)
+						return false
+					}
+					want, okRef := ref[id]
+					if !okRef {
+						want = make([]byte, blockSize)
+					}
+					if !bytes.Equal(data, want) {
+						t.Logf("step %d id %d: got %v want %v", step, id, data, want)
+						return false
+					}
+					fetched[id] = data
+				}
+				for id, data := range fetched {
+					upd := append([]byte(nil), data...)
+					upd[rng.Intn(blockSize)] = byte(rng.Intn(256))
+					if _, err := o.WriteBack(id, upd); err != nil {
+						t.Logf("step %d WriteBack(%d): %v", step, id, err)
+						return false
+					}
+					ref[id] = upd
+				}
+			case opDummy:
+				for i := 0; i < 1+rng.Intn(6); i++ {
+					if _, err := o.AODummy(); err != nil {
+						return false
+					}
+					if _, err := o.WriteBackDummy(); err != nil {
+						return false
+					}
+				}
+			case opFlush:
+				if _, err := o.Flush(1000); err != nil {
+					t.Logf("step %d flush: %v", step, err)
+					return false
+				}
+			}
+		}
+		// Final sweep: every block the model knows must read back intact.
+		for id, want := range ref {
+			data, _, err := o.AOAccess(id)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(data, want) {
+				t.Logf("final id %d: got %v want %v", id, data, want)
+				return false
+			}
+			if _, err := o.WriteBack(id, data); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

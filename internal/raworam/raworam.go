@@ -1,0 +1,669 @@
+// Package raworam implements FEDORA's custom variant of RAW ORAM
+// (Fletcher et al., FCCM'15), the SSD-resident main ORAM of the paper
+// (Sec 4.4).
+//
+// RAW ORAM splits accesses into two kinds:
+//
+//   - AO (access-only): performed on every block request. The whole path
+//     is read into a DRAM path buffer, the requested block is extracted,
+//     and only that block's valid flag is cleared — nothing is written
+//     back to the tree.
+//   - EO (eviction-only): performed once every A AO accesses (A is the
+//     eviction period). A path chosen in deterministic reverse-
+//     lexicographic order is read, merged with the stash, and written
+//     back full.
+//
+// FEDORA's three optimizations on top (all implemented here):
+//
+//  1. FL-friendly schedule: during the round's download phase the main
+//     ORAM is read-only and every block read immediately leaves for the
+//     buffer ORAM, so the stash stays empty and *no* EO accesses are
+//     needed (AOAccess). During the upload phase blocks come back from
+//     the buffer ORAM, so no AO access is needed — only an EO every A
+//     write-backs (WriteBack).
+//  2. VTree: the per-slot valid flags are mirrored into a small
+//     DRAM-resident tree so that AO accesses never write to the SSD.
+//  3. Large eviction period: the stash and path buffer live in DRAM,
+//     which permits large A (the paper reaches A=92 with 4 KB buckets),
+//     cutting EO frequency — and hence SSD writes — to ~1%.
+//
+// Bucket freshness needs no Merkle tree: buckets are written only by EO
+// accesses in a predetermined order, so a single root counter (the
+// global EO count, held in the TEE scratchpad) determines every bucket's
+// write count (Sec 5.2). The simulator keeps the derived per-bucket
+// counters host-side with identical semantics.
+package raworam
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/pathoram"
+	"repro/internal/position"
+	"repro/internal/stash"
+	"repro/internal/tee"
+)
+
+// slotMetaSize is the serialized per-slot metadata: 8-byte ID + 4-byte
+// leaf (the valid flag lives in the VTree, not in the SSD image).
+const slotMetaSize = 12
+
+const invalidBlockID = ^uint64(0)
+
+// Config parameterizes the main ORAM.
+type Config struct {
+	// NumBlocks is N (embedding rows).
+	NumBlocks uint64
+	// BlockSize is the payload bytes per block (64–256 in the paper).
+	BlockSize int
+	// BucketSlots is Z. If zero, it is derived so the stored bucket fills
+	// one SSD page (the paper's 4 KB buckets, Sec 6.6).
+	BucketSlots int
+	// EvictPeriod is A: one EO access per A block write-backs. If zero, a
+	// default of ~1.4×Z is derived, matching the paper's tuned A≈92 for
+	// 64-byte blocks in 4 KB buckets.
+	EvictPeriod int
+	// Amplification is total-tree-slots / N; RAW/Ring-style trees use
+	// 1.5–2 (paper Sec 3.2). Default 2.
+	Amplification float64
+	// StashCapacity bounds the DRAM stash; 0 derives a safe default.
+	StashCapacity int
+	// Seed drives path reassignment.
+	Seed int64
+	// Engine encrypts SSD buckets; nil stores plaintext.
+	Engine *tee.Engine
+	// Phantom enables accounting-only mode (no payloads, same traffic).
+	Phantom bool
+	// HasScratchpad models the 4 KB on-chip scratch space of Sec 6.6.
+	// With it, EO bucket assembly scans the stash once per bucket; without
+	// it, assembly needs one oblivious stash scan per slot (Fig 10).
+	HasScratchpad bool
+	// InitFn supplies initial contents of never-written blocks.
+	InitFn func(id uint64) []byte
+}
+
+func (c *Config) validate() error {
+	if c.NumBlocks == 0 {
+		return errors.New("raworam: NumBlocks must be positive")
+	}
+	if c.BlockSize <= 0 {
+		return errors.New("raworam: BlockSize must be positive")
+	}
+	if c.Amplification < 1 {
+		return errors.New("raworam: Amplification must be >= 1")
+	}
+	return nil
+}
+
+// Stats counts ORAM-level events.
+type Stats struct {
+	AOAccesses uint64
+	EOAccesses uint64
+	WriteBacks uint64
+	Time       time.Duration
+}
+
+// ORAM is the SSD-resident main ORAM plus its DRAM-side structures.
+type ORAM struct {
+	cfg  Config
+	ssd  device.Device
+	dram device.Device
+
+	pos   position.Map
+	stash *stash.Stash
+	rng   *rand.Rand
+
+	levels     int
+	leaves     uint32
+	bucketSize int // stored bucket bytes on SSD (page aligned)
+
+	// vtree holds per-bucket valid bitmaps, lazily materialized; absent
+	// means all-invalid (tree starts empty; reads fall back to InitFn).
+	vtree map[uint32][]byte
+	// counters: per-bucket write counts, derived from EO order; host-side
+	// stand-in for the root-counter scheme.
+	counters map[uint32]uint64
+	// evictCount is g, the global EO counter (the root counter).
+	evictCount uint64
+	// pendingWrites counts write-backs since the last EO.
+	pendingWrites int
+
+	stats Stats
+}
+
+// New creates the main ORAM over an SSD (tree) and a DRAM (VTree, stash,
+// path buffer) device.
+func New(cfg Config, ssd, dram device.Device) (*ORAM, error) {
+	if cfg.Amplification == 0 {
+		cfg.Amplification = 2
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	o := &ORAM{cfg: cfg, ssd: ssd, dram: dram}
+	pageSize := ssd.PageSize()
+	if pageSize < 1 {
+		pageSize = 1
+	}
+	if cfg.BucketSlots == 0 {
+		// Fill one SSD page with slots (leaving room for the seal tag).
+		avail := pageSize
+		if cfg.Engine != nil {
+			avail -= tee.TagSize
+		}
+		z := avail / (slotMetaSize + cfg.BlockSize)
+		if z < 2 {
+			z = 2
+		}
+		o.cfg.BucketSlots = z
+	}
+	if o.cfg.EvictPeriod == 0 {
+		o.cfg.EvictPeriod = o.cfg.BucketSlots * 14 / 10
+		if o.cfg.EvictPeriod < 1 {
+			o.cfg.EvictPeriod = 1
+		}
+	}
+	leaves, levels := pathoram.Geometry(cfg.NumBlocks, o.cfg.BucketSlots, o.cfg.Amplification)
+	o.leaves, o.levels = leaves, levels
+	plain := o.cfg.BucketSlots * (slotMetaSize + cfg.BlockSize)
+	stored := plain
+	if cfg.Engine != nil {
+		stored = tee.SealedSize(plain)
+	}
+	if pageSize > 1 {
+		stored = (stored + pageSize - 1) / pageSize * pageSize
+	}
+	o.bucketSize = stored
+	if need := o.RequiredBytes(); ssd.Capacity() < need {
+		return nil, fmt.Errorf("raworam: SSD capacity %d < required %d", ssd.Capacity(), need)
+	}
+	if o.cfg.StashCapacity == 0 {
+		o.cfg.StashCapacity = o.cfg.BucketSlots*levels + 2*o.cfg.EvictPeriod + 128
+	}
+	o.stash = stash.New(o.cfg.StashCapacity)
+	o.pos = position.NewSparse(cfg.NumBlocks, leaves, uint64(cfg.Seed)+1)
+	o.rng = rand.New(rand.NewSource(cfg.Seed))
+	o.vtree = make(map[uint32][]byte)
+	o.counters = make(map[uint32]uint64)
+	return o, nil
+}
+
+// RequiredBytes is the SSD footprint of the tree.
+func (o *ORAM) RequiredBytes() uint64 {
+	return uint64(2*o.leaves-1) * uint64(o.bucketSize)
+}
+
+// VTreeBytes is the DRAM footprint of the VTree: one valid bit per slot
+// plus the group-encryption metadata of Sec 5.2.
+func (o *ORAM) VTreeBytes() uint64 {
+	numBuckets := uint64(2*o.leaves - 1)
+	bitsPerBucket := uint64((o.cfg.BucketSlots + 7) / 8)
+	payload := numBuckets * bitsPerBucket
+	layout := tee.NewGroupLayout(tee.DefaultGroupSize, 2)
+	return payload + uint64(float64(payload)*layout.OverheadRatio())
+}
+
+// Levels, Leaves, BucketSlots, EvictPeriod, BucketStoredSize expose the
+// derived geometry.
+func (o *ORAM) Levels() int           { return o.levels }
+func (o *ORAM) Leaves() uint32        { return o.leaves }
+func (o *ORAM) BucketSlots() int      { return o.cfg.BucketSlots }
+func (o *ORAM) EvictPeriod() int      { return o.cfg.EvictPeriod }
+func (o *ORAM) BucketStoredSize() int { return o.bucketSize }
+
+// PathBytes is the SSD bytes of one full path transfer.
+func (o *ORAM) PathBytes() uint64 {
+	return uint64(o.levels) * uint64(o.bucketSize)
+}
+
+// Stats returns accumulated counters.
+func (o *ORAM) Stats() Stats { return o.stats }
+
+// ResetStats zeroes the ORAM counters.
+func (o *ORAM) ResetStats() { o.stats = Stats{} }
+
+// StashLen / StashPeak expose stash occupancy for invariant tests.
+func (o *ORAM) StashLen() int  { return o.stash.Len() }
+func (o *ORAM) StashPeak() int { return o.stash.Peak() }
+
+// RootCounter returns g, the global EO count (the single counter the
+// paper stores in the scratchpad, from which all bucket counters derive).
+func (o *ORAM) RootCounter() uint64 { return o.evictCount }
+
+func (o *ORAM) bucketIndex(leaf uint32, level int) uint32 {
+	return (uint32(1) << level) - 1 + (leaf >> (o.levels - 1 - level))
+}
+
+func (o *ORAM) bucketAddr(idx uint32) uint64 {
+	return uint64(idx) * uint64(o.bucketSize)
+}
+
+func (o *ORAM) randomLeaf() uint32 { return uint32(o.rng.Int63n(int64(o.leaves))) }
+
+// evictionLeaf returns the leaf targeted by the g-th EO access: the
+// reverse-lexicographic order of Gentry et al., which guarantees even
+// coverage of the tree and makes bucket write counts a pure function of g.
+func (o *ORAM) evictionLeaf(g uint64) uint32 {
+	w := bits.Len32(o.leaves - 1) // log2(leaves)
+	if w == 0 {
+		return 0
+	}
+	return uint32(bits.Reverse32(uint32(g%uint64(o.leaves)))) >> (32 - w)
+}
+
+// slotStoredSize is the DRAM bytes per stash slot (metadata + payload).
+func (o *ORAM) slotStoredSize() int { return slotMetaSize + 1 + o.cfg.BlockSize }
+
+// stashScanBytes is one full oblivious pass over the stash in DRAM.
+func (o *ORAM) stashScanBytes() uint64 {
+	return uint64(o.cfg.StashCapacity) * uint64(o.slotStoredSize())
+}
+
+// vtreePathBytes approximates the DRAM traffic of touching one VTree
+// path (valid bitmaps plus amortized encryption metadata).
+func (o *ORAM) vtreePathBytes() uint64 {
+	per := uint64((o.cfg.BucketSlots+7)/8) + tee.CounterSize
+	return uint64(o.levels) * (per + tee.TagSize/2)
+}
+
+// chargeAO accounts the device traffic of one AO access and returns its
+// modelled duration: SSD path read; DRAM path-buffer fill + scan; one
+// stash presence scan; VTree path read+write.
+func (o *ORAM) chargeAO() time.Duration {
+	var d time.Duration
+	pb := int(o.PathBytes())
+	d += o.ssd.ChargeN(device.OpRead, o.bucketSize, o.levels)
+	d += o.dram.Charge(device.OpWrite, 0, pb)                      // fill path buffer
+	d += o.dram.Charge(device.OpRead, 0, pb)                       // scan for block
+	d += o.dram.Charge(device.OpRead, 0, int(o.stashScanBytes()))  // stash presence scan
+	d += o.dram.Charge(device.OpRead, 0, int(o.vtreePathBytes()))  // VTree path read
+	d += o.dram.Charge(device.OpWrite, 0, int(o.vtreePathBytes())) // VTree path write
+	return d
+}
+
+// chargeEO accounts the device traffic of one EO access: SSD path read +
+// write; DRAM path buffer both ways; bucket assembly stash scans (1 per
+// bucket with the scratchpad, Z per bucket without); VTree path update.
+func (o *ORAM) chargeEO() time.Duration {
+	var d time.Duration
+	pb := int(o.PathBytes())
+	d += o.ssd.ChargeN(device.OpRead, o.bucketSize, o.levels)
+	d += o.ssd.ChargeN(device.OpWrite, o.bucketSize, o.levels)
+	d += o.dram.Charge(device.OpWrite, 0, pb) // path into DRAM
+	d += o.dram.Charge(device.OpRead, 0, pb)  // path back out
+	scans := o.levels
+	if !o.cfg.HasScratchpad {
+		scans = o.levels * o.cfg.BucketSlots
+	}
+	d += o.dram.Charge(device.OpRead, 0, scans*int(o.stashScanBytes()))
+	d += o.dram.Charge(device.OpRead, 0, int(o.vtreePathBytes()))
+	d += o.dram.Charge(device.OpWrite, 0, int(o.vtreePathBytes()))
+	return d
+}
+
+// AOAccess reads block id and *removes* it from the ORAM (its valid flag
+// is cleared; the block is expected to move to the buffer ORAM, per
+// FEDORA step ③). No SSD write occurs. Dummy accesses — the ε-FDP
+// mechanism's k > k_union case — use AODummy instead.
+func (o *ORAM) AOAccess(id uint64) ([]byte, time.Duration, error) {
+	if id >= o.cfg.NumBlocks {
+		return nil, 0, fmt.Errorf("raworam: block %d out of range %d", id, o.cfg.NumBlocks)
+	}
+	o.stats.AOAccesses++
+	d := o.chargeAO()
+	o.stats.Time += d
+	if o.cfg.Phantom {
+		return make([]byte, o.cfg.BlockSize), d, nil
+	}
+
+	leaf := o.pos.Get(id)
+	// Check the stash first: the block may be awaiting eviction from a
+	// previous round's write-back.
+	if blk := o.stash.Remove(id); blk != nil {
+		return blk.Data, d, nil
+	}
+	// Scan the path for the block; clear its valid flag on hit.
+	data, found, err := o.extractFromPath(leaf, id)
+	if err != nil {
+		return nil, d, err
+	}
+	if !found {
+		data = o.initBlock(id)
+	}
+	return data, d, nil
+}
+
+// AODummy performs an indistinguishable access to a random path without
+// retrieving anything (FEDORA's dummy accesses, Sec 4.2).
+func (o *ORAM) AODummy() (time.Duration, error) {
+	o.stats.AOAccesses++
+	d := o.chargeAO()
+	o.stats.Time += d
+	if o.cfg.Phantom {
+		return d, nil
+	}
+	// Functionally a no-op: the path read is simulated by the charge; no
+	// block is extracted and no flags change.
+	return d, nil
+}
+
+// WriteBack returns a block to the ORAM with fresh contents (FEDORA step
+// ⑦). The block gets a new random path and waits in the stash; every
+// EvictPeriod write-backs one EO access drains stash blocks to the SSD.
+// Callers must have removed the block via AOAccess first (the FEDORA
+// round structure guarantees this); writing back a block whose stale
+// copy is still valid in the tree is a protocol violation.
+func (o *ORAM) WriteBack(id uint64, data []byte) (time.Duration, error) {
+	if id >= o.cfg.NumBlocks {
+		return 0, fmt.Errorf("raworam: block %d out of range %d", id, o.cfg.NumBlocks)
+	}
+	if !o.cfg.Phantom && len(data) != o.cfg.BlockSize {
+		return 0, fmt.Errorf("raworam: write size %d != block size %d", len(data), o.cfg.BlockSize)
+	}
+	o.stats.WriteBacks++
+	var d time.Duration
+	if !o.cfg.Phantom {
+		newLeaf := o.randomLeaf()
+		o.pos.Set(id, newLeaf)
+		blk := &stash.Block{ID: id, Leaf: newLeaf, Data: append([]byte(nil), data...)}
+		if err := o.stash.Put(blk); err != nil {
+			return 0, err
+		}
+		// One oblivious stash pass to insert without leaking the slot.
+		d += o.dram.Charge(device.OpWrite, 0, int(o.stashScanBytes()))
+	} else {
+		d += o.dram.Charge(device.OpWrite, 0, int(o.stashScanBytes()))
+	}
+	o.pendingWrites++
+	if o.pendingWrites >= o.cfg.EvictPeriod {
+		o.pendingWrites = 0
+		ed, err := o.evictOnce()
+		d += ed
+		if err != nil {
+			o.stats.Time += d
+			return d, err
+		}
+	}
+	o.stats.Time += d
+	return d, nil
+}
+
+// WriteBackDummy accounts a dummy write-back (k > k_union during step ⑦):
+// the stash pass happens and the EO schedule advances, but no real block
+// enters the stash.
+func (o *ORAM) WriteBackDummy() (time.Duration, error) {
+	o.stats.WriteBacks++
+	d := o.dram.Charge(device.OpWrite, 0, int(o.stashScanBytes()))
+	o.pendingWrites++
+	if o.pendingWrites >= o.cfg.EvictPeriod {
+		o.pendingWrites = 0
+		ed, err := o.evictOnce()
+		d += ed
+		if err != nil {
+			o.stats.Time += d
+			return d, err
+		}
+	}
+	o.stats.Time += d
+	return d, nil
+}
+
+// evictOnce performs one EO access on the next deterministic path.
+func (o *ORAM) evictOnce() (time.Duration, error) {
+	o.stats.EOAccesses++
+	d := o.chargeEO()
+	leaf := o.evictionLeaf(o.evictCount)
+	o.evictCount++
+	if o.cfg.Phantom {
+		return d, nil
+	}
+	// Read the path: surviving valid blocks join the stash.
+	for l := 0; l < o.levels; l++ {
+		idx := o.bucketIndex(leaf, l)
+		if err := o.loadBucketToStash(idx); err != nil {
+			return d, err
+		}
+	}
+	// Write the path back leaf→root, greedily placing stash blocks.
+	for l := o.levels - 1; l >= 0; l-- {
+		idx := o.bucketIndex(leaf, l)
+		picked := o.stash.EvictableFor(leaf, l, o.levels, o.cfg.BucketSlots)
+		if err := o.storeBucket(idx, picked); err != nil {
+			return d, err
+		}
+		for _, b := range picked {
+			o.stash.Remove(b.ID)
+		}
+	}
+	return d, nil
+}
+
+// Peek returns the current contents of block id WITHOUT any ORAM access,
+// device accounting, or state change. It exists for model evaluation and
+// debugging only — a real deployment has no such backdoor.
+func (o *ORAM) Peek(id uint64) ([]byte, error) {
+	if id >= o.cfg.NumBlocks {
+		return nil, fmt.Errorf("raworam: block %d out of range %d", id, o.cfg.NumBlocks)
+	}
+	if o.cfg.Phantom {
+		return make([]byte, o.cfg.BlockSize), nil
+	}
+	if blk := o.stash.Get(id); blk != nil {
+		return append([]byte(nil), blk.Data...), nil
+	}
+	leaf := o.pos.Get(id)
+	for l := 0; l < o.levels; l++ {
+		idx := o.bucketIndex(leaf, l)
+		ctr, written := o.counters[idx]
+		if !written {
+			continue
+		}
+		plain, err := o.readBucket(idx, ctr)
+		if err != nil {
+			return nil, err
+		}
+		vb := o.validBits(idx)
+		for s := 0; s < o.cfg.BucketSlots; s++ {
+			if !getBit(vb, s) {
+				continue
+			}
+			off := s * (slotMetaSize + o.cfg.BlockSize)
+			if getUint64(plain[off:]) == id {
+				return append([]byte(nil), plain[off+slotMetaSize:off+slotMetaSize+o.cfg.BlockSize]...), nil
+			}
+		}
+	}
+	return o.initBlock(id), nil
+}
+
+// Flush drains the stash with repeated EO accesses until it is empty or
+// maxEvictions is hit; used at shutdown and by tests.
+func (o *ORAM) Flush(maxEvictions int) (time.Duration, error) {
+	var d time.Duration
+	for i := 0; i < maxEvictions && o.stash.Len() > 0; i++ {
+		ed, err := o.evictOnce()
+		d += ed
+		if err != nil {
+			return d, err
+		}
+	}
+	if !o.cfg.Phantom && o.stash.Len() > 0 {
+		return d, fmt.Errorf("raworam: %d blocks still in stash after %d evictions", o.stash.Len(), maxEvictions)
+	}
+	return d, nil
+}
+
+func (o *ORAM) initBlock(id uint64) []byte {
+	if o.cfg.InitFn != nil {
+		b := o.cfg.InitFn(id)
+		if len(b) != o.cfg.BlockSize {
+			panic(fmt.Sprintf("raworam: InitFn returned %d bytes, want %d", len(b), o.cfg.BlockSize))
+		}
+		return append([]byte(nil), b...)
+	}
+	return make([]byte, o.cfg.BlockSize)
+}
+
+// validBits returns the (lazily created) valid bitmap of bucket idx.
+func (o *ORAM) validBits(idx uint32) []byte {
+	v, ok := o.vtree[idx]
+	if !ok {
+		v = make([]byte, (o.cfg.BucketSlots+7)/8)
+		o.vtree[idx] = v
+	}
+	return v
+}
+
+func getBit(bm []byte, i int) bool { return bm[i/8]&(1<<(i%8)) != 0 }
+func setBit(bm []byte, i int)      { bm[i/8] |= 1 << (i % 8) }
+func clearBit(bm []byte, i int)    { bm[i/8] &^= 1 << (i % 8) }
+
+// extractFromPath scans the path to leaf for block id; on hit it clears
+// the valid flag (VTree) and returns the payload.
+func (o *ORAM) extractFromPath(leaf uint32, id uint64) ([]byte, bool, error) {
+	for l := 0; l < o.levels; l++ {
+		idx := o.bucketIndex(leaf, l)
+		ctr, written := o.counters[idx]
+		if !written {
+			continue
+		}
+		plain, err := o.readBucket(idx, ctr)
+		if err != nil {
+			return nil, false, err
+		}
+		vb := o.validBits(idx)
+		for s := 0; s < o.cfg.BucketSlots; s++ {
+			if !getBit(vb, s) {
+				continue
+			}
+			off := s * (slotMetaSize + o.cfg.BlockSize)
+			if getUint64(plain[off:]) != id {
+				continue
+			}
+			clearBit(vb, s)
+			data := append([]byte(nil), plain[off+slotMetaSize:off+slotMetaSize+o.cfg.BlockSize]...)
+			return data, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// loadBucketToStash moves all valid blocks of bucket idx into the stash
+// and clears their flags (they will be re-placed by the eviction pass).
+func (o *ORAM) loadBucketToStash(idx uint32) error {
+	ctr, written := o.counters[idx]
+	if !written {
+		return nil
+	}
+	plain, err := o.readBucket(idx, ctr)
+	if err != nil {
+		return err
+	}
+	vb := o.validBits(idx)
+	for s := 0; s < o.cfg.BucketSlots; s++ {
+		if !getBit(vb, s) {
+			continue
+		}
+		off := s * (slotMetaSize + o.cfg.BlockSize)
+		id := getUint64(plain[off:])
+		if id == invalidBlockID {
+			clearBit(vb, s)
+			continue
+		}
+		// Defensive: under the AO-before-WriteBack discipline a block can
+		// never be valid in the tree while a fresher copy sits in the
+		// stash; if it somehow is, keep the stash copy.
+		if o.stash.Get(id) == nil {
+			blk := &stash.Block{
+				ID:   id,
+				Leaf: getUint32(plain[off+8:]),
+				Data: append([]byte(nil), plain[off+slotMetaSize:off+slotMetaSize+o.cfg.BlockSize]...),
+			}
+			if err := o.stash.Put(blk); err != nil {
+				return err
+			}
+		}
+		clearBit(vb, s)
+	}
+	return nil
+}
+
+// readBucket fetches and (if configured) decrypts bucket idx. Device
+// traffic was already charged (once, for the whole path) by
+// chargeAO/chargeEO, so the data movement here uses the unaccounted
+// PeekAt — keeping phantom and functional traffic identical.
+func (o *ORAM) readBucket(idx uint32, ctr uint64) ([]byte, error) {
+	stored := make([]byte, o.bucketSize)
+	if err := o.ssd.PeekAt(o.bucketAddr(idx), stored); err != nil {
+		return nil, err
+	}
+	plainLen := o.cfg.BucketSlots * (slotMetaSize + o.cfg.BlockSize)
+	if o.cfg.Engine == nil {
+		return stored[:plainLen], nil
+	}
+	return o.cfg.Engine.Open(stored[:tee.SealedSize(plainLen)], uint64(idx), ctr)
+}
+
+// storeBucket packs, seals and writes bucket idx with the given blocks,
+// updating the VTree bitmap and the bucket counter.
+func (o *ORAM) storeBucket(idx uint32, blocks []*stash.Block) error {
+	plain := make([]byte, o.cfg.BucketSlots*(slotMetaSize+o.cfg.BlockSize))
+	vb := o.validBits(idx)
+	for s := 0; s < o.cfg.BucketSlots; s++ {
+		off := s * (slotMetaSize + o.cfg.BlockSize)
+		if s < len(blocks) {
+			b := blocks[s]
+			putUint64(plain[off:], b.ID)
+			putUint32(plain[off+8:], b.Leaf)
+			copy(plain[off+slotMetaSize:], b.Data)
+			setBit(vb, s)
+		} else {
+			putUint64(plain[off:], invalidBlockID)
+			clearBit(vb, s)
+		}
+	}
+	ctr := o.counters[idx] + 1
+	o.counters[idx] = ctr
+	var body []byte
+	if o.cfg.Engine != nil {
+		body = o.cfg.Engine.Seal(plain, uint64(idx), ctr)
+	} else {
+		body = plain
+	}
+	stored := make([]byte, o.bucketSize)
+	copy(stored, body)
+	// Traffic was charged path-wide by chargeEO; move bytes unaccounted.
+	return o.ssd.PokeAt(o.bucketAddr(idx), stored)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putUint32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint32(b []byte) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(b[i]) << (8 * i)
+	}
+	return v
+}

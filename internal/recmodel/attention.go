@@ -1,0 +1,110 @@
+package recmodel
+
+import "math"
+
+// Pooling selects how the behavioural history is reduced to one vector.
+// The paper's models feed embeddings either to an MLP (DLRM-style, mean
+// pooling here) or to a "Transformer-like" network (Sec 2.1); attention
+// pooling is the minimal transformer-style ingredient: the candidate
+// attends over the history, so relevant past items dominate the summary.
+type Pooling int
+
+const (
+	// PoolMean averages history embeddings (DLRM-style).
+	PoolMean Pooling = iota
+	// PoolAttention weighs history embeddings by softmax(e_i · c):
+	// target-aware attention à la DIN/transformer models.
+	PoolAttention
+)
+
+// String implements fmt.Stringer.
+func (p Pooling) String() string {
+	switch p {
+	case PoolMean:
+		return "mean"
+	case PoolAttention:
+		return "attention"
+	default:
+		return "unknown"
+	}
+}
+
+// attnState caches the attention forward pass for backprop.
+type attnState struct {
+	rows    [][]float32 // history embeddings present this pass
+	ids     []uint64
+	weights []float64 // softmax outputs α_i
+}
+
+// attentionPool computes h = Σ α_i e_i with α = softmax(e_i·c).
+func attentionPool(rows [][]float32, cand []float32) (h []float32, st *attnState) {
+	d := len(cand)
+	h = make([]float32, d)
+	if len(rows) == 0 {
+		return h, &attnState{}
+	}
+	scores := make([]float64, len(rows))
+	maxS := math.Inf(-1)
+	for i, e := range rows {
+		var s float64
+		for j := 0; j < d; j++ {
+			s += float64(e[j]) * float64(cand[j])
+		}
+		scores[i] = s
+		if s > maxS {
+			maxS = s
+		}
+	}
+	weights := make([]float64, len(rows))
+	var z float64
+	for i, s := range scores {
+		w := math.Exp(s - maxS)
+		weights[i] = w
+		z += w
+	}
+	for i := range weights {
+		weights[i] /= z
+	}
+	for i, e := range rows {
+		w := float32(weights[i])
+		for j := 0; j < d; j++ {
+			h[j] += w * e[j]
+		}
+	}
+	return h, &attnState{rows: rows, weights: weights}
+}
+
+// attentionBackprop distributes gH (∂L/∂h) to the history rows and the
+// candidate through the softmax:
+//
+//	∂L/∂e_i = α_i·gH + (∂L/∂s_i)·c,   ∂L/∂s_i = α_i (gH·e_i − Σ_j α_j gH·e_j)
+//	∂L/∂c  += Σ_i (∂L/∂s_i)·e_i
+func attentionBackprop(st *attnState, cand []float32, gH []float32) (gRows [][]float32, gCand []float32) {
+	d := len(cand)
+	gCand = make([]float32, d)
+	if len(st.rows) == 0 {
+		return nil, gCand
+	}
+	// gH·e_i per row and the α-weighted mean.
+	dots := make([]float64, len(st.rows))
+	var mean float64
+	for i, e := range st.rows {
+		var s float64
+		for j := 0; j < d; j++ {
+			s += float64(gH[j]) * float64(e[j])
+		}
+		dots[i] = s
+		mean += st.weights[i] * s
+	}
+	gRows = make([][]float32, len(st.rows))
+	for i, e := range st.rows {
+		gs := st.weights[i] * (dots[i] - mean) // ∂L/∂s_i
+		g := make([]float32, d)
+		for j := 0; j < d; j++ {
+			g[j] = float32(st.weights[i])*gH[j] + float32(gs)*cand[j]
+			gCand[j] += float32(gs) * e[j]
+		}
+		gRows[i] = g
+	}
+	return gRows, gCand
+}

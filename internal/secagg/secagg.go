@@ -1,0 +1,190 @@
+// Package secagg implements pairwise-masking secure aggregation
+// (Bonawitz et al., CCS'17 — reference [8] of the FEDORA paper), the
+// standard FL companion mechanism that hides individual client updates
+// from the server and reveals only their sum. FEDORA is explicitly
+// compatible with SecAgg (Sec 2.2): the dense-model deltas (and, with
+// the buffer ORAM handling row alignment, embedding gradients) can be
+// uploaded masked.
+//
+// Protocol (honest-but-curious server, the paper's threat model):
+//
+//  1. Every pair of participating clients (i, j) agrees on a shared seed
+//     s_ij (here: derived from pre-provisioned pairwise keys; a real
+//     deployment runs Diffie-Hellman through the server).
+//  2. Client i uploads y_i = x_i + Σ_{j>i} PRG(s_ij) − Σ_{j<i} PRG(s_ij)
+//     (mod 2³², fixed-point encoded). Each mask appears once positively
+//     and once negatively, so Σ y_i = Σ x_i while every individual y_i
+//     is uniformly random to the server.
+//  3. If a client drops out after masks were committed, the survivors
+//     reveal their shared seeds with the dropout so the server can
+//     subtract the orphaned masks (the "unmasking" round).
+//
+// Arithmetic is exact in uint32 fixed point so masking is perfectly
+// invertible; the fixed-point scale bounds the value range.
+package secagg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"crypto/sha256"
+)
+
+// Scale is the fixed-point resolution: values are encoded as
+// round(x · Scale) in two's-complement uint32 arithmetic.
+const Scale = 1 << 16
+
+// MaxAbs is the largest representable magnitude.
+const MaxAbs = float64(math.MaxInt32) / Scale
+
+// Encode converts a float to fixed point (saturating).
+func Encode(x float32) uint32 {
+	v := float64(x) * Scale
+	if v > math.MaxInt32 {
+		v = math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		v = math.MinInt32
+	}
+	return uint32(int32(v))
+}
+
+// Decode converts fixed point back to float.
+func Decode(v uint32) float32 {
+	return float32(int32(v)) / Scale
+}
+
+// pairSeed derives the shared seed for the (i, j) client pair from a
+// session key. Symmetric in (i, j).
+func pairSeed(sessionKey [32]byte, i, j int) [32]byte {
+	if i > j {
+		i, j = j, i
+	}
+	var buf [48]byte
+	copy(buf[:32], sessionKey[:])
+	binary.LittleEndian.PutUint64(buf[32:40], uint64(i))
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(j))
+	return sha256.Sum256(buf[:])
+}
+
+// prg expands a seed into length uint32 mask words (SHA-256 in counter
+// mode; stdlib-only and deterministic).
+func prg(seed [32]byte, length int) []uint32 {
+	out := make([]uint32, length)
+	var block [36]byte
+	copy(block[:32], seed[:])
+	for i := 0; i < length; i += 8 {
+		binary.LittleEndian.PutUint32(block[32:36], uint32(i/8))
+		h := sha256.Sum256(block[:])
+		for w := 0; w < 8 && i+w < length; w++ {
+			out[i+w] = binary.LittleEndian.Uint32(h[w*4 : w*4+4])
+		}
+	}
+	return out
+}
+
+// Session is one aggregation round among a fixed roster of clients.
+type Session struct {
+	sessionKey [32]byte
+	n          int
+	length     int
+}
+
+// NewSession creates a session for n clients aggregating vectors of the
+// given length. The session key models the key agreement transcript.
+func NewSession(sessionKey [32]byte, n, length int) (*Session, error) {
+	if n < 2 {
+		return nil, errors.New("secagg: need at least 2 clients")
+	}
+	if length <= 0 {
+		return nil, errors.New("secagg: vector length must be positive")
+	}
+	return &Session{sessionKey: sessionKey, n: n, length: length}, nil
+}
+
+// Mask produces client i's upload: the fixed-point encoding of x plus
+// the pairwise masks. len(x) must equal the session length.
+func (s *Session) Mask(i int, x []float32) ([]uint32, error) {
+	if i < 0 || i >= s.n {
+		return nil, fmt.Errorf("secagg: client %d out of roster %d", i, s.n)
+	}
+	if len(x) != s.length {
+		return nil, fmt.Errorf("secagg: vector length %d != %d", len(x), s.length)
+	}
+	out := make([]uint32, s.length)
+	for w, xi := range x {
+		out[w] = Encode(xi)
+	}
+	for j := 0; j < s.n; j++ {
+		if j == i {
+			continue
+		}
+		mask := prg(pairSeed(s.sessionKey, i, j), s.length)
+		if j > i {
+			for w := range out {
+				out[w] += mask[w]
+			}
+		} else {
+			for w := range out {
+				out[w] -= mask[w]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Aggregate sums the uploads of the surviving clients and unmasks the
+// orphaned pair masks of dropouts. uploads maps client index → masked
+// vector; dropouts lists roster members that never uploaded (their seeds
+// with every survivor are revealed and subtracted).
+func (s *Session) Aggregate(uploads map[int][]uint32, dropouts []int) ([]float32, error) {
+	if len(uploads) == 0 {
+		return nil, errors.New("secagg: no uploads")
+	}
+	dropped := map[int]bool{}
+	for _, d := range dropouts {
+		if d < 0 || d >= s.n {
+			return nil, fmt.Errorf("secagg: dropout %d out of roster", d)
+		}
+		dropped[d] = true
+	}
+	sum := make([]uint32, s.length)
+	for i, up := range uploads {
+		if i < 0 || i >= s.n {
+			return nil, fmt.Errorf("secagg: upload from unknown client %d", i)
+		}
+		if dropped[i] {
+			return nil, fmt.Errorf("secagg: client %d both uploaded and dropped", i)
+		}
+		if len(up) != s.length {
+			return nil, fmt.Errorf("secagg: upload length %d != %d", len(up), s.length)
+		}
+		for w := range sum {
+			sum[w] += up[w]
+		}
+	}
+	// Remove masks that never found their partner: each survivor i holds
+	// a mask with every dropout d. If d > i the survivor added +mask; if
+	// d < i the survivor added −mask. Subtract accordingly.
+	for i := range uploads {
+		for d := range dropped {
+			mask := prg(pairSeed(s.sessionKey, i, d), s.length)
+			if d > i {
+				for w := range sum {
+					sum[w] -= mask[w]
+				}
+			} else {
+				for w := range sum {
+					sum[w] += mask[w]
+				}
+			}
+		}
+	}
+	out := make([]float32, s.length)
+	for w := range sum {
+		out[w] = Decode(sum[w])
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package secagg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSession(t *testing.T, n, length int) *Session {
+	t.Helper()
+	var key [32]byte
+	key[0] = 0x5e
+	s, err := NewSession(key, n, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x float32) bool {
+		if math.IsNaN(float64(x)) || math.Abs(float64(x)) > MaxAbs {
+			return true // out of fixed-point range
+		}
+		got := Decode(Encode(x))
+		return math.Abs(float64(got-x)) <= 1.0/Scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Negative values survive.
+	if got := Decode(Encode(-1.5)); math.Abs(float64(got)+1.5) > 1e-4 {
+		t.Errorf("Decode(Encode(-1.5)) = %v", got)
+	}
+}
+
+func TestEncodeSaturates(t *testing.T) {
+	if Decode(Encode(1e9)) < float32(MaxAbs)-1 {
+		t.Error("positive saturation broken")
+	}
+	if Decode(Encode(-1e9)) > -float32(MaxAbs)+1 {
+		t.Error("negative saturation broken")
+	}
+}
+
+func TestSumRecoveredExactly(t *testing.T) {
+	const n, length = 5, 64
+	s := testSession(t, n, length)
+	rng := rand.New(rand.NewSource(1))
+	want := make([]float64, length)
+	uploads := map[int][]uint32{}
+	for i := 0; i < n; i++ {
+		x := make([]float32, length)
+		for w := range x {
+			x[w] = float32(rng.NormFloat64())
+			want[w] += float64(x[w])
+		}
+		up, err := s.Mask(i, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uploads[i] = up
+	}
+	got, err := s.Aggregate(uploads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range got {
+		if math.Abs(float64(got[w])-want[w]) > float64(n)/Scale+1e-6 {
+			t.Fatalf("dim %d: got %v want %v", w, got[w], want[w])
+		}
+	}
+}
+
+func TestIndividualUploadLooksRandom(t *testing.T) {
+	// A masked upload must not resemble the plaintext: with all-zero
+	// input the upload words should be spread over the uint32 range.
+	s := testSession(t, 3, 256)
+	up, err := s.Mask(0, make([]float32, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := 0
+	for _, w := range up {
+		if w < 1<<16 { // ~0.002% chance per word if uniform
+			small++
+		}
+	}
+	if small > 3 {
+		t.Errorf("%d/256 mask words suspiciously small — masks missing?", small)
+	}
+}
+
+func TestTwoClientMasksCancel(t *testing.T) {
+	s := testSession(t, 2, 8)
+	x0 := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	x1 := []float32{-1, -2, -3, -4, -5, -6, -7, -8}
+	u0, _ := s.Mask(0, x0)
+	u1, _ := s.Mask(1, x1)
+	got, err := s.Aggregate(map[int][]uint32{0: u0, 1: u1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range got {
+		if math.Abs(float64(got[w])) > 1e-4 {
+			t.Fatalf("dim %d: %v, want 0", w, got[w])
+		}
+	}
+}
+
+func TestDropoutUnmasking(t *testing.T) {
+	const n, length = 4, 32
+	s := testSession(t, n, length)
+	rng := rand.New(rand.NewSource(2))
+	want := make([]float64, length)
+	uploads := map[int][]uint32{}
+	for i := 0; i < n; i++ {
+		x := make([]float32, length)
+		for w := range x {
+			x[w] = float32(rng.NormFloat64())
+		}
+		up, err := s.Mask(i, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 2 {
+			continue // client 2 drops out after masking
+		}
+		uploads[i] = up
+		for w := range x {
+			want[w] += float64(x[w])
+		}
+	}
+	got, err := s.Aggregate(uploads, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range got {
+		if math.Abs(float64(got[w])-want[w]) > float64(n)/Scale+1e-6 {
+			t.Fatalf("dim %d: got %v want %v", w, got[w], want[w])
+		}
+	}
+}
+
+func TestMultipleDropouts(t *testing.T) {
+	const n, length = 6, 16
+	s := testSession(t, n, length)
+	uploads := map[int][]uint32{}
+	var want float64
+	for i := 0; i < n; i++ {
+		x := make([]float32, length)
+		x[0] = float32(i)
+		up, err := s.Mask(i, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 || i == 4 {
+			continue
+		}
+		uploads[i] = up
+		want += float64(i)
+	}
+	got, err := s.Aggregate(uploads, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got[0])-want) > 1e-3 {
+		t.Errorf("got %v want %v", got[0], want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	var key [32]byte
+	if _, err := NewSession(key, 1, 8); err == nil {
+		t.Error("single-client session accepted")
+	}
+	if _, err := NewSession(key, 3, 0); err == nil {
+		t.Error("zero-length session accepted")
+	}
+	s := testSession(t, 3, 8)
+	if _, err := s.Mask(3, make([]float32, 8)); err == nil {
+		t.Error("out-of-roster client accepted")
+	}
+	if _, err := s.Mask(0, make([]float32, 7)); err == nil {
+		t.Error("wrong-length vector accepted")
+	}
+	if _, err := s.Aggregate(nil, nil); err == nil {
+		t.Error("empty aggregation accepted")
+	}
+	u, _ := s.Mask(0, make([]float32, 8))
+	if _, err := s.Aggregate(map[int][]uint32{0: u}, []int{0}); err == nil {
+		t.Error("upload+dropout conflict accepted")
+	}
+	if _, err := s.Aggregate(map[int][]uint32{0: u}, []int{9}); err == nil {
+		t.Error("out-of-roster dropout accepted")
+	}
+	if _, err := s.Aggregate(map[int][]uint32{0: u[:4]}, nil); err == nil {
+		t.Error("short upload accepted")
+	}
+}
+
+func TestPairSeedSymmetric(t *testing.T) {
+	var key [32]byte
+	if pairSeed(key, 2, 7) != pairSeed(key, 7, 2) {
+		t.Error("pair seed not symmetric")
+	}
+	if pairSeed(key, 2, 7) == pairSeed(key, 2, 8) {
+		t.Error("distinct pairs share a seed")
+	}
+}
+
+func TestPRGDeterministicAndSpread(t *testing.T) {
+	var seed [32]byte
+	seed[5] = 1
+	a := prg(seed, 100)
+	b := prg(seed, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PRG not deterministic")
+		}
+	}
+	// Rough uniformity: mean of 100 words near 2^31.
+	var sum float64
+	for _, w := range a {
+		sum += float64(w)
+	}
+	mean := sum / 100
+	center := float64(uint64(1) << 31)
+	if mean < 0.8*center || mean > 1.2*center {
+		t.Errorf("PRG mean %v far from 2^31", mean)
+	}
+}

@@ -1,0 +1,127 @@
+// Package stash implements the ORAM stash: the bounded buffer that holds
+// blocks which are in transit between tree paths (Sec 2.3 of the FEDORA
+// paper). The Path ORAM invariant is that every block is either in a
+// bucket along its assigned path or in the stash.
+//
+// FEDORA places the stash in off-chip DRAM (Sec 4.4, Optimization 3),
+// which allows it to be much larger than an on-chip stash; accesses to it
+// must then be data-oblivious (linear scans), whose DRAM traffic the ORAM
+// layers charge to the device model. This package provides the functional
+// container plus occupancy/high-water-mark accounting and overflow
+// detection so property tests can validate the paper's stash-occupancy
+// arguments (Sec 4.4, privacy analysis).
+package stash
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is returned when an insert would exceed the stash capacity.
+// In a correctly parameterized ORAM this is a negligible-probability
+// event; the simulator surfaces it loudly instead of corrupting state.
+var ErrOverflow = errors.New("stash: overflow")
+
+// Block is a data block held in the stash.
+type Block struct {
+	ID   uint64
+	Leaf uint32 // currently assigned path
+	Data []byte // payload; nil in phantom (accounting-only) mode
+}
+
+// Stash holds up to capacity blocks.
+type Stash struct {
+	capacity int
+	blocks   map[uint64]*Block
+	peak     int // high-water mark
+}
+
+// New creates a stash with the given capacity. capacity <= 0 means
+// unbounded (used by the buffer ORAM, which is sized to never overflow
+// by construction — Sec 4.3).
+func New(capacity int) *Stash {
+	return &Stash{capacity: capacity, blocks: make(map[uint64]*Block)}
+}
+
+// Put inserts or replaces a block. Replacing an existing ID never
+// overflows; inserting a new one fails with ErrOverflow at capacity.
+func (s *Stash) Put(b *Block) error {
+	if b == nil {
+		return errors.New("stash: nil block")
+	}
+	if _, exists := s.blocks[b.ID]; !exists && s.capacity > 0 && len(s.blocks) >= s.capacity {
+		return fmt.Errorf("%w: capacity %d", ErrOverflow, s.capacity)
+	}
+	s.blocks[b.ID] = b
+	if len(s.blocks) > s.peak {
+		s.peak = len(s.blocks)
+	}
+	return nil
+}
+
+// Get returns the block with the given ID, or nil.
+func (s *Stash) Get(id uint64) *Block { return s.blocks[id] }
+
+// Remove deletes and returns the block with the given ID, or nil.
+func (s *Stash) Remove(id uint64) *Block {
+	b := s.blocks[id]
+	delete(s.blocks, id)
+	return b
+}
+
+// Len returns the current occupancy.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// Peak returns the high-water mark since creation.
+func (s *Stash) Peak() int { return s.peak }
+
+// Capacity returns the configured capacity (0 = unbounded).
+func (s *Stash) Capacity() int { return s.capacity }
+
+// EvictableFor returns up to max blocks whose assigned leaf shares the
+// same length-`level` path prefix as leaf — i.e. blocks that may legally
+// be placed into the bucket at depth `level` on the path to `leaf` in a
+// tree with `treeLevels` levels (root = level 0). This is the greedy
+// selection of Path ORAM eviction. Blocks are returned in arbitrary
+// order and are NOT removed; callers remove the ones they place.
+func (s *Stash) EvictableFor(leaf uint32, level, treeLevels, max int) []*Block {
+	var out []*Block
+	shift := uint(treeLevels - 1 - level)
+	want := leaf >> shift
+	for _, b := range s.blocks {
+		if b.Leaf>>shift == want {
+			out = append(out, b)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every block; iteration order is unspecified.
+func (s *Stash) ForEach(fn func(*Block)) {
+	for _, b := range s.blocks {
+		fn(b)
+	}
+}
+
+// IDs returns the IDs of all resident blocks (unspecified order).
+func (s *Stash) IDs() []uint64 {
+	out := make([]uint64, 0, len(s.blocks))
+	for id := range s.blocks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ScanBytes returns the number of DRAM bytes one full oblivious linear
+// scan of the stash touches, given the per-slot stored size. The scan
+// must cover capacity slots (not just occupied ones) to stay oblivious.
+func (s *Stash) ScanBytes(slotBytes int) uint64 {
+	n := s.capacity
+	if n <= 0 {
+		n = len(s.blocks)
+	}
+	return uint64(n) * uint64(slotBytes)
+}

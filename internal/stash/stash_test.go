@@ -1,0 +1,134 @@
+package stash
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPutGetRemove(t *testing.T) {
+	s := New(10)
+	if err := s.Put(&Block{ID: 1, Leaf: 3, Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if b := s.Get(1); b == nil || b.Leaf != 3 || string(b.Data) != "a" {
+		t.Errorf("Get(1) = %+v", s.Get(1))
+	}
+	if b := s.Get(2); b != nil {
+		t.Errorf("Get(missing) = %+v, want nil", b)
+	}
+	if b := s.Remove(1); b == nil || b.ID != 1 {
+		t.Errorf("Remove(1) = %+v", b)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len after remove = %d", s.Len())
+	}
+	if s.Remove(1) != nil {
+		t.Error("double remove returned a block")
+	}
+}
+
+func TestOverflow(t *testing.T) {
+	s := New(2)
+	if err := s.Put(&Block{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(&Block{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(&Block{ID: 3}); !errors.Is(err, ErrOverflow) {
+		t.Errorf("third insert err = %v, want ErrOverflow", err)
+	}
+	// Replacement of an existing ID is allowed at capacity.
+	if err := s.Put(&Block{ID: 2, Leaf: 9}); err != nil {
+		t.Errorf("replacement failed: %v", err)
+	}
+	if s.Get(2).Leaf != 9 {
+		t.Error("replacement did not take effect")
+	}
+}
+
+func TestUnboundedStash(t *testing.T) {
+	s := New(0)
+	for i := uint64(0); i < 1000; i++ {
+		if err := s.Put(&Block{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1000 || s.Peak() != 1000 {
+		t.Errorf("Len=%d Peak=%d", s.Len(), s.Peak())
+	}
+}
+
+func TestNilBlockRejected(t *testing.T) {
+	if err := New(1).Put(nil); err == nil {
+		t.Error("nil block accepted")
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	s := New(10)
+	for i := uint64(0); i < 5; i++ {
+		_ = s.Put(&Block{ID: i})
+	}
+	for i := uint64(0); i < 4; i++ {
+		s.Remove(i)
+	}
+	if s.Peak() != 5 || s.Len() != 1 {
+		t.Errorf("Peak=%d Len=%d, want 5/1", s.Peak(), s.Len())
+	}
+}
+
+func TestEvictableFor(t *testing.T) {
+	// Tree with 3 levels => 4 leaves (0..3). Level 0 is the root (prefix
+	// length 0: everything matches), level 2 is the leaf itself.
+	s := New(0)
+	_ = s.Put(&Block{ID: 1, Leaf: 0})
+	_ = s.Put(&Block{ID: 2, Leaf: 1})
+	_ = s.Put(&Block{ID: 3, Leaf: 3})
+
+	root := s.EvictableFor(0, 0, 3, 10)
+	if len(root) != 3 {
+		t.Errorf("root-level evictable = %d, want 3", len(root))
+	}
+	// Level 1 on the path to leaf 0: leaves 0 and 1 share that subtree.
+	mid := s.EvictableFor(0, 1, 3, 10)
+	if len(mid) != 2 {
+		t.Errorf("level-1 evictable = %d, want 2 (leaves 0,1)", len(mid))
+	}
+	// Leaf level: only exact leaf matches.
+	leaf := s.EvictableFor(3, 2, 3, 10)
+	if len(leaf) != 1 || leaf[0].ID != 3 {
+		t.Errorf("leaf-level evictable = %+v", leaf)
+	}
+	// max truncates.
+	if got := s.EvictableFor(0, 0, 3, 2); len(got) != 2 {
+		t.Errorf("max=2 returned %d", len(got))
+	}
+}
+
+func TestForEachAndIDs(t *testing.T) {
+	s := New(0)
+	for i := uint64(0); i < 4; i++ {
+		_ = s.Put(&Block{ID: i})
+	}
+	seen := map[uint64]bool{}
+	s.ForEach(func(b *Block) { seen[b.ID] = true })
+	if len(seen) != 4 {
+		t.Errorf("ForEach visited %d blocks", len(seen))
+	}
+	if len(s.IDs()) != 4 {
+		t.Errorf("IDs() = %v", s.IDs())
+	}
+}
+
+func TestScanBytes(t *testing.T) {
+	s := New(100)
+	if got := s.ScanBytes(64); got != 6400 {
+		t.Errorf("ScanBytes = %d, want 6400 (covers capacity, not occupancy)", got)
+	}
+	u := New(0)
+	_ = u.Put(&Block{ID: 1})
+	if got := u.ScanBytes(64); got != 64 {
+		t.Errorf("unbounded ScanBytes = %d, want 64", got)
+	}
+}

@@ -1,0 +1,160 @@
+package tee
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMerkleUpdateVerifyRoundTrip(t *testing.T) {
+	mt, err := NewMerkleTree(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 16)
+	data[0] = 0xAB
+	if err := mt.Update(7, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Verify(7, data); err != nil {
+		t.Errorf("verify failed: %v", err)
+	}
+	// Wrong data fails.
+	bad := make([]byte, 16)
+	bad[0] = 0xAC
+	if err := mt.Verify(7, bad); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("tampered leaf err = %v", err)
+	}
+}
+
+func TestMerkleZeroLeavesVerify(t *testing.T) {
+	mt, _ := NewMerkleTree(16, 8)
+	if err := mt.Verify(3, make([]byte, 8)); err != nil {
+		t.Errorf("pristine zero leaf failed: %v", err)
+	}
+}
+
+func TestMerkleRootChangesOnUpdate(t *testing.T) {
+	mt, _ := NewMerkleTree(64, 8)
+	before := mt.Root()
+	data := make([]byte, 8)
+	data[3] = 9
+	_ = mt.Update(10, data)
+	if mt.Root() == before {
+		t.Error("root unchanged after update")
+	}
+}
+
+func TestMerkleDetectsStoredDigestTamper(t *testing.T) {
+	mt, _ := NewMerkleTree(64, 8)
+	data := make([]byte, 8)
+	data[0] = 1
+	_ = mt.Update(20, data)
+	// Corrupt an internal digest on leaf 20's path.
+	mt.CorruptStoredDigest(1, 10)
+	if err := mt.Verify(20, data); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("internal tamper err = %v", err)
+	}
+}
+
+func TestMerkleRandomizedConsistency(t *testing.T) {
+	mt, _ := NewMerkleTree(128, 4)
+	rng := rand.New(rand.NewSource(1))
+	ref := map[int][]byte{}
+	for i := 0; i < 500; i++ {
+		leaf := rng.Intn(128)
+		if rng.Intn(2) == 0 {
+			data := make([]byte, 4)
+			rng.Read(data)
+			if err := mt.Update(leaf, data); err != nil {
+				t.Fatal(err)
+			}
+			ref[leaf] = data
+		} else {
+			want, ok := ref[leaf]
+			if !ok {
+				want = make([]byte, 4)
+			}
+			if err := mt.Verify(leaf, want); err != nil {
+				t.Fatalf("iter %d leaf %d: %v", i, leaf, err)
+			}
+		}
+	}
+}
+
+func TestMerkleValidation(t *testing.T) {
+	if _, err := NewMerkleTree(0, 8); err == nil {
+		t.Error("zero leaves accepted")
+	}
+	if _, err := NewMerkleTree(8, 0); err == nil {
+		t.Error("zero leaf size accepted")
+	}
+	mt, _ := NewMerkleTree(8, 4)
+	if err := mt.Update(8, make([]byte, 4)); err == nil {
+		t.Error("out-of-range leaf accepted")
+	}
+	if err := mt.Update(0, make([]byte, 3)); err == nil {
+		t.Error("wrong-size leaf accepted")
+	}
+}
+
+func TestMerkleDepthAndCost(t *testing.T) {
+	mt, _ := NewMerkleTree(1024, 8)
+	if mt.Depth() != 10 {
+		t.Errorf("depth = %d, want 10", mt.Depth())
+	}
+	mt2, _ := NewMerkleTree(1000, 8) // pads to 1024
+	if mt2.Depth() != 10 {
+		t.Errorf("padded depth = %d", mt2.Depth())
+	}
+	// The Sec 5.2 comparison: counter chain adds zero extra hash walks.
+	ctr, mrk := MerkleVsCounterCost(20, 1<<20)
+	if ctr != 0 {
+		t.Errorf("counter extra hashes = %d", ctr)
+	}
+	if mrk < 20*20 {
+		t.Errorf("merkle extra hashes = %d, want ≥ pathGroups × depth", mrk)
+	}
+}
+
+func TestMerkleHashOpsCounted(t *testing.T) {
+	mt, _ := NewMerkleTree(64, 8)
+	before := mt.HashOps()
+	_ = mt.Update(5, make([]byte, 8))
+	// One leaf hash + depth pair-hashes.
+	if got := mt.HashOps() - before; got != uint64(1+mt.Depth()) {
+		t.Errorf("update cost %d hashes, want %d", got, 1+mt.Depth())
+	}
+}
+
+func BenchmarkMerkleUpdate(b *testing.B) {
+	mt, _ := NewMerkleTree(1<<20, 64)
+	data := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mt.Update(i&(1<<20-1), data)
+	}
+}
+
+// BenchmarkCounterSealVsMerkle contrasts the per-group cost of the two
+// freshness schemes: sealing a 512-byte group (counter chain, the work
+// the access pays anyway) vs a Merkle verify walk for the same group.
+func BenchmarkCounterSealVsMerkle(b *testing.B) {
+	var key [32]byte
+	e := NewEngine(key)
+	group := make([]byte, DefaultGroupSize)
+	mt, _ := NewMerkleTree(1<<20, DefaultGroupSize)
+	_ = mt.Update(0, group)
+	b.Run("counter-seal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Seal(group, 1, uint64(i))
+		}
+	})
+	b.Run("merkle-verify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := mt.Verify(0, group); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package tee models the trusted execution environment the FEDORA
+// controller runs in (Sec 5 of the paper): a small (default 4 KB) on-chip
+// scratchpad that is safe from external observation, plus a memory
+// encryption engine for everything placed off-chip.
+//
+// The scratchpad holds only the encryption key, the root counter, and a
+// small scratch buffer used to accelerate path eviction (Sec 6.6 / Fig
+// 10). All other data structures live in untrusted DRAM or SSD and are
+// protected by the counter-based group encryption of Sec 5.2: multiple
+// tree nodes are grouped (512 bytes by default), each group is encrypted
+// under a per-group counter and authenticated with a tag, and the counter
+// for each group is stored in its *parent* group so that tampering with a
+// counter is caught when the parent fails verification — no Merkle tree
+// needed. The counter of the root group lives in the scratchpad.
+package tee
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultScratchpadSize is the paper's assumed on-chip SRAM budget.
+const DefaultScratchpadSize = 4096
+
+// DefaultGroupSize is how many bytes of tree nodes share one
+// counter/tag, chosen empirically in the paper (Sec 5.2) to balance
+// metadata overhead against encryption latency. Relative to a TEE that
+// allocates a counter/tag per 64-byte cache line this is an 8× metadata
+// reduction.
+const DefaultGroupSize = 512
+
+// TagSize is the length of the truncated HMAC-SHA256 authentication tag
+// appended to each encrypted group. 16 bytes matches hardware memory
+// encryption engines (e.g. Intel MEE).
+const TagSize = 16
+
+// CounterSize is the length of the per-group write counter stored in the
+// parent group.
+const CounterSize = 8
+
+// ErrScratchpadFull is returned when reservations exceed the on-chip SRAM.
+var ErrScratchpadFull = errors.New("tee: scratchpad capacity exceeded")
+
+// ErrAuthFailed is returned when a group's tag does not verify — the
+// untrusted memory was tampered with or replayed under a stale counter.
+var ErrAuthFailed = errors.New("tee: authentication failed (tamper or replay)")
+
+// Scratchpad models the on-chip SRAM. Components reserve byte budgets at
+// construction time; the model verifies the total fits, reproducing the
+// paper's accounting that key + root counter + eviction scratch space all
+// fit in 4 KB.
+type Scratchpad struct {
+	size     int
+	reserved int
+	regions  map[string]int
+}
+
+// NewScratchpad creates a scratchpad of the given size in bytes. A size
+// of 0 models a TEE with no scratchpad at all (the Fig 10 ablation).
+func NewScratchpad(size int) *Scratchpad {
+	if size < 0 {
+		panic("tee: negative scratchpad size")
+	}
+	return &Scratchpad{size: size, regions: make(map[string]int)}
+}
+
+// Reserve claims n bytes for the named component. It fails if the budget
+// would be exceeded or the name is already taken.
+func (s *Scratchpad) Reserve(name string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("tee: negative reservation %d for %q", n, name)
+	}
+	if _, dup := s.regions[name]; dup {
+		return fmt.Errorf("tee: region %q already reserved", name)
+	}
+	if s.reserved+n > s.size {
+		return fmt.Errorf("%w: %q needs %d, %d of %d free",
+			ErrScratchpadFull, name, n, s.size-s.reserved, s.size)
+	}
+	s.regions[name] = n
+	s.reserved += n
+	return nil
+}
+
+// Release frees the named reservation.
+func (s *Scratchpad) Release(name string) {
+	if n, ok := s.regions[name]; ok {
+		s.reserved -= n
+		delete(s.regions, name)
+	}
+}
+
+// Free returns the remaining byte budget.
+func (s *Scratchpad) Free() int { return s.size - s.reserved }
+
+// Size returns the total scratchpad size.
+func (s *Scratchpad) Size() int { return s.size }
+
+// Engine is the memory encryption engine: AES-128-CTR for
+// confidentiality and truncated HMAC-SHA256 for integrity and freshness.
+// Freshness comes from the (groupID, counter) pair forming the CTR nonce
+// and being bound into the tag: replaying an old ciphertext fails
+// verification because the caller supplies the *current* counter, which
+// it obtained from the (already verified) parent group or from the
+// scratchpad-resident root counter.
+type Engine struct {
+	block  cipher.Block
+	macKey [32]byte
+	stats  EngineStats
+}
+
+// EngineStats counts crypto work for the performance model.
+type EngineStats struct {
+	BytesSealed  uint64
+	BytesOpened  uint64
+	GroupsSealed uint64
+	GroupsOpened uint64
+	AuthFailures uint64
+}
+
+// NewEngine derives an engine from a 32-byte master key (16 bytes for
+// AES-128, 32 derived for HMAC).
+func NewEngine(masterKey [32]byte) *Engine {
+	block, err := aes.NewCipher(masterKey[:16])
+	if err != nil {
+		panic("tee: aes.NewCipher: " + err.Error()) // impossible for 16-byte key
+	}
+	e := &Engine{block: block}
+	mac := sha256.Sum256(append([]byte("fedora-mac-key"), masterKey[:]...))
+	e.macKey = mac
+	return e
+}
+
+// nonce builds the 16-byte CTR initial counter block from the group
+// identity and its write counter.
+func nonce(groupID, counter uint64) [aes.BlockSize]byte {
+	var n [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(n[0:8], groupID)
+	binary.LittleEndian.PutUint64(n[8:16], counter)
+	return n
+}
+
+// SealedSize returns the ciphertext length for a plaintext of n bytes.
+func SealedSize(n int) int { return n + TagSize }
+
+// Seal encrypts plaintext under (groupID, counter) and returns
+// ciphertext||tag. The same (groupID, counter) pair must never be reused
+// for different plaintexts; ORAM write logic guarantees monotone counters.
+func (e *Engine) Seal(plaintext []byte, groupID, counter uint64) []byte {
+	out := make([]byte, len(plaintext)+TagSize)
+	iv := nonce(groupID, counter)
+	ctr := cipher.NewCTR(e.block, iv[:])
+	ctr.XORKeyStream(out[:len(plaintext)], plaintext)
+	tag := e.tag(out[:len(plaintext)], groupID, counter)
+	copy(out[len(plaintext):], tag[:TagSize])
+	e.stats.BytesSealed += uint64(len(plaintext))
+	e.stats.GroupsSealed++
+	return out
+}
+
+// Open verifies and decrypts ciphertext||tag produced by Seal under the
+// same (groupID, counter). It returns ErrAuthFailed on any mismatch.
+func (e *Engine) Open(sealed []byte, groupID, counter uint64) ([]byte, error) {
+	if len(sealed) < TagSize {
+		e.stats.AuthFailures++
+		return nil, ErrAuthFailed
+	}
+	body := sealed[:len(sealed)-TagSize]
+	wantTag := sealed[len(sealed)-TagSize:]
+	tag := e.tag(body, groupID, counter)
+	if !hmac.Equal(tag[:TagSize], wantTag) {
+		e.stats.AuthFailures++
+		return nil, ErrAuthFailed
+	}
+	out := make([]byte, len(body))
+	iv := nonce(groupID, counter)
+	ctr := cipher.NewCTR(e.block, iv[:])
+	ctr.XORKeyStream(out, body)
+	e.stats.BytesOpened += uint64(len(body))
+	e.stats.GroupsOpened++
+	return out, nil
+}
+
+func (e *Engine) tag(ciphertext []byte, groupID, counter uint64) [sha256.Size]byte {
+	mac := hmac.New(sha256.New, e.macKey[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], groupID)
+	binary.LittleEndian.PutUint64(hdr[8:16], counter)
+	mac.Write(hdr[:])
+	mac.Write(ciphertext)
+	var out [sha256.Size]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// Stats returns a copy of the accumulated crypto counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = EngineStats{} }
+
+// GroupLayout describes how a tree structure's nodes are packed into
+// encryption groups (Fig 6 of the paper): each stored group holds
+// `GroupSize` bytes of node payload plus one CounterSize slot per child
+// group (so a parent vouches for its children's freshness) plus the tag.
+type GroupLayout struct {
+	GroupSize     int // plaintext payload bytes per group
+	ChildrenPer   int // child-group counters stored in each parent
+	MetadataBytes int // counters + tag per group as stored
+}
+
+// NewGroupLayout computes the stored metadata overhead for a grouping
+// configuration.
+func NewGroupLayout(groupSize, childrenPer int) GroupLayout {
+	return GroupLayout{
+		GroupSize:     groupSize,
+		ChildrenPer:   childrenPer,
+		MetadataBytes: childrenPer*CounterSize + TagSize,
+	}
+}
+
+// OverheadRatio is stored-bytes / payload-bytes − 1, i.e. the fractional
+// memory overhead of the encryption metadata.
+func (l GroupLayout) OverheadRatio() float64 {
+	return float64(l.MetadataBytes) / float64(l.GroupSize)
+}
+
+// PerCacheLineOverheadRatio is the baseline the paper compares against: a
+// TEE that allocates one counter + tag per 64-byte cache line.
+func PerCacheLineOverheadRatio() float64 {
+	return float64(CounterSize+TagSize) / 64.0
+}

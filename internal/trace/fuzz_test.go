@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hammers the trace parser with arbitrary bytes: it must never
+// panic or allocate unboundedly, only return ErrBadFormat or a valid
+// trace that re-serializes cleanly.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	_ = Write(&seed, &Trace{
+		NumRows: 100,
+		Rounds:  [][][]uint64{{{1, 2}, {3}}, {{^uint64(0)}}},
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte("FTRC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must round-trip.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+	})
+}

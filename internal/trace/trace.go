@@ -1,0 +1,194 @@
+// Package trace records and replays per-round embedding-request traces.
+//
+// The paper's artifact ships pre-generated trace files (the Zenodo
+// "input-traces" archive) that drive its ORAM simulator; this package is
+// the equivalent facility: a compact, versioned binary format holding,
+// for each FL round, the per-client request lists (including hide-count
+// padding). Experiments can record a workload once and replay it across
+// systems so every design sees byte-identical requests.
+//
+// Format (little-endian):
+//
+//	magic   "FTRC" | version u32
+//	numRows u64    | rounds u32
+//	per round: clients u32, then per client: count u32, rows [count]u64
+//
+// Dummy (padding) requests are stored as ^uint64(0).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies trace streams.
+var Magic = [4]byte{'F', 'T', 'R', 'C'}
+
+// Version is the current format version.
+const Version = 1
+
+// Trace is a replayable request workload.
+type Trace struct {
+	// NumRows is the table height the trace was generated against.
+	NumRows uint64
+	// Rounds holds per-round, per-client request lists.
+	Rounds [][][]uint64
+}
+
+// ErrBadFormat reports a malformed stream.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// maxReasonable bounds untrusted length fields while decoding.
+const maxReasonable = 1 << 26
+
+// Write serializes the trace.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	if err := writeU32(bw, Version); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.NumRows); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(t.Rounds))); err != nil {
+		return err
+	}
+	for _, round := range t.Rounds {
+		if err := writeU32(bw, uint32(len(round))); err != nil {
+			return err
+		}
+		for _, client := range round {
+			if err := writeU32(bw, uint32(len(client))); err != nil {
+				return err
+			}
+			for _, row := range client {
+				if err := binary.Write(bw, binary.LittleEndian, row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+	t := &Trace{}
+	if err := binary.Read(br, binary.LittleEndian, &t.NumRows); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	rounds, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if rounds > maxReasonable {
+		return nil, fmt.Errorf("%w: %d rounds", ErrBadFormat, rounds)
+	}
+	t.Rounds = make([][][]uint64, rounds)
+	for ri := range t.Rounds {
+		clients, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if clients > maxReasonable {
+			return nil, fmt.Errorf("%w: %d clients", ErrBadFormat, clients)
+		}
+		t.Rounds[ri] = make([][]uint64, clients)
+		for ci := range t.Rounds[ri] {
+			count, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if count > maxReasonable {
+				return nil, fmt.Errorf("%w: %d requests", ErrBadFormat, count)
+			}
+			rows := make([]uint64, count)
+			for k := range rows {
+				if err := binary.Read(br, binary.LittleEndian, &rows[k]); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+				}
+			}
+			t.Rounds[ri][ci] = rows
+		}
+	}
+	return t, nil
+}
+
+// Stats summarizes a trace for reports.
+type Stats struct {
+	Rounds        int
+	TotalRequests int
+	RealRequests  int
+	UniquePerRnd  float64 // mean unique real rows per round
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	st := Stats{Rounds: len(t.Rounds)}
+	var uniqueSum int
+	for _, round := range t.Rounds {
+		seen := map[uint64]bool{}
+		for _, client := range round {
+			for _, row := range client {
+				st.TotalRequests++
+				if row != ^uint64(0) {
+					st.RealRequests++
+					seen[row] = true
+				}
+			}
+		}
+		uniqueSum += len(seen)
+	}
+	if len(t.Rounds) > 0 {
+		st.UniquePerRnd = float64(uniqueSum) / float64(len(t.Rounds))
+	}
+	return st
+}
+
+// Validate checks every real request is inside the table.
+func (t *Trace) Validate() error {
+	for ri, round := range t.Rounds {
+		for ci, client := range round {
+			for _, row := range client {
+				if row != ^uint64(0) && row >= t.NumRows {
+					return fmt.Errorf("trace: round %d client %d requests row %d beyond %d",
+						ri, ci, row, t.NumRows)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var v uint32
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		NumRows: 1000,
+		Rounds: [][][]uint64{
+			{{1, 2, 3}, {4, 5}},
+			{{6}, {}, {7, ^uint64(0)}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows != want.NumRows || !reflect.DeepEqual(got.Rounds, want.Rounds) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWorkloadTraceRoundTrip(t *testing.T) {
+	// Record a real workload generator output and replay it bit-exact.
+	w, _ := dataset.WorkloadByKey("taobao-num")
+	rng := rand.New(rand.NewSource(1))
+	tr := &Trace{NumRows: 100000}
+	for r := 0; r < 3; r++ {
+		tr.Rounds = append(tr.Rounds, w.GenRound(100000, 20, 50, rng))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rounds, tr.Rounds) {
+		t.Error("replayed trace differs")
+	}
+	st := got.Summarize()
+	if st.Rounds != 3 || st.TotalRequests != 3*20*50 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RealRequests >= st.TotalRequests {
+		t.Error("hide-count trace has no padding")
+	}
+	if st.UniquePerRnd <= 0 {
+		t.Error("no unique rows")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE0000"))); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, sampleTrace())
+	b := buf.Bytes()
+	b[4] = 99 // bump version
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, sampleTrace())
+	b := buf.Bytes()
+	for _, cut := range []int{3, 7, 12, len(b) / 2, len(b) - 1} {
+		if _, err := Read(bytes.NewReader(b[:cut])); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("cut %d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestUnreasonableLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, sampleTrace())
+	b := buf.Bytes()
+	// Corrupt the round count (offset 16: magic 4 + ver 4 + numRows 8).
+	b[16], b[17], b[18], b[19] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Rounds[0][0][0] = 5000 // beyond NumRows
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	// Dummies are always valid.
+	tr2 := &Trace{NumRows: 10, Rounds: [][][]uint64{{{^uint64(0)}}}}
+	if err := tr2.Validate(); err != nil {
+		t.Errorf("dummy rejected: %v", err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Trace{NumRows: 5}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rounds) != 0 {
+		t.Errorf("rounds = %d", len(got.Rounds))
+	}
+	st := got.Summarize()
+	if st.UniquePerRnd != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
