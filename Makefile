@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check experiments table1 clean
 
 all: build test
+
+# CI gate: static checks + the race detector over the concurrent layers
+# (the FL worker pool and the fedora round pipeline).
+check:
+	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) test -race ./internal/fl/... ./internal/fedora/...
 
 build:
 	$(GO) build ./...

@@ -6,7 +6,9 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/dataset"
@@ -141,6 +143,45 @@ func BenchmarkTable1Accesses(b *testing.B) {
 	}
 	if rep.K > 0 {
 		b.ReportMetric(100*(1-float64(rep.KSampled)/float64(rep.K)), "reduced-accesses-pct")
+	}
+}
+
+// BenchmarkRoundWorkers compares one FL round end-to-end at Workers=1
+// (the old sequential hot path) against a GOMAXPROCS-sized worker pool.
+// On multi-core the parallel round's wall clock beats sequential while —
+// by construction of the client-order merge — producing bit-identical
+// model state for identical seeds (fl.TestWorkerCountDeterminism is the
+// correctness side of this claim).
+func BenchmarkRoundWorkers(b *testing.B) {
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1] // single-core: nothing to compare against
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := dataset.MovieLensConfig()
+			cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 2000, 400, 60
+			ds := dataset.Generate(cfg)
+			tr, err := fl.New(fl.Config{
+				Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+				Epsilon: 1.0, ClientsPerRound: 50, LocalEpochs: 2,
+				LocalLR: 0.1, Seed: 1, Workers: w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var rep fl.RoundReport
+			for i := 0; i < b.N; i++ {
+				rep, err = tr.RunRound()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if rep.Timings.Train > 0 {
+				b.ReportMetric(float64(rep.Timings.Train.Microseconds()), "train-us/round")
+			}
+		})
 	}
 }
 

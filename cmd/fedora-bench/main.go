@@ -9,6 +9,7 @@
 //	fedora-bench -ablation-evict   eviction-period (A) sweep
 //	fedora-bench -ablation-chunk   union chunk-size sweep
 //	fedora-bench -ablation-shape   e-FDP shape (Y) sweep
+//	fedora-bench -parallel         FL round wall-clock vs worker count
 //	fedora-bench -all              everything above
 //
 // -quick restricts sweeps to the Small/10K point for a fast smoke run.
@@ -18,9 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -35,6 +40,7 @@ func main() {
 		chunk  = flag.Bool("ablation-chunk", false, "sweep the union chunk size")
 		shape  = flag.Bool("ablation-shape", false, "sweep the e-FDP shape Y")
 		sched  = flag.Bool("ablation-schedule", false, "FL-friendly vs vanilla RAW ORAM schedule")
+		par    = flag.Bool("parallel", false, "sweep the FL trainer's worker count and report round wall-clock + speedup")
 		geom   = flag.Bool("geometry", false, "print the derived ORAM configurations (Sec 6.1)")
 		family = flag.Bool("ablation-family", false, "tree vs shuffling ORAM family (Sec 7)")
 		all    = flag.Bool("all", false, "run every experiment")
@@ -181,8 +187,79 @@ func main() {
 		}
 		fmt.Println(experiments.RenderFamilyAblation(rows))
 	}
+	if *par || *all {
+		any = true
+		if err := runParallelSweep(*rounds, *seed, *quick); err != nil {
+			fail(err)
+		}
+	}
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runParallelSweep measures FL round wall-clock at increasing worker
+// counts on one dataset/config, verifying along the way that every
+// worker count reproduces the same model (same seed ⇒ same AUC).
+func runParallelSweep(rounds int, seed int64, quick bool) error {
+	cfg := dataset.MovieLensConfig()
+	cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 2000, 400, 60
+	if quick {
+		cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 400, 150, 40
+	}
+	ds := dataset.Generate(cfg)
+	if rounds <= 0 {
+		rounds = 2
+	}
+
+	max := runtime.GOMAXPROCS(0)
+	var counts []int
+	for w := 1; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	counts = append(counts, max)
+
+	fmt.Printf("FL round parallelism (MovieLens-like, %d users, %d rounds, GOMAXPROCS=%d)\n\n",
+		cfg.NumUsers, rounds, max)
+	fmt.Printf("%8s  %12s  %12s  %8s  %7s\n", "workers", "round wall", "train phase", "speedup", "AUC")
+	var base float64
+	var baseAUC float64
+	var lastPhases fl.PhaseTimings
+	for _, w := range counts {
+		tr, err := fl.New(fl.Config{
+			Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+			Epsilon: 1, ClientsPerRound: 50, LocalEpochs: 2,
+			LocalLR: 0.1, Seed: seed, Workers: w,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := tr.Run(rounds)
+		if err != nil {
+			return err
+		}
+		perRound := res.Phases.Total / time.Duration(rounds)
+		trainPer := res.Phases.Train / time.Duration(rounds)
+		if w == 1 {
+			base = float64(res.Phases.Total)
+			baseAUC = res.AUC
+		} else if res.AUC != baseAUC {
+			return fmt.Errorf("determinism violated: workers=%d AUC %v != workers=1 AUC %v",
+				w, res.AUC, baseAUC)
+		}
+		fmt.Printf("%8d  %12v  %12v  %7.2fx  %.4f\n",
+			w, perRound.Round(time.Microsecond), trainPer.Round(time.Microsecond),
+			base/float64(res.Phases.Total), res.AUC)
+		lastPhases = res.Phases
+	}
+	fmt.Printf("\nphase breakdown at workers=%d (wall clock, %d rounds):\n", max, rounds)
+	fmt.Print(metrics.RenderPhases([]metrics.Phase{
+		{Name: "select", D: lastPhases.Select},
+		{Name: "union", D: lastPhases.Union},
+		{Name: "oram-read", D: lastPhases.ORAMRead},
+		{Name: "train", D: lastPhases.Train},
+		{Name: "aggregate", D: lastPhases.Aggregate},
+	}))
+	return nil
 }

@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/fdp"
 	"repro/internal/fl"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "trimmed datasets and round counts")
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		csvOut  = flag.String("csv", "", "also write Table 1 to this CSV file")
+		workers = flag.Int("workers", 0, "client-training worker pool size (0 = GOMAXPROCS); results are seed-deterministic at any value")
 	)
 	flag.Parse()
 
@@ -70,14 +73,14 @@ func main() {
 		}
 		fmt.Println(experiments.RenderPoolingAblation(rows))
 	case *single:
-		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed)
+		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed, *workers)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64) {
+func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64, workers int) {
 	var cfg dataset.Config
 	switch dsName {
 	case "movielens":
@@ -97,6 +100,7 @@ func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, 
 		Dataset: ds, Dim: 8, Hidden: 16,
 		ClientsPerRound: 40, MaxFeaturesPerClient: 100,
 		LocalLR: 0.1, LocalEpochs: 2, Seed: seed,
+		Workers: workers,
 	}
 	switch mode {
 	case "pub":
@@ -131,10 +135,29 @@ func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, 
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dataset=%s mode=%s eps=%g rounds=%d\n", dsName, mode, eps, rounds)
+	fmt.Printf("dataset=%s mode=%s eps=%g rounds=%d workers=%d\n", dsName, mode, eps, rounds, res.Workers)
 	fmt.Printf("AUC:              %.4f\n", res.AUC)
 	fmt.Printf("reduced accesses: %.2f%%\n", 100*res.ReducedAccesses)
 	fmt.Printf("dummy accesses:   %.2f%% of optimum\n", 100*res.DummyFrac)
 	fmt.Printf("lost accesses:    %.2f%% of optimum\n", 100*res.LostFrac)
 	fmt.Printf("wall time:        %v\n", res.Elapsed.Round(1e6))
+	fmt.Printf("phase breakdown (wall clock, %d rounds):\n", res.Rounds)
+	fmt.Print(indent(metrics.RenderPhases([]metrics.Phase{
+		{Name: "select", D: res.Phases.Select},
+		{Name: "union", D: res.Phases.Union},
+		{Name: "oram-read", D: res.Phases.ORAMRead},
+		{Name: "train", D: res.Phases.Train},
+		{Name: "aggregate", D: res.Phases.Aggregate},
+	}), "  "))
+}
+
+// indent prefixes every non-empty line.
+func indent(s, pre string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = pre + l
+		}
+	}
+	return strings.Join(lines, "\n")
 }

@@ -16,6 +16,14 @@
 // paper — the protections (ORAM + ε-FDP) bound what the *storage side*
 // and the access *counts* reveal, not the serving channel, which in the
 // real deployment is inside the TEE.
+//
+// Paper mapping: an HTTP facade over the Sec 4 round pipeline (Fig 4
+// steps ①–⑦) — it adds no privacy machinery of its own. Key
+// invariants: at most one round is in flight (a second POST /v1/rounds
+// is rejected until the current one finishes, mirroring the controller's
+// ErrRoundInProgress), and handlers never touch controller internals
+// except through the same concurrency-safe entry points the FL trainer
+// uses.
 package api
 
 import (

@@ -15,6 +15,13 @@
 // FedAdam (server-side adaptive moments), EANA (clip + Gaussian noise,
 // a DP method for recommendation models), and LazyDP (noise scaled by
 // rounds-since-last-update, tracked per block).
+//
+// Key invariants (Sec 4.3): the capacity equals max clients/round × max
+// features/client, so a round can never overflow the buffer (Load fails
+// loudly if the sizing contract is violated); Serve/Aggregate of a
+// non-resident entry still costs one indistinguishable ORAM touch; and a
+// slot is recycled only after Unload has applied the aggregate and
+// returned the entry for write-back.
 package bufferoram
 
 import (

@@ -12,6 +12,11 @@
 //     power while actively reading/writing.
 //   - Hardware is replaced every five years, or when the SSD wears out,
 //     whichever comes first.
+//
+// Key invariants: lifetime is a pure function of bytes written and
+// device capacity (no hidden state between calls), and the Sec 6.5
+// comparisons are normalized to the DRAM-based design point so the
+// ratios line up with Figure 9's bars.
 package costmodel
 
 import (

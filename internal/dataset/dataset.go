@@ -16,6 +16,12 @@
 //     × 10K/100K/1M updates per round) as per-round request traces whose
 //     duplicate rates are calibrated to the paper's measured
 //     reduced-access percentages (Table 1).
+//
+// Paper mapping: Sec 6.1 (workloads/scales of the performance study) and
+// Sec 6.4 (datasets of the accuracy study). Key invariants: generation
+// is deterministic per seed; every user carries separate train and test
+// samples; and item popularity keeps the Zipf skew that produces the
+// duplicate-request savings of Table 1.
 package dataset
 
 import (

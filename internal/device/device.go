@@ -14,6 +14,12 @@
 // pages (4 KB by default), which is why FEDORA sizes ORAM buckets in
 // multiples of the page size (Sec 6.6). Written bytes are tracked for the
 // wear/lifetime model (Sec 6.2: 5.4 PB may be written per TB of capacity).
+//
+// Key invariants: every operation both moves real bytes and advances the
+// modelled clock/counters (accounting-only mode advances just the
+// latter, by identical amounts); SSD accesses round up to whole pages;
+// and contents are bit-faithful — a read returns exactly what was last
+// written.
 package device
 
 import (

@@ -3,6 +3,10 @@
 // sweep on the simulated devices and renders the same rows/series the
 // paper reports. See DESIGN.md's experiment index for the mapping and
 // EXPERIMENTS.md for paper-vs-measured results.
+//
+// Key invariants: every Run* function is deterministic for a fixed seed,
+// and rows render in the paper's order so outputs can be diffed against
+// EXPERIMENTS.md across PRs.
 package experiments
 
 import (

@@ -26,6 +26,12 @@
 // the mechanism per chunk (Sec 4.2); by parallel composition over
 // disjoint user data the round still satisfies the same ε-FDP, but the
 // per-chunk noise accumulates — the accuracy cost the paper notes.
+//
+// Key invariants: Sample always returns k ∈ [1, K]; the Delta shape
+// forces k = K (perfect FDP, the ε = 0 configuration) while ε = ∞
+// degenerates to k = k_union; and k's distribution shifts by at most
+// e^ε ratios as k_union varies — the attack tests bound an adversary's
+// advantage empirically against Sec 3.1's analytical limit.
 package fdp
 
 import (

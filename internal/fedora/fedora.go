@@ -24,6 +24,15 @@
 //     with full path read+write on every access.
 //   - BackendDRAM: the Fig 9 comparison point — FEDORA's structure with
 //     the main ORAM held in (expensive) DRAM instead of an SSD.
+//
+// Key invariants: at most one round is in flight per controller
+// (BeginRound returns ErrRoundInProgress otherwise); the adversary
+// observes exactly k main-ORAM accesses in each direction per chunk —
+// dummy fetches and dummy write-backs pad both sides; and the ORAM
+// pipeline is single-writer — a controller-level mutex serializes all
+// round entry points, so many client goroutines may serve downloads and
+// stage uploads concurrently (as the parallel FL trainer does) without
+// the ORAMs ever seeing concurrent mutation.
 package fedora
 
 import (
@@ -31,6 +40,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/bufferoram"
 	"repro/internal/device"
@@ -156,8 +166,15 @@ func (c *Config) validate() error {
 }
 
 // Controller is the trusted FEDORA controller plus its devices.
+//
+// A Controller is safe for concurrent use: mu serializes every operation
+// that touches round state or the ORAM pipeline, so multiple trainer
+// goroutines may stage downloads/uploads through the active Round while
+// the ORAMs themselves stay single-writer (the paper's controller is a
+// single trusted unit; concurrency here is in the FL harness around it).
 type Controller struct {
 	cfg Config
+	mu  sync.Mutex // guards round state and the ORAM pipeline below
 
 	ssd  *device.Sim // main ORAM home (SSD profile, or DRAM profile for BackendDRAM)
 	dram *device.Sim // buffer ORAM, VTree, stash, position map
@@ -359,7 +376,11 @@ func (c *Controller) SSDDevice() *device.Sim  { return c.ssd }
 func (c *Controller) DRAMDevice() *device.Sim { return c.dram }
 
 // Round returns the number of completed rounds.
-func (c *Controller) Round() uint64 { return c.round }
+func (c *Controller) Round() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
 
 // MainEvictPeriod reports the main ORAM's eviction period A (0 for the
 // Path ORAM+ backend, which has no eviction period).
@@ -374,6 +395,8 @@ func (c *Controller) MainEvictPeriod() int {
 // traffic or state change. It exists so evaluation code can score the
 // global model; a deployment has no such backdoor.
 func (c *Controller) PeekRow(row uint64) ([]float32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var (
 		payload []byte
 		err     error

@@ -42,6 +42,14 @@ type RoundStats struct {
 	ServeTime     time.Duration
 	AggregateTime time.Duration
 	UpdateTime    time.Duration
+	// Wall-clock phase durations measured on the host (as opposed to the
+	// modelled device times above): the oblivious-union scans, the main-
+	// ORAM → buffer-ORAM reads of BeginRound, and the write-back pass of
+	// Finish. The fl layer combines these with its own select/train
+	// timings into the per-round phase breakdown.
+	UnionWallTime  time.Duration
+	ReadWallTime   time.Duration
+	FinishWallTime time.Duration
 }
 
 // Total is the controller-side critical-path time added to the FL round.
@@ -50,6 +58,11 @@ func (s RoundStats) Total() time.Duration {
 }
 
 // Round is an in-flight FL round (between BeginRound and Finish).
+//
+// ServeEntry, SubmitGradient and Finish are safe for concurrent use by
+// multiple goroutines: multiple trainer workers may stage downloads and
+// uploads simultaneously while the controller's mutex keeps the ORAM
+// pipeline single-writer underneath.
 type Round struct {
 	c      *Controller
 	loaded map[uint64]bool
@@ -65,6 +78,8 @@ var ErrRoundInProgress = errors.New("fedora: previous round not finished")
 // returns the Round handle used for serving, aggregation and completion.
 // Clients pad with DummyRequest in the hide-count mode.
 func (c *Controller) BeginRound(requests [][]uint64) (*Round, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.inRound {
 		return nil, ErrRoundInProgress
 	}
@@ -140,11 +155,14 @@ func (c *Controller) union(chunk []uint64) ([]uint64, int, time.Duration) {
 	return res.IDs[:res.Size], res.Size, d
 }
 
-// processChunk runs steps ①–③ for one chunk of requests.
+// processChunk runs steps ①–③ for one chunk of requests. The caller
+// (BeginRound) holds c.mu.
 func (r *Round) processChunk(chunk []uint64) error {
 	c := r.c
+	wallStart := time.Now()
 	ids, kUnion, unionDur := c.union(chunk)
 	r.stats.UnionTime += unionDur
+	r.stats.UnionWallTime += time.Since(wallStart)
 	r.stats.KUnion += kUnion
 	if len(chunk) == 0 {
 		return nil
@@ -172,6 +190,7 @@ func (r *Round) processChunk(chunk []uint64) error {
 
 	// ③ read k entries, chosen by the configured selection policy
 	// (Sec 4.2), padded with dummies when k > k_union.
+	wallStart = time.Now()
 	nReal := k
 	if nReal > kUnion {
 		nReal = kUnion
@@ -189,6 +208,7 @@ func (r *Round) processChunk(chunk []uint64) error {
 			return err
 		}
 	}
+	r.stats.ReadWallTime += time.Since(wallStart)
 	return nil
 }
 
@@ -257,6 +277,8 @@ func (r *Round) dummyFetch() error {
 // lost-entry policy (our FL layer, like the paper's prototype, drops the
 // affected training samples).
 func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
 	if r.done {
 		return nil, false, errors.New("fedora: round already finished")
 	}
@@ -275,6 +297,8 @@ func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
 // aggregate (step ⑥). delivered is false when the row was not resident
 // (the gradient is dropped, matching a lost entry).
 func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delivered bool, err error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
 	if r.done {
 		return false, errors.New("fedora: round already finished")
 	}
@@ -292,10 +316,13 @@ func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delive
 // Finish applies aggregated updates back to the main ORAM (step ⑦) and
 // closes the round.
 func (r *Round) Finish() (RoundStats, error) {
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
 	if r.done {
 		return r.stats, errors.New("fedora: round already finished")
 	}
 	c := r.c
+	wallStart := time.Now()
 	for row := range r.loaded {
 		entry, d, err := c.buf.Unload(row)
 		r.stats.UpdateTime += d
@@ -343,6 +370,7 @@ func (r *Round) Finish() (RoundStats, error) {
 			return r.stats, err
 		}
 	}
+	r.stats.FinishWallTime = time.Since(wallStart)
 	r.done = true
 	c.inRound = false
 	return r.stats, nil

@@ -19,6 +19,13 @@
 // Entries lost to the ε-FDP mechanism follow the paper's policy:
 // training samples touching a lost candidate row are dropped for the
 // round; lost history rows are skipped from pooling.
+//
+// Key invariants: a run is deterministic in Config.Seed at ANY
+// Config.Workers value — per-client randomness derives only from the
+// round seed and the client's index, workers compute independent
+// per-client outcomes, and the merge step replays uploads in client
+// order (rows sorted within a client) so floating-point aggregation
+// happens in one fixed order regardless of goroutine scheduling.
 package fl
 
 import (
@@ -26,6 +33,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -104,6 +114,13 @@ type Config struct {
 	// this natively: n_t adjusts and untouched entries keep their values
 	// (Sec 4.3).
 	DropoutProb float64
+	// Workers bounds the worker pool that fans per-client downloads and
+	// local SGD out across goroutines (0 = runtime.GOMAXPROCS(0); 1 =
+	// fully sequential). Clients are independent until aggregation
+	// (Sec 4.2–4.4), so the round is parallel up to the merge step; the
+	// merge itself replays uploads in client order, which makes the model
+	// state bit-identical for a given Seed at ANY worker count.
+	Workers int
 }
 
 func (c *Config) setDefaults() {
@@ -144,6 +161,10 @@ type Trainer struct {
 	// user's features recur across rounds).
 	epsSpent float64
 	rounds   int
+
+	// preRound, when set (tests only), runs before each round of Run —
+	// used to inject mid-loop faults for the abort-path regression test.
+	preRound func(round int)
 }
 
 // New builds a trainer and its controller.
@@ -196,6 +217,34 @@ func New(cfg Config) (*Trainer, error) {
 // Controller exposes the underlying FEDORA controller (for stats).
 func (t *Trainer) Controller() *fedora.Controller { return t.ctrl }
 
+// PhaseTimings is the host wall-clock breakdown of one FL round. Select,
+// Train and Aggregate are measured by the trainer; Union and ORAMRead
+// come from the controller (fedora.RoundStats' *WallTime fields). Train
+// covers the parallel section: per-client downloads plus local SGD
+// across the worker pool. Aggregate covers the deterministic merge —
+// gradient submission in client order, the buffer-ORAM → main-ORAM
+// write-back, and the dense FedAvg apply.
+type PhaseTimings struct {
+	Select    time.Duration
+	Union     time.Duration
+	ORAMRead  time.Duration
+	Train     time.Duration
+	Aggregate time.Duration
+	Total     time.Duration
+}
+
+// Add returns the field-wise sum (used to accumulate across rounds).
+func (p PhaseTimings) Add(q PhaseTimings) PhaseTimings {
+	return PhaseTimings{
+		Select:    p.Select + q.Select,
+		Union:     p.Union + q.Union,
+		ORAMRead:  p.ORAMRead + q.ORAMRead,
+		Train:     p.Train + q.Train,
+		Aggregate: p.Aggregate + q.Aggregate,
+		Total:     p.Total + q.Total,
+	}
+}
+
 // RoundReport summarizes one round.
 type RoundReport struct {
 	fedora.RoundStats
@@ -209,15 +258,49 @@ type RoundReport struct {
 	DroppedClients int
 	// MeanLoss is the average local training loss.
 	MeanLoss float64
+	// Workers is the worker-pool size the round trained with.
+	Workers int
+	// Timings is the wall-clock phase breakdown of the round.
+	Timings PhaseTimings
 }
 
-// RunRound executes one FL round.
+// Workers resolves the effective worker-pool size.
+func (t *Trainer) Workers() int {
+	if t.cfg.Workers > 0 {
+		return t.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clientOutcome is the result of one client's download + local-SGD pass,
+// produced by a pool worker and folded into the round by the merge step.
+type clientOutcome struct {
+	err            error
+	droppedClient  bool
+	trained        int
+	droppedSamples int
+	lossSum        float64
+	lossN          int
+	// rows/deltas are the embedding uploads in ascending row order (a
+	// deterministic order so the merge is reproducible).
+	rows     []uint64
+	deltas   [][]float32
+	mlpDelta []float32
+}
+
+// RunRound executes one FL round: selection and request building stay on
+// the caller's goroutine (they consume the trainer RNG), the per-client
+// download + local-SGD work fans out over the worker pool, and a merge
+// step replays uploads in client order so aggregation keeps the exact
+// sequential semantics regardless of worker count.
 func (t *Trainer) RunRound() (RoundReport, error) {
 	cfg := t.cfg
+	workers := t.Workers()
+	selStart := time.Now()
 	users := t.selectUsers()
-	report := RoundReport{Participants: len(users)}
+	report := RoundReport{Participants: len(users), Workers: workers}
 
-	// Build requests.
+	// Build requests (consumes t.rng → must stay sequential, in order).
 	reqs := make([][]uint64, len(users))
 	for i, u := range users {
 		if cfg.HideCount {
@@ -226,110 +309,70 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 			reqs[i] = u.Rows(cfg.MaxFeaturesPerClient)
 		}
 	}
+	// The round seed drives all per-client randomness below. Each client
+	// derives its own RNG from (round seed, client index), so outcomes do
+	// not depend on which worker runs which client, or in what order.
+	roundSeed := t.rng.Int63()
+	report.Timings.Select = time.Since(selStart)
+
 	round, err := t.ctrl.BeginRound(reqs)
 	if err != nil {
 		return report, err
 	}
 
-	// Per-client local training.
+	// Per-client local training over the bounded worker pool. Workers
+	// only read shared state (global model, dataset) and call the
+	// concurrency-safe Round entry points; all mutation happens in the
+	// merge below.
+	trainStart := time.Now()
+	outcomes := make([]clientOutcome, len(users))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outcomes[i] = t.trainClient(round, users[i], reqs[i], roundSeed, i)
+			}
+		}()
+	}
+	for i := range users {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	report.Timings.Train = time.Since(trainStart)
+
+	// Merge in client order: float aggregation is order-sensitive, so a
+	// fixed replay order keeps results identical at any worker count (and
+	// identical to the sequential implementation this replaced).
+	aggStart := time.Now()
 	var mlpUploads []mlpUpload
 	var lossSum float64
 	var lossN int
-	for i, u := range users {
-		// Download the working set, keeping pristine copies so the upload
-		// can be the local-SGD delta Δθ_c = θ_downloaded − θ_trained.
-		local := recmodel.MapSource{}
-		downloaded := recmodel.MapSource{} // resident rows only: these upload
-		for _, row := range reqs[i] {
-			if row == fedora.DummyRequest {
-				continue
-			}
-			entry, ok, err := round.ServeEntry(row)
-			if err != nil {
-				return report, err
-			}
-			if ok {
-				local[row] = entry
-				downloaded[row] = append([]float32(nil), entry...)
-			} else if cfg.Lost == LostDefault {
-				// Substitute the initialization value so samples touching
-				// this row still train; its local updates are discarded at
-				// upload (the row is not resident in the buffer ORAM).
-				local[row] = t.initRow(row)
-			}
+	for i := range outcomes {
+		out := &outcomes[i]
+		if out.err != nil {
+			return report, fmt.Errorf("client %d: %w", i, out.err)
 		}
-		// Client dropout: the rows were fetched (and their ORAM cost paid)
-		// but this client vanishes before uploading anything.
-		if cfg.DropoutProb > 0 && t.rng.Float64() < cfg.DropoutProb {
+		if out.droppedClient {
 			report.DroppedClients++
 			continue
 		}
-		// Local model: clone of the global MLP.
-		localModel := recmodel.New(recmodel.Config{
-			Dim: cfg.Dim, Hidden: cfg.Hidden, UsePrivate: cfg.UsePrivate,
-			LR: cfg.LocalLR, Seed: cfg.Seed + int64(u.ID), Dropout: cfg.Dropout,
-			Pooling: cfg.Pooling, DenseIn: cfg.DenseIn,
-		})
-		if err := localModel.MLP.SetParams(t.global.MLP.Params()); err != nil {
-			return report, err
-		}
-		trained := 0
-		for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
-			for _, s := range u.Train {
-				step := recmodel.EmbGrad{}
-				loss, ok := localModel.TrainStep(s, local, step)
-				if !ok {
-					if epoch == 0 {
-						report.DroppedSamples++
-					}
-					continue
-				}
-				// Apply the step to the local embedding copies (true local
-				// SGD on the downloaded rows).
-				for row, g := range step {
-					vec := local[row]
-					for j := range vec {
-						vec[j] -= cfg.LocalLR * g[j]
-					}
-				}
-				if epoch == 0 {
-					trained++
-				}
-				lossSum += float64(loss)
-				lossN++
-			}
-		}
-		report.TrainedSamples += trained
-		if trained == 0 {
+		report.TrainedSamples += out.trained
+		report.DroppedSamples += out.droppedSamples
+		lossSum += out.lossSum
+		lossN += out.lossN
+		if out.trained == 0 {
 			continue // user contributed nothing (all samples dropped)
 		}
-		// Upload embedding deltas for resident rows; FedAvg weights them
-		// by n_c = trained. (LostDefault substitutes never upload.)
-		for row, down := range downloaded {
-			vec := local[row]
-			delta := make([]float32, len(vec))
-			changed := false
-			for j := range vec {
-				delta[j] = down[j] - vec[j]
-				if delta[j] != 0 {
-					changed = true
-				}
-			}
-			if !changed {
-				continue // row downloaded but untouched by training
-			}
-			if _, err := round.SubmitGradient(row, delta, trained); err != nil {
+		for j, row := range out.rows {
+			if _, err := round.SubmitGradient(row, out.deltas[j], out.trained); err != nil {
 				return report, err
 			}
 		}
-		// Upload the MLP delta (dense FedAvg outside FEDORA).
-		gp := t.global.MLP.Params()
-		lp := localModel.MLP.Params()
-		delta := make([]float32, len(gp))
-		for j := range delta {
-			delta[j] = gp[j] - lp[j]
-		}
-		mlpUploads = append(mlpUploads, mlpUpload{delta: delta, n: trained})
+		mlpUploads = append(mlpUploads, mlpUpload{delta: out.mlpDelta, n: out.trained})
 	}
 
 	st, err := round.Finish()
@@ -337,6 +380,8 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 		return report, err
 	}
 	report.RoundStats = st
+	report.Timings.Union = st.UnionWallTime
+	report.Timings.ORAMRead = st.ReadWallTime
 	if lossN > 0 {
 		report.MeanLoss = lossSum / float64(lossN)
 	}
@@ -348,6 +393,8 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 			return report, err
 		}
 	}
+	report.Timings.Aggregate = time.Since(aggStart)
+	report.Timings.Total = time.Since(selStart)
 
 	t.totK += st.K
 	t.totUnion += st.KUnion
@@ -357,6 +404,120 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 	t.epsSpent += st.RoundEpsilon
 	t.rounds++
 	return report, nil
+}
+
+// trainClient runs one client's round: download the working set, local
+// SGD, and delta computation. It is called from pool workers and must
+// not touch trainer state other than reads of immutable/global data; the
+// only side effects go through the concurrency-safe round handle.
+func (t *Trainer) trainClient(round *fedora.Round, u *dataset.User, req []uint64, roundSeed int64, clientIdx int) clientOutcome {
+	cfg := t.cfg
+	var out clientOutcome
+	// Per-client RNG: deterministic in (round seed, client index) so the
+	// schedule across workers cannot influence results.
+	crng := rand.New(rand.NewSource(roundSeed ^ (int64(clientIdx)+1)*0x5DEECE66D))
+
+	// Download the working set, keeping pristine copies so the upload
+	// can be the local-SGD delta Δθ_c = θ_downloaded − θ_trained.
+	local := recmodel.MapSource{}
+	downloaded := recmodel.MapSource{} // resident rows only: these upload
+	for _, row := range req {
+		if row == fedora.DummyRequest {
+			continue
+		}
+		entry, ok, err := round.ServeEntry(row)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		if ok {
+			local[row] = entry
+			downloaded[row] = append([]float32(nil), entry...)
+		} else if cfg.Lost == LostDefault {
+			// Substitute the initialization value so samples touching
+			// this row still train; its local updates are discarded at
+			// upload (the row is not resident in the buffer ORAM).
+			local[row] = t.initRow(row)
+		}
+	}
+	// Client dropout: the rows were fetched (and their ORAM cost paid)
+	// but this client vanishes before uploading anything.
+	if cfg.DropoutProb > 0 && crng.Float64() < cfg.DropoutProb {
+		out.droppedClient = true
+		return out
+	}
+	// Local model: clone of the global MLP.
+	localModel := recmodel.New(recmodel.Config{
+		Dim: cfg.Dim, Hidden: cfg.Hidden, UsePrivate: cfg.UsePrivate,
+		LR: cfg.LocalLR, Seed: cfg.Seed + int64(u.ID), Dropout: cfg.Dropout,
+		Pooling: cfg.Pooling, DenseIn: cfg.DenseIn,
+	})
+	globalParams := t.global.MLP.Params()
+	if err := localModel.MLP.SetParams(globalParams); err != nil {
+		out.err = err
+		return out
+	}
+	for epoch := 0; epoch < cfg.LocalEpochs; epoch++ {
+		for _, s := range u.Train {
+			step := recmodel.EmbGrad{}
+			loss, ok := localModel.TrainStep(s, local, step)
+			if !ok {
+				if epoch == 0 {
+					out.droppedSamples++
+				}
+				continue
+			}
+			// Apply the step to the local embedding copies (true local
+			// SGD on the downloaded rows).
+			for row, g := range step {
+				vec := local[row]
+				for j := range vec {
+					vec[j] -= cfg.LocalLR * g[j]
+				}
+			}
+			if epoch == 0 {
+				out.trained++
+			}
+			out.lossSum += float64(loss)
+			out.lossN++
+		}
+	}
+	if out.trained == 0 {
+		return out
+	}
+	// Embedding deltas for resident rows, in ascending row order; FedAvg
+	// weights them by n_c = trained. (LostDefault substitutes never
+	// upload.)
+	rows := make([]uint64, 0, len(downloaded))
+	for row := range downloaded {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+	for _, row := range rows {
+		down := downloaded[row]
+		vec := local[row]
+		delta := make([]float32, len(vec))
+		changed := false
+		for j := range vec {
+			delta[j] = down[j] - vec[j]
+			if delta[j] != 0 {
+				changed = true
+			}
+		}
+		if !changed {
+			continue // row downloaded but untouched by training
+		}
+		out.rows = append(out.rows, row)
+		out.deltas = append(out.deltas, delta)
+	}
+	// The MLP delta (dense FedAvg outside FEDORA).
+	lp := localModel.MLP.Params()
+	mlpDelta := make([]float32, len(globalParams))
+	for j := range mlpDelta {
+		mlpDelta[j] = globalParams[j] - lp[j]
+	}
+	out.mlpDelta = mlpDelta
+	return out
 }
 
 // mlpUpload is one client's dense-model contribution.
@@ -518,21 +679,39 @@ type Result struct {
 	AdversaryBound float64
 	// Elapsed is the wall-clock training time (simulator-side).
 	Elapsed time.Duration
+	// Workers is the worker-pool size the run trained with.
+	Workers int
+	// Phases accumulates the per-round wall-clock phase breakdown.
+	Phases PhaseTimings
 }
 
-// Run trains for the given number of rounds and evaluates.
+// Run trains for the given number of rounds and evaluates. When a round
+// fails mid-loop it aborts cleanly: the returned error names the failing
+// round, and the partial Result still reports the rounds that DID
+// complete (with their accumulated phase timings and elapsed time) so
+// callers can see how far training got.
 func (t *Trainer) Run(rounds int) (Result, error) {
 	start := time.Now()
+	res := Result{Workers: t.Workers()}
 	for r := 0; r < rounds; r++ {
-		if _, err := t.RunRound(); err != nil {
-			return Result{}, fmt.Errorf("round %d: %w", r, err)
+		if t.preRound != nil {
+			t.preRound(r)
 		}
+		rep, err := t.RunRound()
+		if err != nil {
+			res.Rounds = r
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("round %d failed after %d completed: %w", r, r, err)
+		}
+		res.Phases = res.Phases.Add(rep.Timings)
 	}
+	res.Rounds = rounds
+	res.Elapsed = time.Since(start)
 	auc, err := t.EvaluateAUC()
 	if err != nil {
-		return Result{}, err
+		return res, err
 	}
-	res := Result{Rounds: rounds, AUC: auc, Elapsed: time.Since(start)}
+	res.AUC = auc
 	res.CumulativeEpsilon = t.epsSpent
 	res.AdversaryBound = fdp.AdversarySuccessBound(t.ctrl.EffectiveEpsilon())
 	if t.totK > 0 {

@@ -15,6 +15,11 @@
 //     (Select64, CondCopy, ...) require it.
 //   - Nothing in this package branches on, or indexes memory by, any of
 //     its secret arguments. Loop bounds depend only on public lengths.
+//
+// Paper mapping: the Sec 4.2 oblivious union (the Θ(K²) linear-scan
+// variant the paper prototypes, plus the O(K·log²K) sorting-network
+// alternative) is the main consumer; the element-wise primitives
+// implement the Sec 4.1/5.1 constant-time discipline they build on.
 package obliv
 
 // mask returns an all-ones word when choice==1 and zero when choice==0.

@@ -32,6 +32,13 @@
 // global EO count, held in the TEE scratchpad) determines every bucket's
 // write count (Sec 5.2). The simulator keeps the derived per-bucket
 // counters host-side with identical semantics.
+//
+// Key invariants (Sec 4.4): AO accesses never write the tree — only the
+// scheduled EO evictions do, which is what makes the schedule
+// SSD-friendly; every block is either on its assigned path or in the
+// DRAM stash; and eviction order follows the deterministic reverse-
+// lexicographic schedule, so write traffic is independent of the access
+// pattern.
 package raworam
 
 import (

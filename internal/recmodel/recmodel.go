@@ -17,6 +17,12 @@
 //
 // Everything is plain float32 slices with hand-written backprop — the FL
 // clients of internal/fl run this on "their device".
+//
+// Paper mapping: the model of the Sec 6.4 accuracy study (Sec 2.1's
+// DLRM-style architecture). Key invariants: TrainStep mutates only the
+// local model and the caller-provided embedding map — never a shared
+// table — which is what lets FL clients train concurrently; and a model
+// is deterministic in its Config.Seed.
 package recmodel
 
 import (

@@ -18,6 +18,12 @@
 // The simulator keeps per-bucket metadata (slot IDs, valid/touched bits)
 // host-side, standing in for the encrypted metadata blocks of the real
 // design; metadata traffic is charged to the DRAM device.
+//
+// Key invariants: one slot is read per bucket per access (the requested
+// block where resident, a fresh dummy elsewhere); a dummy slot is never
+// reused between reshuffles; and buckets are written only by reshuffles
+// and the EvictPath schedule — the property RAW ORAM inherits and
+// FEDORA's SSD lifetime rests on.
 package ringoram
 
 import (

@@ -15,6 +15,11 @@
 // exactly the frequent, large write burst that murders SSD endurance,
 // which the family ablation in internal/experiments quantifies against
 // FEDORA's RAW ORAM.
+//
+// Key invariants: exactly one storage read per access regardless of
+// shelter hit/miss; the shelter is scanned in full (obliviously) on
+// every access; and after √n accesses the whole structure is
+// re-permuted — the O(√n) amortized cost the family ablation measures.
 package sqrtoram
 
 import (

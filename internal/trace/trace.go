@@ -14,6 +14,12 @@
 //	per round: clients u32, then per client: count u32, rows [count]u64
 //
 // Dummy (padding) requests are stored as ^uint64(0).
+//
+// Paper mapping: the equivalent of the artifact's input-trace files that
+// drive the Sec 6 evaluation. Key invariants: round-trip fidelity —
+// Write then Read reproduces the request lists bit-exactly (fuzzed) —
+// and replay feeds the controller the same per-round batches the live
+// workload generators would.
 package trace
 
 import (
