@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check crash-test experiments table1 clean
 
 all: build test
 
@@ -13,6 +13,17 @@ check:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) test -race ./internal/fl/... ./internal/fedora/...
+
+# Durability gate: kill-resume fingerprint identity, corrupt-checkpoint
+# fallback, torn-WAL replay, every Snapshot/Restore round trip, and a
+# short pass of the persist-format fuzzers.
+crash-test:
+	$(GO) test -count=1 -run 'Snapshot|Resume|Restore|WAL|Checkpoint|Model' \
+		./internal/persist/... ./internal/fl/... ./internal/fedora/... \
+		./internal/raworam/... ./internal/pathoram/... ./internal/bufferoram/... \
+		./internal/device/... ./internal/position/... ./internal/stash/... ./internal/tee/...
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/persist/
+	$(GO) test -run=Fuzz -fuzz=FuzzReadWAL -fuzztime=10s ./internal/persist/
 
 build:
 	$(GO) build ./...

@@ -4,6 +4,11 @@
 //
 //	fedora-server -listen :8080 -rows 1000000 -dim 16 -eps 1
 //
+// With -checkpoint-dir the server restores the newest valid controller
+// checkpoint on startup and writes one on SIGINT/SIGTERM after draining
+// in-flight requests, so a restart continues from the saved ORAM and
+// model state.
+//
 // Try it:
 //
 //	curl -s localhost:8080/v1/status | jq .
@@ -15,14 +20,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/fedora"
+	"repro/internal/persist"
 )
+
+// ctrlSection names the controller snapshot inside checkpoint files.
+const ctrlSection = "fedora/controller"
 
 func main() {
 	var (
@@ -34,6 +49,8 @@ func main() {
 		features = flag.Int("max-features", 100, "max features per client")
 		lr       = flag.Float64("lr", 1.0, "server learning rate")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		ckptDir  = flag.String("checkpoint-dir", "", "restore controller state on start, checkpoint on shutdown")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain limit")
 	)
 	flag.Parse()
 
@@ -49,9 +66,98 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	var mgr *persist.Manager
+	if *ckptDir != "" {
+		mgr, err = persist.OpenManager(*ckptDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := restoreController(mgr, ctrl); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	fmt.Printf("fedora-server: N=%d dim=%d eps=%g — main ORAM %.2f GB (SSD), %.2f GB DRAM\n",
 		*rows, *dim, *eps,
 		float64(ctrl.MainORAMBytes())/1e9, float64(ctrl.DRAMResidentBytes())/1e9)
 	fmt.Printf("listening on %s\n", *listen)
-	log.Fatal(http.ListenAndServe(*listen, api.NewServer(ctrl).Handler()))
+
+	srv := &http.Server{Addr: *listen, Handler: api.NewServer(ctrl).Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		fmt.Printf("fedora-server: %v — draining\n", sig)
+	}
+
+	// Drain in-flight requests, then checkpoint the quiesced controller.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("fedora-server: drain: %v", err)
+	}
+	if mgr != nil {
+		epoch, err := saveController(mgr, ctrl)
+		switch {
+		case errors.Is(err, fedora.ErrRoundOpen):
+			// A round was in flight when the drain deadline hit; its state
+			// is not snapshotable. The previous epoch stays authoritative.
+			log.Printf("fedora-server: shutdown checkpoint skipped: %v", err)
+		case err != nil:
+			log.Fatalf("fedora-server: shutdown checkpoint: %v", err)
+		default:
+			fmt.Printf("fedora-server: checkpointed epoch %d to %s\n", epoch, mgr.Dir())
+		}
+	}
+}
+
+// restoreController loads the newest valid checkpoint, if any.
+func restoreController(mgr *persist.Manager, ctrl *fedora.Controller) error {
+	cp, skipped, err := mgr.LoadLatest()
+	if errors.Is(err, persist.ErrNoCheckpoint) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, skip := range skipped {
+		log.Printf("fedora-server: skipped corrupt checkpoint: %v", skip)
+	}
+	blob, ok := cp.Get(ctrlSection)
+	if !ok {
+		return fmt.Errorf("checkpoint epoch %d has no %q section", cp.Epoch, ctrlSection)
+	}
+	if err := ctrl.Restore(blob); err != nil {
+		return fmt.Errorf("restore epoch %d: %w", cp.Epoch, err)
+	}
+	fmt.Printf("fedora-server: restored epoch %d (round %d) from %s\n", cp.Epoch, ctrl.Round(), mgr.Dir())
+	return nil
+}
+
+// saveController writes the controller as the next epoch.
+func saveController(mgr *persist.Manager, ctrl *fedora.Controller) (uint64, error) {
+	blob, err := ctrl.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	cp := persist.NewCheckpoint()
+	cp.Put(ctrlSection, blob)
+	epochs, err := mgr.Epochs()
+	if err != nil {
+		return 0, err
+	}
+	var epoch uint64 = 1
+	if len(epochs) > 0 {
+		epoch = epochs[len(epochs)-1] + 1
+	}
+	if err := mgr.Save(epoch, cp); err != nil {
+		return 0, err
+	}
+	return epoch, mgr.Prune(3)
 }

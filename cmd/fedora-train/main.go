@@ -35,6 +35,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		csvOut  = flag.String("csv", "", "also write Table 1 to this CSV file")
 		workers = flag.Int("workers", 0, "client-training worker pool size (0 = GOMAXPROCS); results are seed-deterministic at any value")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory for -single (enables crash recovery)")
+		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint period in rounds (with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "resume -single from -checkpoint-dir (restores the newest valid checkpoint and replays the round WAL)")
 	)
 	flag.Parse()
 
@@ -73,14 +77,14 @@ func main() {
 		}
 		fmt.Println(experiments.RenderPoolingAblation(rows))
 	case *single:
-		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed, *workers)
+		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed, *workers, *ckptDir, *ckptEvery, *resume)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64, workers int) {
+func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64, workers int, ckptDir string, ckptEvery int, resume bool) {
 	var cfg dataset.Config
 	switch dsName {
 	case "movielens":
@@ -130,7 +134,39 @@ func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, 
 			rounds = 40
 		}
 	}
-	res, err := tr.Run(rounds)
+	if resume && ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "fedora-train: -resume requires -checkpoint-dir")
+		os.Exit(1)
+	}
+	var res fl.Result
+	if ckptDir != "" {
+		// Durable mode: periodic checkpoints + round WAL; -resume picks up
+		// a crashed or interrupted run exactly where it left off.
+		runner, rerr := fl.NewRunner(tr, ckptDir, ckptEvery)
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "fedora-train:", rerr)
+			os.Exit(1)
+		}
+		defer runner.Close()
+		if resume {
+			rep, rerr := runner.Resume()
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "fedora-train: resume:", rerr)
+				os.Exit(1)
+			}
+			for _, skip := range rep.Skipped {
+				fmt.Fprintln(os.Stderr, "fedora-train: resume: skipped corrupt checkpoint:", skip)
+			}
+			fmt.Printf("resumed from epoch %d (round %d), replayed %d WAL round(s)\n",
+				rep.RestoredEpoch, rep.RestoredRound, rep.ReplayedRounds)
+		}
+		res, err = runner.Run(rounds)
+		if err == nil {
+			_, err = runner.Checkpoint() // final snapshot for clean restart
+		}
+	} else {
+		res, err = tr.Run(rounds)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(1)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/pathoram"
+	"repro/internal/persist"
 )
 
 // Buffer is the buffer ORAM: a DRAM-resident Path ORAM over `capacity`
@@ -28,6 +29,7 @@ import (
 type Buffer struct {
 	oram *pathoram.ORAM
 	agg  Aggregator
+	src  *persist.Source // checkpointable state behind rng
 	rng  *rand.Rand
 
 	dim      int // embedding dimension (floats)
@@ -88,10 +90,12 @@ func New(cfg Config, dram device.Device) (*Buffer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bufferoram: %w", err)
 	}
+	src := persist.NewSource(cfg.Seed + 17)
 	b := &Buffer{
 		oram:     o,
 		agg:      agg,
-		rng:      rand.New(rand.NewSource(cfg.Seed + 17)),
+		src:      src,
+		rng:      rand.New(src),
 		dim:      cfg.Dim,
 		stateLen: stateLen,
 		capacity: cfg.Capacity,

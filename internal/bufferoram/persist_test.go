@@ -1,0 +1,119 @@
+package bufferoram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// newPersistBuf builds a buffer plus its backing DRAM device; the block
+// bytes live on the device, so resume tests must snapshot it alongside
+// the buffer (as the controller does).
+func newPersistBuf(t *testing.T, seed int64) (*Buffer, *device.Sim) {
+	t.Helper()
+	dev := device.NewDRAM(1 << 30)
+	b, err := New(Config{Capacity: 64, Dim: 4, LearningRate: 1, Seed: seed}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, dev
+}
+
+// loadSome places count distinct entries, exercising the slot allocator
+// and the inner path ORAM.
+func loadSome(t *testing.T, b *Buffer, rng *rand.Rand, base uint64, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		entry := make([]float32, 4)
+		for j := range entry {
+			entry[j] = rng.Float32()
+		}
+		if _, err := b.Load(base+uint64(i), entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBufferSnapshotResumeEquivalence(t *testing.T) {
+	a, devA := newPersistBuf(t, 3)
+	loadSome(t, a, rand.New(rand.NewSource(21)), 0, 20)
+	for i := uint64(0); i < 10; i++ {
+		if _, err := a.Aggregate(i, []float32{1, 1, 1, 1}, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	devSnap, err := devA.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Continuation A: unload half, load a fresh batch (recycles slots).
+	continuation := func(b *Buffer) [][]float32 {
+		var out [][]float32
+		for i := uint64(0); i < 10; i++ {
+			entry, _, err := b.Unload(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, entry)
+		}
+		loadSome(t, b, rand.New(rand.NewSource(22)), 100, 15)
+		for i := uint64(100); i < 115; i++ {
+			entry, _, err := b.Serve(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, entry)
+		}
+		return out
+	}
+	wantOut := continuation(a)
+
+	// Recovery reconstructs with the same Config before restoring (the
+	// position map's PRF seed is construction-time identity), then
+	// restores the device image before the buffer metadata.
+	b, devB := newPersistBuf(t, 3)
+	if err := devB.Restore(devSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	gotOut := continuation(b)
+
+	if len(wantOut) != len(gotOut) {
+		t.Fatalf("continuation lengths differ: %d vs %d", len(wantOut), len(gotOut))
+	}
+	for i := range wantOut {
+		if !approxEqual(wantOut[i], gotOut[i], 0) {
+			t.Fatalf("entry %d diverged: %v vs %v", i, wantOut[i], gotOut[i])
+		}
+	}
+	if a.Resident() != b.Resident() {
+		t.Fatalf("resident %d != %d", a.Resident(), b.Resident())
+	}
+}
+
+func TestBufferRestoreGuards(t *testing.T) {
+	a := newBuf(t, Config{Seed: 4})
+	loadSome(t, a, rand.New(rand.NewSource(5)), 0, 5)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newBuf(t, Config{Seed: 4, Capacity: 128}).Restore(snap); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+	if err := newBuf(t, Config{Seed: 4, Dim: 8}).Restore(snap); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if err := newBuf(t, Config{Seed: 4}).Restore(snap[:len(snap)/2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

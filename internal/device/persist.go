@@ -1,0 +1,101 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// Snapshot/Restore make the simulated device durable: the sparse page
+// store IS the ORAM's on-"disk" image (tree buckets live here), so
+// checkpointing a controller means checkpointing its devices. Only
+// non-zero pages are serialized — never-written and all-zero pages read
+// back as zeros either way — so the snapshot size tracks the bytes the
+// ORAM actually touched, not the provisioned capacity.
+
+const simSnapshotVersion = 1
+
+// Snapshot serializes the device contents and traffic counters.
+func (s *Sim) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var e persist.Encoder
+	e.U8(simSnapshotVersion)
+	e.String(s.profile.Name)
+	e.U64(s.capacity)
+	e.U64(s.stats.Reads)
+	e.U64(s.stats.Writes)
+	e.U64(s.stats.BytesRead)
+	e.U64(s.stats.BytesWritten)
+	e.I64(int64(s.stats.BusyTime))
+
+	idxs := make([]uint64, 0, len(s.pages))
+	for idx, page := range s.pages {
+		if !allZero(page) {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	e.U64(uint64(len(idxs)))
+	for _, idx := range idxs {
+		e.U64(idx)
+		e.Bytes(s.pages[idx])
+	}
+	return e.Finish(), nil
+}
+
+// Restore replaces the device contents and counters with a snapshot.
+// The device must have the same profile name and capacity it was
+// snapshotted with (geometry is configuration, not state).
+func (s *Sim) Restore(b []byte) error {
+	d := persist.NewDecoder(b)
+	if v := d.U8(); d.Err() == nil && v != simSnapshotVersion {
+		return fmt.Errorf("device %s: unsupported snapshot version %d", s.profile.Name, v)
+	}
+	name := d.String()
+	capacity := d.U64()
+	var st Stats
+	st.Reads = d.U64()
+	st.Writes = d.U64()
+	st.BytesRead = d.U64()
+	st.BytesWritten = d.U64()
+	st.BusyTime = time.Duration(d.I64())
+	n := d.U64()
+	pages := make(map[uint64][]byte, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		idx := d.U64()
+		page := d.Bytes()
+		if len(page) != storePageSize {
+			return fmt.Errorf("device %s: snapshot page %d has %d bytes, want %d",
+				s.profile.Name, idx, len(page), storePageSize)
+		}
+		pages[idx] = page
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("device %s: %w", s.profile.Name, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name != s.profile.Name {
+		return fmt.Errorf("device: snapshot is for profile %q, this device is %q", name, s.profile.Name)
+	}
+	if capacity != s.capacity {
+		return fmt.Errorf("device %s: snapshot capacity %d != device capacity %d",
+			s.profile.Name, capacity, s.capacity)
+	}
+	s.pages = pages
+	s.stats = st
+	return nil
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

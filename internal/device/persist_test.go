@@ -1,0 +1,65 @@
+package device
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, writes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 1 << 16
+		a := NewSSD(capacity)
+		for i := 0; i < int(writes%32)+1; i++ {
+			buf := make([]byte, 512)
+			rng.Read(buf)
+			addr := uint64(rng.Intn(capacity - len(buf)))
+			if _, err := a.WriteAt(addr, buf); err != nil {
+				return false
+			}
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			return false
+		}
+		b := NewSSD(capacity)
+		if err := b.Restore(snap); err != nil {
+			return false
+		}
+		if a.Stats() != b.Stats() {
+			return false
+		}
+		// Full-device content comparison.
+		pa := make([]byte, capacity)
+		pb := make([]byte, capacity)
+		if err := a.PeekAt(0, pa); err != nil {
+			return false
+		}
+		if err := b.PeekAt(0, pb); err != nil {
+			return false
+		}
+		return bytes.Equal(pa, pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimRestoreGuards(t *testing.T) {
+	a := NewSSD(1 << 16)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSSD(1 << 17).Restore(snap); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+	if err := NewDRAM(1 << 16).Restore(snap); err == nil {
+		t.Fatal("profile mismatch accepted")
+	}
+	if err := NewSSD(1 << 16).Restore(snap[:len(snap)/2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package fdp
+
+import (
+	"fmt"
+
+	"repro/internal/persist"
+)
+
+const accountantSnapshotVersion = 1
+
+// Snapshot serializes the accountant's per-round tallies so a restored
+// controller reports the same RoundEpsilon/Chunks for the last completed
+// round.
+func (a *Accountant) Snapshot() []byte {
+	var e persist.Encoder
+	e.U8(accountantSnapshotVersion)
+	e.I64(int64(a.chunks))
+	e.F64(a.maxEps)
+	e.I64(int64(a.samples))
+	return e.Finish()
+}
+
+// Restore replaces the tallies from a snapshot.
+func (a *Accountant) Restore(b []byte) error {
+	d := persist.NewDecoder(b)
+	if v := d.U8(); d.Err() == nil && v != accountantSnapshotVersion {
+		return fmt.Errorf("fdp: unsupported accountant snapshot version %d", v)
+	}
+	chunks := int(d.I64())
+	maxEps := d.F64()
+	samples := int(d.I64())
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("fdp: accountant snapshot: %w", err)
+	}
+	a.chunks = chunks
+	a.maxEps = maxEps
+	a.samples = samples
+	return nil
+}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fdp"
 	"repro/internal/pathoram"
+	"repro/internal/persist"
 	"repro/internal/raworam"
 	"repro/internal/tee"
 )
@@ -186,7 +187,10 @@ type Controller struct {
 	mech    fdp.Mechanism
 	effEps  float64 // per-value epsilon after group privacy
 	sel     *selector
+	src     *persist.Source // checkpointable state behind rng
+	selSrc  *persist.Source // checkpointable state behind the selector's rng
 	rng     *rand.Rand
+	engine  *tee.Engine // nil unless cfg.Encrypt
 	scratch *tee.Scratchpad
 	round   uint64
 	inRound bool
@@ -200,8 +204,11 @@ func New(cfg Config) (*Controller, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Controller{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 3))}
-	c.sel = newSelector(cfg.Selection, rand.New(rand.NewSource(cfg.Seed+29)))
+	c := &Controller{cfg: cfg}
+	c.src = persist.NewSource(cfg.Seed + 3)
+	c.rng = rand.New(c.src)
+	c.selSrc = persist.NewSource(cfg.Seed + 29)
+	c.sel = newSelector(cfg.Selection, rand.New(c.selSrc))
 
 	var engine *tee.Engine
 	if cfg.Encrypt {
@@ -209,6 +216,7 @@ func New(cfg Config) (*Controller, error) {
 		key[0], key[1] = byte(cfg.Seed), byte(cfg.Seed>>8)
 		engine = tee.NewEngine(key)
 	}
+	c.engine = engine
 	c.scratch = tee.NewScratchpad(tee.DefaultScratchpadSize)
 	if err := c.scratch.Reserve("key", 32); err != nil {
 		return nil, err

@@ -1,0 +1,246 @@
+package fedora
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/persist"
+)
+
+// Controller.Snapshot/Restore glue every component snapshot into one
+// blob: both RNG sources, the selector's cross-round metadata, the FDP
+// accountant, the TEE scratchpad and engine counters, the main ORAM
+// (backend-tagged), the buffer ORAM, and both simulated devices (whose
+// page stores hold the actual tree bytes). Snapshots are only taken
+// between rounds — BeginRound..FinishRound state is deliberately not
+// serializable; recovery re-executes the interrupted round from the WAL.
+
+const controllerSnapshotVersion = 1
+
+// ErrRoundOpen is returned by Snapshot when a round is in flight.
+var ErrRoundOpen = errors.New("fedora: cannot snapshot mid-round")
+
+// ConfigDigest fingerprints the semantically relevant Config fields. A
+// snapshot only restores into a controller with an identical digest —
+// geometry, privacy parameters, and seeds must all match for replay to
+// be meaningful.
+func (c *Controller) ConfigDigest() uint64 {
+	cfg := c.cfg
+	var e persist.Encoder
+	e.U8(uint8(cfg.Backend))
+	e.U64(cfg.NumRows)
+	e.U32(uint32(cfg.Dim))
+	e.U64(math.Float64bits(cfg.Epsilon))
+	e.Bool(cfg.HideCount)
+	e.U32(uint32(cfg.ChunkSize))
+	e.U32(uint32(cfg.MaxClientsPerRound))
+	e.U32(uint32(cfg.MaxFeaturesPerClient))
+	e.U32(math.Float32bits(cfg.LearningRate))
+	e.I64(cfg.Seed)
+	e.Bool(cfg.Phantom)
+	e.Bool(cfg.Encrypt)
+	e.Bool(cfg.HasScratchpad)
+	e.U32(uint32(cfg.BucketBytes))
+	e.U8(uint8(cfg.Selection))
+	e.U32(uint32(cfg.EvictPeriod))
+	e.Bool(cfg.SortedUnion)
+	h := fnv.New64a()
+	h.Write(e.Finish())
+	return h.Sum64()
+}
+
+// Snapshot serializes the controller's full dynamic state. It fails with
+// ErrRoundOpen if called between BeginRound and Finish.
+func (c *Controller) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inRound {
+		return nil, ErrRoundOpen
+	}
+
+	scratchBlob, err := c.scratch.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fedora: scratchpad: %w", err)
+	}
+	var engineBlob []byte
+	if c.engine != nil {
+		engineBlob, err = c.engine.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("fedora: engine: %w", err)
+		}
+	}
+	var mainBlob []byte
+	if c.path != nil {
+		mainBlob, err = c.path.Snapshot()
+	} else {
+		mainBlob, err = c.raw.Snapshot()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fedora: main oram: %w", err)
+	}
+	bufBlob, err := c.buf.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fedora: buffer oram: %w", err)
+	}
+	ssdBlob, err := c.ssd.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fedora: ssd device: %w", err)
+	}
+	dramBlob, err := c.dram.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fedora: dram device: %w", err)
+	}
+
+	var e persist.Encoder
+	e.U8(controllerSnapshotVersion)
+	e.U64(c.ConfigDigest())
+	e.U64(c.round)
+	e.Bytes(c.src.Snapshot())
+	e.Bytes(c.selSrc.Snapshot())
+	encodeSelector(&e, c.sel)
+	e.Bytes(c.acct.Snapshot())
+	e.Bytes(scratchBlob)
+	e.Bool(c.engine != nil)
+	e.Bytes(engineBlob)
+	e.U8(uint8(c.cfg.Backend))
+	e.Bytes(mainBlob)
+	e.Bytes(bufBlob)
+	e.Bytes(ssdBlob)
+	e.Bytes(dramBlob)
+	return e.Finish(), nil
+}
+
+// Restore replaces the controller's dynamic state with a snapshot taken
+// from a controller built with an identical Config.
+func (c *Controller) Restore(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inRound {
+		return ErrRoundOpen
+	}
+
+	d := persist.NewDecoder(b)
+	if v := d.U8(); d.Err() == nil && v != controllerSnapshotVersion {
+		return fmt.Errorf("fedora: unsupported controller snapshot version %d", v)
+	}
+	digest := d.U64()
+	if d.Err() == nil && digest != c.ConfigDigest() {
+		return fmt.Errorf("fedora: snapshot config digest %016x != controller %016x (configs differ)",
+			digest, c.ConfigDigest())
+	}
+	round := d.U64()
+	srcBlob := d.Bytes()
+	selSrcBlob := d.Bytes()
+	requestCount, readBefore, selErr := decodeSelector(d)
+	if selErr != nil {
+		return selErr
+	}
+	acctBlob := d.Bytes()
+	scratchBlob := d.Bytes()
+	hasEngine := d.Bool()
+	engineBlob := d.Bytes()
+	backend := d.U8()
+	mainBlob := d.Bytes()
+	bufBlob := d.Bytes()
+	ssdBlob := d.Bytes()
+	dramBlob := d.Bytes()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("fedora: controller snapshot: %w", err)
+	}
+	if Backend(backend) != c.cfg.Backend {
+		return fmt.Errorf("fedora: snapshot backend %v != controller backend %v",
+			Backend(backend), c.cfg.Backend)
+	}
+	if hasEngine != (c.engine != nil) {
+		return fmt.Errorf("fedora: snapshot encryption (engine=%v) does not match controller", hasEngine)
+	}
+
+	if err := c.src.Restore(srcBlob); err != nil {
+		return fmt.Errorf("fedora: rng: %w", err)
+	}
+	if err := c.selSrc.Restore(selSrcBlob); err != nil {
+		return fmt.Errorf("fedora: selector rng: %w", err)
+	}
+	if err := c.acct.Restore(acctBlob); err != nil {
+		return fmt.Errorf("fedora: accountant: %w", err)
+	}
+	if err := c.scratch.Restore(scratchBlob); err != nil {
+		return fmt.Errorf("fedora: scratchpad: %w", err)
+	}
+	if c.engine != nil {
+		if err := c.engine.Restore(engineBlob); err != nil {
+			return fmt.Errorf("fedora: engine: %w", err)
+		}
+	}
+	// Devices first (they hold the tree bytes the ORAMs index into),
+	// then the ORAM metadata over them.
+	if err := c.ssd.Restore(ssdBlob); err != nil {
+		return fmt.Errorf("fedora: ssd device: %w", err)
+	}
+	if err := c.dram.Restore(dramBlob); err != nil {
+		return fmt.Errorf("fedora: dram device: %w", err)
+	}
+	if c.path != nil {
+		if err := c.path.Restore(mainBlob); err != nil {
+			return fmt.Errorf("fedora: main oram: %w", err)
+		}
+	} else {
+		if err := c.raw.Restore(mainBlob); err != nil {
+			return fmt.Errorf("fedora: main oram: %w", err)
+		}
+	}
+	if err := c.buf.Restore(bufBlob); err != nil {
+		return fmt.Errorf("fedora: buffer oram: %w", err)
+	}
+	c.round = round
+	c.sel.requestCount = requestCount
+	c.sel.readBefore = readBefore
+	return nil
+}
+
+// encodeSelector writes the selector's cross-round metadata (sorted for
+// deterministic encoding). Its RNG is serialized separately as selSrc.
+func encodeSelector(e *persist.Encoder, s *selector) {
+	ids := make([]uint64, 0, len(s.requestCount))
+	for id := range s.requestCount {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.U64(uint64(len(ids)))
+	for _, id := range ids {
+		e.U64(id)
+		e.U64(s.requestCount[id])
+	}
+	ids = ids[:0]
+	for id := range s.readBefore {
+		if s.readBefore[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.U64(uint64(len(ids)))
+	for _, id := range ids {
+		e.U64(id)
+	}
+}
+
+func decodeSelector(d *persist.Decoder) (map[uint64]uint64, map[uint64]bool, error) {
+	nReq := d.U64()
+	requestCount := make(map[uint64]uint64, nReq)
+	for i := uint64(0); i < nReq && d.Err() == nil; i++ {
+		id := d.U64()
+		requestCount[id] = d.U64()
+	}
+	nRead := d.U64()
+	readBefore := make(map[uint64]bool, nRead)
+	for i := uint64(0); i < nRead && d.Err() == nil; i++ {
+		readBefore[d.U64()] = true
+	}
+	if err := d.Err(); err != nil {
+		return nil, nil, fmt.Errorf("fedora: selector snapshot: %w", err)
+	}
+	return requestCount, readBefore, nil
+}

@@ -1,0 +1,107 @@
+package fedora
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fdp"
+)
+
+func persistCfg() Config {
+	return Config{Epsilon: fdp.EpsilonInfinity, Seed: 31}
+}
+
+// TestControllerSnapshotResumeEquivalence is the controller-level
+// durability property: snapshot between rounds, run identical
+// continuations on the live and restored controllers, and require the
+// full table state to match row for row.
+func TestControllerSnapshotResumeEquivalence(t *testing.T) {
+	a := newController(t, persistCfg())
+	runRound(t, a, [][]uint64{{3, 7}, {7, 11, 19}})
+	runRound(t, a, [][]uint64{{3, 500}, {600}})
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	continuation := [][][]uint64{
+		{{7, 19, 800}, {3}},
+		{{11}, {500, 600, 901}},
+	}
+	for _, reqs := range continuation {
+		runRound(t, a, reqs)
+	}
+
+	b := newController(t, persistCfg())
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.Round() != 2 {
+		t.Fatalf("restored round = %d, want 2", b.Round())
+	}
+	for _, reqs := range continuation {
+		runRound(t, b, reqs)
+	}
+
+	if a.Round() != b.Round() {
+		t.Fatalf("round %d != %d", a.Round(), b.Round())
+	}
+	for row := uint64(0); row < 1024; row++ {
+		ra, err := a.PeekRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.PeekRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d diverged: %v vs %v", row, ra, rb)
+			}
+		}
+	}
+}
+
+func TestControllerSnapshotRefusedMidRound(t *testing.T) {
+	c := newController(t, persistCfg())
+	r, err := c.BeginRound([][]uint64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Snapshot(); !errors.Is(err, ErrRoundOpen) {
+		t.Fatalf("mid-round snapshot err = %v, want ErrRoundOpen", err)
+	}
+	if _, err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Snapshot(); err != nil {
+		t.Fatalf("post-round snapshot err = %v", err)
+	}
+}
+
+func TestControllerRestoreRejectsConfigMismatch(t *testing.T) {
+	a := newController(t, persistCfg())
+	runRound(t, a, [][]uint64{{1}})
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := persistCfg()
+	other.NumRows = 2048
+	if err := newController(t, other).Restore(snap); err == nil {
+		t.Fatal("NumRows mismatch accepted")
+	}
+
+	eps := persistCfg()
+	eps.Epsilon = 1.0
+	if err := newController(t, eps).Restore(snap); err == nil {
+		t.Fatal("Epsilon mismatch accepted")
+	}
+
+	if err := newController(t, persistCfg()).Restore(snap[:len(snap)/3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

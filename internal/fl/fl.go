@@ -41,6 +41,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fdp"
 	"repro/internal/fedora"
+	"repro/internal/persist"
 	"repro/internal/recmodel"
 	"repro/internal/secagg"
 )
@@ -152,6 +153,7 @@ type Trainer struct {
 	cfg     Config
 	ctrl    *fedora.Controller
 	global  *recmodel.Model
+	src     *persist.Source // checkpointable state behind rng
 	rng     *rand.Rand
 	initRow func(row uint64) []float32
 
@@ -201,6 +203,7 @@ func New(cfg Config) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
+	src := persist.NewSource(cfg.Seed + 1)
 	return &Trainer{
 		cfg:  cfg,
 		ctrl: ctrl,
@@ -209,7 +212,8 @@ func New(cfg Config) (*Trainer, error) {
 			LR: cfg.LocalLR, Seed: cfg.Seed, Dropout: cfg.Dropout, Pooling: cfg.Pooling,
 			DenseIn: cfg.DenseIn,
 		}),
-		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		src:     src,
+		rng:     rand.New(src),
 		initRow: initRow,
 	}, nil
 }
@@ -262,6 +266,12 @@ type RoundReport struct {
 	Workers int
 	// Timings is the wall-clock phase breakdown of the round.
 	Timings PhaseTimings
+	// RoundSeed is the seed that drove all per-client randomness this
+	// round; ClientDigest fingerprints (seed, selected users). Both are
+	// logged to the round WAL so crash recovery can verify that replayed
+	// rounds re-derive the exact same cohort (see the durable Runner).
+	RoundSeed    int64
+	ClientDigest uint64
 }
 
 // Workers resolves the effective worker-pool size.
@@ -313,6 +323,8 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 	// derives its own RNG from (round seed, client index), so outcomes do
 	// not depend on which worker runs which client, or in what order.
 	roundSeed := t.rng.Int63()
+	report.RoundSeed = roundSeed
+	report.ClientDigest = clientDigest(roundSeed, users)
 	report.Timings.Select = time.Since(selStart)
 
 	round, err := t.ctrl.BeginRound(reqs)
@@ -707,6 +719,18 @@ func (t *Trainer) Run(rounds int) (Result, error) {
 	}
 	res.Rounds = rounds
 	res.Elapsed = time.Since(start)
+	return t.summarize(res)
+}
+
+// Summary evaluates the current model and fills Table 1's metrics from
+// the statistics accumulated so far — the same tail Run produces, usable
+// after a checkpoint-resumed run where earlier rounds ran in a previous
+// process.
+func (t *Trainer) Summary() (Result, error) {
+	return t.summarize(Result{Rounds: t.rounds, Workers: t.Workers()})
+}
+
+func (t *Trainer) summarize(res Result) (Result, error) {
 	auc, err := t.EvaluateAUC()
 	if err != nil {
 		return res, err

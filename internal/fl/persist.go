@@ -1,0 +1,152 @@
+package fl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/persist"
+)
+
+// Trainer.Snapshot/Restore serialize the FL-loop state that is NOT held
+// inside the controller: the round count, the Table-1 accumulators, the
+// selection/DP-noise RNG, and the global MLP parameters. The embedding
+// table itself lives in the main ORAM and travels with the controller
+// snapshot; the durable Runner stores both side by side in one
+// checkpoint file.
+
+const trainerSnapshotVersion = 1
+
+// clientDigest fingerprints a round's cohort: the round seed plus the
+// selected user IDs in selection order. Replaying a WAL round must
+// reproduce this exactly or recovery has diverged.
+func clientDigest(roundSeed int64, users []*dataset.User) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(roundSeed))
+	h.Write(b[:])
+	for _, u := range users {
+		binary.LittleEndian.PutUint64(b[:], uint64(u.ID))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Rounds reports the number of completed rounds.
+func (t *Trainer) Rounds() int { return t.rounds }
+
+// configDigest guards restores: a trainer snapshot only loads into a
+// trainer built with semantically identical training parameters.
+func (t *Trainer) configDigest() uint64 {
+	cfg := t.cfg
+	var e persist.Encoder
+	e.U64(cfg.Dataset.NumItems)
+	e.U64(uint64(len(cfg.Dataset.Users)))
+	e.U32(uint32(cfg.Dim))
+	e.U32(uint32(cfg.Hidden))
+	e.Bool(cfg.UsePrivate)
+	e.U32(math.Float32bits(cfg.Dropout))
+	e.U8(uint8(cfg.Pooling))
+	e.U32(uint32(cfg.DenseIn))
+	e.U64(math.Float64bits(cfg.Epsilon))
+	e.Bool(cfg.HideCount)
+	e.U32(uint32(cfg.ClientsPerRound))
+	e.U32(uint32(cfg.MaxFeaturesPerClient))
+	e.U32(math.Float32bits(cfg.LocalLR))
+	e.U32(uint32(cfg.LocalEpochs))
+	e.U32(math.Float32bits(cfg.ServerLR))
+	e.I64(cfg.Seed)
+	e.U8(uint8(cfg.Backend))
+	e.U8(uint8(cfg.Lost))
+	e.U8(uint8(cfg.Selection))
+	e.U64(math.Float64bits(cfg.DPClip))
+	e.U64(math.Float64bits(cfg.DPSigma))
+	e.Bool(cfg.UseSecAgg)
+	e.U64(math.Float64bits(cfg.DropoutProb))
+	h := fnv.New64a()
+	h.Write(e.Finish())
+	return h.Sum64()
+}
+
+// Snapshot serializes the trainer-side state (controller excluded).
+func (t *Trainer) Snapshot() ([]byte, error) {
+	var e persist.Encoder
+	e.U8(trainerSnapshotVersion)
+	e.U64(t.configDigest())
+	e.I64(int64(t.rounds))
+	e.I64(int64(t.totK))
+	e.I64(int64(t.totUnion))
+	e.I64(int64(t.totSampled))
+	e.I64(int64(t.totDummy))
+	e.I64(int64(t.totLost))
+	e.F64(t.epsSpent)
+	e.Bytes(t.src.Snapshot())
+	e.F32s(t.global.MLP.Params())
+	return e.Finish(), nil
+}
+
+// Restore replaces the trainer-side state from a snapshot taken from a
+// trainer with an identical Config.
+func (t *Trainer) Restore(b []byte) error {
+	d := persist.NewDecoder(b)
+	if v := d.U8(); d.Err() == nil && v != trainerSnapshotVersion {
+		return fmt.Errorf("fl: unsupported trainer snapshot version %d", v)
+	}
+	digest := d.U64()
+	if d.Err() == nil && digest != t.configDigest() {
+		return fmt.Errorf("fl: snapshot config digest %016x != trainer %016x (configs differ)",
+			digest, t.configDigest())
+	}
+	rounds := int(d.I64())
+	totK := int(d.I64())
+	totUnion := int(d.I64())
+	totSampled := int(d.I64())
+	totDummy := int(d.I64())
+	totLost := int(d.I64())
+	epsSpent := d.F64()
+	rngBlob := d.Bytes()
+	params := d.F32s()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("fl: trainer snapshot: %w", err)
+	}
+	if err := t.src.Restore(rngBlob); err != nil {
+		return fmt.Errorf("fl: rng: %w", err)
+	}
+	if err := t.global.MLP.SetParams(params); err != nil {
+		return fmt.Errorf("fl: mlp params: %w", err)
+	}
+	t.rounds = rounds
+	t.totK = totK
+	t.totUnion = totUnion
+	t.totSampled = totSampled
+	t.totDummy = totDummy
+	t.totLost = totLost
+	t.epsSpent = epsSpent
+	return nil
+}
+
+// Fingerprint hashes the complete learned model — the dense MLP
+// parameters plus every embedding row read back through the evaluation
+// backdoor — so tests can assert that a crash-recovered run lands on a
+// bit-identical model.
+func (t *Trainer) Fingerprint() (uint64, error) {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, p := range t.global.MLP.Params() {
+		binary.LittleEndian.PutUint32(b[:4], math.Float32bits(p))
+		h.Write(b[:4])
+	}
+	for row := uint64(0); row < t.cfg.Dataset.NumItems; row++ {
+		v, err := t.ctrl.PeekRow(row)
+		if err != nil {
+			return 0, fmt.Errorf("fl: fingerprint row %d: %w", row, err)
+		}
+		for _, p := range v {
+			binary.LittleEndian.PutUint32(b[:4], math.Float32bits(p))
+			h.Write(b[:4])
+		}
+	}
+	return h.Sum64(), nil
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/persist"
 	"repro/internal/position"
 	"repro/internal/stash"
 	"repro/internal/tee"
@@ -134,6 +135,7 @@ type ORAM struct {
 	dev    device.Device
 	pos    position.Map
 	stash  *stash.Stash
+	src    *persist.Source // checkpointable state behind rng
 	rng    *rand.Rand
 	engine *tee.Engine
 
@@ -182,10 +184,12 @@ func New(cfg Config, dev device.Device) (*ORAM, error) {
 		return nil, err
 	}
 	leaves, levels := Geometry(cfg.NumBlocks, cfg.BucketSlots, cfg.Amplification)
+	src := persist.NewSource(cfg.Seed)
 	o := &ORAM{
 		cfg:      cfg,
 		dev:      dev,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		src:      src,
+		rng:      rand.New(src),
 		engine:   cfg.Engine,
 		levels:   levels,
 		leaves:   leaves,

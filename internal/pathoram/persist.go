@@ -1,0 +1,133 @@
+package pathoram
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/position"
+)
+
+// Snapshot/Restore cover the ORAM's dynamic state: the stash, the
+// position map, the per-bucket write counters (group-encryption IVs),
+// the leaf-assignment RNG, and the event counters. Bucket bytes live on
+// the backing device and are captured by the device's own snapshot;
+// restore both together. ORAMs built with an external position map
+// (the recursive construction) snapshot everything EXCEPT the map —
+// the next smaller ORAM owns that state and snapshots it itself.
+
+const pathSnapshotVersion = 1
+
+// Snapshot serializes the ORAM's dynamic state.
+func (o *ORAM) Snapshot() ([]byte, error) {
+	var posBlob []byte
+	ownPos := o.cfg.PositionMap == nil
+	if ownPos {
+		snap, ok := o.pos.(position.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("pathoram: position map %T does not support snapshots", o.pos)
+		}
+		b, err := snap.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: position map: %w", err)
+		}
+		posBlob = b
+	}
+	stashBlob, err := o.stash.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("pathoram: stash: %w", err)
+	}
+
+	var e persist.Encoder
+	e.U8(pathSnapshotVersion)
+	// Geometry guard.
+	e.U64(o.cfg.NumBlocks)
+	e.U32(uint32(o.cfg.BlockSize))
+	e.U32(uint32(o.cfg.BucketSlots))
+	e.U32(uint32(o.levels))
+	e.U32(o.leaves)
+	e.U64(o.cfg.BaseAddr)
+	e.Bool(o.cfg.Phantom)
+	e.Bool(ownPos)
+	// Event counters.
+	e.U64(o.stats.Accesses)
+	e.U64(o.stats.BucketReads)
+	e.U64(o.stats.BucketWrite)
+	e.I64(int64(o.stats.Time))
+	e.Bytes(o.src.Snapshot())
+	e.Bytes(stashBlob)
+	e.Bytes(posBlob)
+	// Per-bucket write counters, sorted by bucket index.
+	idxs := make([]uint32, 0, len(o.counters))
+	for idx := range o.counters {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	e.U64(uint64(len(idxs)))
+	for _, idx := range idxs {
+		e.U32(idx)
+		e.U64(o.counters[idx])
+	}
+	return e.Finish(), nil
+}
+
+// Restore replaces the ORAM's dynamic state with a snapshot taken from
+// an identically configured instance.
+func (o *ORAM) Restore(b []byte) error {
+	d := persist.NewDecoder(b)
+	if v := d.U8(); d.Err() == nil && v != pathSnapshotVersion {
+		return fmt.Errorf("pathoram: unsupported snapshot version %d", v)
+	}
+	numBlocks := d.U64()
+	blockSize := d.U32()
+	bucketSlots := d.U32()
+	levels := d.U32()
+	leaves := d.U32()
+	baseAddr := d.U64()
+	phantom := d.Bool()
+	ownPos := d.Bool()
+	if d.Err() == nil {
+		if numBlocks != o.cfg.NumBlocks || int(blockSize) != o.cfg.BlockSize ||
+			int(bucketSlots) != o.cfg.BucketSlots || int(levels) != o.levels ||
+			leaves != o.leaves || baseAddr != o.cfg.BaseAddr || phantom != o.cfg.Phantom {
+			return fmt.Errorf("pathoram: snapshot geometry (N=%d bs=%d Z=%d levels=%d leaves=%d base=%d phantom=%v) does not match this ORAM",
+				numBlocks, blockSize, bucketSlots, levels, leaves, baseAddr, phantom)
+		}
+		if ownPos != (o.cfg.PositionMap == nil) {
+			return fmt.Errorf("pathoram: snapshot position-map ownership (own=%v) does not match this ORAM", ownPos)
+		}
+	}
+	var st Stats
+	st.Accesses = d.U64()
+	st.BucketReads = d.U64()
+	st.BucketWrite = d.U64()
+	st.Time = time.Duration(d.I64())
+	rngBlob := d.Bytes()
+	stashBlob := d.Bytes()
+	posBlob := d.Bytes()
+	n := d.U64()
+	counters := make(map[uint32]uint64, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		idx := d.U32()
+		counters[idx] = d.U64()
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("pathoram: snapshot: %w", err)
+	}
+
+	if err := o.src.Restore(rngBlob); err != nil {
+		return fmt.Errorf("pathoram: rng: %w", err)
+	}
+	if err := o.stash.Restore(stashBlob); err != nil {
+		return fmt.Errorf("pathoram: stash: %w", err)
+	}
+	if ownPos {
+		if err := o.pos.(position.Snapshotter).Restore(posBlob); err != nil {
+			return fmt.Errorf("pathoram: position map: %w", err)
+		}
+	}
+	o.stats = st
+	o.counters = counters
+	return nil
+}

@@ -1,0 +1,104 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+)
+
+// metaFrameName holds the checkpoint-level metadata frame.
+const metaFrameName = "!meta"
+
+// checkpointVersion is the version stamped into the meta frame.
+const checkpointVersion = 1
+
+// Checkpoint is an ordered set of named component snapshots — one
+// section per Snapshot()-capable component — plus the epoch number the
+// Manager assigns. Sections keep insertion order so encoding is
+// deterministic.
+type Checkpoint struct {
+	Epoch    uint64
+	sections map[string][]byte
+	order    []string
+}
+
+// NewCheckpoint returns an empty checkpoint.
+func NewCheckpoint() *Checkpoint {
+	return &Checkpoint{sections: make(map[string][]byte)}
+}
+
+// Put adds or replaces a section.
+func (c *Checkpoint) Put(name string, payload []byte) {
+	if _, dup := c.sections[name]; !dup {
+		c.order = append(c.order, name)
+	}
+	c.sections[name] = payload
+}
+
+// Get returns a section's payload.
+func (c *Checkpoint) Get(name string) ([]byte, bool) {
+	p, ok := c.sections[name]
+	return p, ok
+}
+
+// Sections lists section names in insertion order.
+func (c *Checkpoint) Sections() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Encode writes the checkpoint as a framed stream.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	fw, err := NewFrameWriter(w, Magic)
+	if err != nil {
+		return err
+	}
+	var meta Encoder
+	meta.U32(checkpointVersion)
+	meta.U64(c.Epoch)
+	if err := fw.WriteFrame(metaFrameName, meta.Finish()); err != nil {
+		return err
+	}
+	for _, name := range c.order {
+		if err := fw.WriteFrame(name, c.sections[name]); err != nil {
+			return err
+		}
+	}
+	return fw.Close()
+}
+
+// DecodeCheckpoint parses a framed checkpoint stream, validating the
+// magic, every frame CRC, and the trailer.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	fr, err := NewFrameReader(r, Magic)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCheckpoint()
+	sawMeta := false
+	for {
+		name, payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if name == metaFrameName {
+			d := NewDecoder(payload)
+			version := d.U32()
+			c.Epoch = d.U64()
+			if d.Err() != nil {
+				return nil, fmt.Errorf("%w: malformed meta frame", ErrCorrupt)
+			}
+			if version != checkpointVersion {
+				return nil, fmt.Errorf("%w: unsupported checkpoint version %d", ErrCorrupt, version)
+			}
+			sawMeta = true
+			continue
+		}
+		c.Put(name, payload)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("%w: checkpoint missing meta frame", ErrCorrupt)
+	}
+	return c, nil
+}

@@ -1,0 +1,182 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic identifies a framed checkpoint stream (8 bytes; the trailing
+// digit is the format version).
+const Magic = "FEDORAC1"
+
+// WALMagic identifies a write-ahead log stream.
+const WALMagic = "FEDORAW1"
+
+// endFrameName marks the trailer frame; its payload is the u64 count of
+// preceding frames, which lets the reader distinguish a cleanly closed
+// stream from one truncated at a frame boundary.
+const endFrameName = "!end"
+
+// maxNameLen bounds frame names; anything longer is corruption.
+const maxNameLen = 256
+
+// frameReadChunk bounds single allocations while reading payloads, so a
+// corrupted length prefix cannot demand gigabytes up front.
+const frameReadChunk = 1 << 20
+
+// FrameWriter emits CRC-protected frames to an underlying writer.
+type FrameWriter struct {
+	w      io.Writer
+	frames uint64
+	closed bool
+}
+
+// NewFrameWriter writes the stream magic and returns a writer.
+func NewFrameWriter(w io.Writer, magic string) (*FrameWriter, error) {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return nil, err
+	}
+	return &FrameWriter{w: w}, nil
+}
+
+// WriteFrame appends one named frame.
+func (fw *FrameWriter) WriteFrame(name string, payload []byte) error {
+	if fw.closed {
+		return fmt.Errorf("persist: write to closed frame stream")
+	}
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("persist: frame name length %d out of range", len(name))
+	}
+	return writeRawFrame(fw.w, name, payload, &fw.frames)
+}
+
+// Close writes the trailer frame. The underlying writer is not closed.
+func (fw *FrameWriter) Close() error {
+	if fw.closed {
+		return nil
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], fw.frames)
+	if err := writeRawFrame(fw.w, endFrameName, count[:], new(uint64)); err != nil {
+		return err
+	}
+	fw.closed = true
+	return nil
+}
+
+func writeRawFrame(w io.Writer, name string, payload []byte, count *uint64) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(name)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(name))
+	crc.Write(payload)
+	var plen [8]byte
+	binary.LittleEndian.PutUint64(plen[:], uint64(len(payload)))
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	for _, p := range [][]byte{hdr[:], []byte(name), plen[:], payload, tail[:]} {
+		if _, err := w.Write(p); err != nil {
+			return err
+		}
+	}
+	*count++
+	return nil
+}
+
+// FrameReader consumes a framed stream.
+type FrameReader struct {
+	r     io.Reader
+	seen  uint64
+	ended bool
+}
+
+// NewFrameReader validates the stream magic and returns a reader.
+func NewFrameReader(r io.Reader, magic string) (*FrameReader, error) {
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrCorrupt, err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrCorrupt, got, magic)
+	}
+	return &FrameReader{r: r}, nil
+}
+
+// Next returns the next frame. It returns io.EOF after the trailer
+// frame; a stream that ends WITHOUT a trailer yields an ErrCorrupt-
+// wrapped error instead, so truncation at a frame boundary is caught.
+func (fr *FrameReader) Next() (name string, payload []byte, err error) {
+	if fr.ended {
+		return "", nil, io.EOF
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: stream ended without trailer frame: %v", ErrCorrupt, err)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[:])
+	if nameLen == 0 || nameLen > maxNameLen {
+		return "", nil, fmt.Errorf("%w: frame name length %d out of range", ErrCorrupt, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(fr.r, nameBuf); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated frame name: %v", ErrCorrupt, err)
+	}
+	var plen [8]byte
+	if _, err := io.ReadFull(fr.r, plen[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated payload length: %v", ErrCorrupt, err)
+	}
+	payloadLen := binary.LittleEndian.Uint64(plen[:])
+	payload, err = readPayload(fr.r, payloadLen)
+	if err != nil {
+		return "", nil, err
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(fr.r, tail[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: truncated frame CRC: %v", ErrCorrupt, err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(nameBuf)
+	crc.Write(payload)
+	if crc.Sum32() != binary.LittleEndian.Uint32(tail[:]) {
+		return "", nil, fmt.Errorf("%w: CRC mismatch in frame %q", ErrCorrupt, nameBuf)
+	}
+	name = string(nameBuf)
+	fr.seen++
+	if name == endFrameName {
+		if len(payload) != 8 || binary.LittleEndian.Uint64(payload) != fr.seen-1 {
+			return "", nil, fmt.Errorf("%w: trailer frame count mismatch", ErrCorrupt)
+		}
+		fr.ended = true
+		return "", nil, io.EOF
+	}
+	return name, payload, nil
+}
+
+// crc32ChecksumFrame computes the frame checksum over name ‖ payload.
+func crc32ChecksumFrame(name, payload []byte) uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write(name)
+	crc.Write(payload)
+	return crc.Sum32()
+}
+
+// readPayload reads n bytes in bounded chunks, so a corrupted length
+// prefix fails with a clean truncation error instead of a giant
+// allocation.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	for n > 0 {
+		chunk := n
+		if chunk > frameReadChunk {
+			chunk = frameReadChunk
+		}
+		if _, err := io.CopyN(&buf, r, int64(chunk)); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame payload: %v", ErrCorrupt, err)
+		}
+		n -= chunk
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,82 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Source is a checkpointable math/rand source. It wraps the stdlib
+// generator — so every component that switches to it keeps producing
+// EXACTLY the sequence it produced before — and counts draws, which is
+// all the state a restore needs: re-seed and fast-forward the same
+// number of steps. (The stdlib additive-lagged-Fibonacci source advances
+// one step per Int63 or Uint64 call, so a single counter covers both.)
+//
+// A draw costs a few nanoseconds, so fast-forwarding even millions of
+// draws is cheap next to re-executing the training rounds that consumed
+// them. Source is NOT safe for concurrent use — exactly like the
+// rand.Rand values it feeds; owners guard it with their own locks.
+type Source struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+var _ rand.Source64 = (*Source)(nil)
+
+// NewSource creates a source with the given seed, at draw zero.
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter.
+func (s *Source) Seed(seed int64) {
+	s.seed, s.draws = seed, 0
+	s.src.Seed(seed)
+}
+
+// Draws reports how many values have been drawn since seeding.
+func (s *Source) Draws() uint64 { return s.draws }
+
+const sourceSnapshotVersion = 1
+
+// Snapshot captures (seed, draw count).
+func (s *Source) Snapshot() []byte {
+	var e Encoder
+	e.U8(sourceSnapshotVersion)
+	e.I64(s.seed)
+	e.U64(s.draws)
+	return e.Finish()
+}
+
+// Restore rewinds the source to a snapshot: re-seed, then fast-forward
+// the recorded number of draws.
+func (s *Source) Restore(b []byte) error {
+	d := NewDecoder(b)
+	if v := d.U8(); d.Err() == nil && v != sourceSnapshotVersion {
+		return fmt.Errorf("%w: unsupported rng snapshot version %d", ErrCorrupt, v)
+	}
+	seed := d.I64()
+	draws := d.U64()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("rng snapshot: %w", err)
+	}
+	s.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = draws
+	return nil
+}

@@ -1,0 +1,191 @@
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RoundRecord is one committed FL round in the write-ahead log. Round
+// execution is seed-deterministic, so the record does not store model
+// bytes — only what recovery needs to REPLAY the round from the previous
+// checkpoint and to verify the replay reproduced the original:
+type RoundRecord struct {
+	// Round is the 1-based round number the record commits.
+	Round uint64
+	// Epoch is the checkpoint epoch the round built on (diagnostic).
+	Epoch uint64
+	// Seed is the round seed drawn from the trainer RNG; a replayed
+	// round must draw the identical seed or the state diverged.
+	Seed int64
+	// ClientDigest fingerprints the selected client set + request order.
+	ClientDigest uint64
+}
+
+const walRecordVersion = 1
+
+// walRecordFrame names WAL record frames.
+const walRecordFrame = "round"
+
+func (r RoundRecord) encode() []byte {
+	var e Encoder
+	e.U8(walRecordVersion)
+	e.U64(r.Round)
+	e.U64(r.Epoch)
+	e.I64(r.Seed)
+	e.U64(r.ClientDigest)
+	return e.Finish()
+}
+
+func decodeRoundRecord(p []byte) (RoundRecord, error) {
+	d := NewDecoder(p)
+	var r RoundRecord
+	if v := d.U8(); d.Err() == nil && v != walRecordVersion {
+		return r, fmt.Errorf("%w: unsupported WAL record version %d", ErrCorrupt, v)
+	}
+	r.Round = d.U64()
+	r.Epoch = d.U64()
+	r.Seed = d.I64()
+	r.ClientDigest = d.U64()
+	if d.Err() != nil {
+		return r, d.Err()
+	}
+	return r, nil
+}
+
+// WAL is the append-only round log. Appends are fsynced before they
+// return, so a record in the log means the round's effects are fully
+// reconstructible: a crash between a round's completion and its append
+// simply loses the record, and recovery re-executes that round
+// identically (the RNG state in the checkpoint makes it deterministic).
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+// OpenWAL opens (creating if absent) a WAL for appending. A brand-new
+// file gets the magic header; an existing file keeps its records.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(WALMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// Append durably writes one record (frame write + fsync).
+func (w *WAL) Append(rec RoundRecord) error {
+	if err := writeRawFrame(w.f, walRecordFrame, rec.encode(), new(uint64)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// Path returns the WAL file path.
+func (w *WAL) Path() string { return w.path }
+
+// ReadWALFile parses a WAL, tolerating a torn tail: a crash can truncate
+// the final append mid-frame, so parsing stops at the first frame that
+// fails to decode and `torn` reports whether such a tail was discarded.
+// Records before the tear are returned intact (each is independently
+// CRC-protected). A missing file reads as an empty log.
+func ReadWALFile(path string) (records []RoundRecord, torn bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	return readWAL(bufio.NewReader(f))
+}
+
+func readWAL(r io.Reader) (records []RoundRecord, torn bool, err error) {
+	magic := make([]byte, len(WALMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		// Empty or shorter-than-magic file: treat as empty log (torn at 0).
+		return nil, true, nil
+	}
+	if string(magic) != WALMagic {
+		return nil, false, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, magic)
+	}
+	for {
+		name, payload, err := readOneFrame(r)
+		if err == io.EOF {
+			return records, false, nil
+		}
+		if err != nil {
+			// Torn or corrupt tail: keep everything before it.
+			return records, true, nil
+		}
+		if name != walRecordFrame {
+			return records, true, nil
+		}
+		rec, err := decodeRoundRecord(payload)
+		if err != nil {
+			return records, true, nil
+		}
+		records = append(records, rec)
+	}
+}
+
+// readOneFrame reads a single raw frame (no trailer handling — the WAL
+// has no trailer, it is terminated by EOF). io.EOF is returned only at a
+// clean frame boundary.
+func readOneFrame(r io.Reader) (string, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("%w: torn frame header: %v", ErrCorrupt, err)
+	}
+	nameLen := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	if nameLen == 0 || nameLen > maxNameLen {
+		return "", nil, fmt.Errorf("%w: frame name length %d out of range", ErrCorrupt, nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return "", nil, fmt.Errorf("%w: torn frame name: %v", ErrCorrupt, err)
+	}
+	var plen [8]byte
+	if _, err := io.ReadFull(r, plen[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: torn payload length: %v", ErrCorrupt, err)
+	}
+	n := uint64(plen[0]) | uint64(plen[1])<<8 | uint64(plen[2])<<16 | uint64(plen[3])<<24 |
+		uint64(plen[4])<<32 | uint64(plen[5])<<40 | uint64(plen[6])<<48 | uint64(plen[7])<<56
+	payload, err := readPayload(r, n)
+	if err != nil {
+		return "", nil, err
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return "", nil, fmt.Errorf("%w: torn frame CRC: %v", ErrCorrupt, err)
+	}
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	crc := crc32ChecksumFrame(nameBuf, payload)
+	if crc != want {
+		return "", nil, fmt.Errorf("%w: CRC mismatch in frame %q", ErrCorrupt, nameBuf)
+	}
+	return string(nameBuf), payload, nil
+}

@@ -1,0 +1,84 @@
+package position
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, updates uint8) bool {
+		const blocks, leaves = 256, 64
+		rng := rand.New(rand.NewSource(seed))
+		a := NewDense(blocks, leaves, uint64(seed))
+		for i := 0; i < int(updates); i++ {
+			a.Set(uint64(rng.Intn(blocks)), uint32(rng.Intn(leaves)))
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			return false
+		}
+		b := NewDense(blocks, leaves, uint64(seed)+1)
+		if err := b.Restore(snap); err != nil {
+			return false
+		}
+		for id := uint64(0); id < blocks; id++ {
+			if a.Get(id) != b.Get(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, updates uint8) bool {
+		const blocks, leaves = 1 << 20, 1 << 10
+		rng := rand.New(rand.NewSource(seed))
+		a := NewSparse(blocks, leaves, uint64(seed))
+		for i := 0; i < int(updates); i++ {
+			a.Set(uint64(rng.Intn(blocks)), uint32(rng.Intn(leaves)))
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			return false
+		}
+		// Restore target must share the PRF parameters (geometry guard).
+		b := NewSparse(blocks, leaves, uint64(seed))
+		if err := b.Restore(snap); err != nil {
+			return false
+		}
+		// Spot-check overlaid and clean entries.
+		for i := 0; i < 1000; i++ {
+			id := uint64(rng.Intn(blocks))
+			if a.Get(id) != b.Get(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseRestoreGuards(t *testing.T) {
+	a := NewSparse(1024, 64, 7)
+	a.Set(3, 9)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSparse(1024, 64, 8).Restore(snap); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	if err := NewSparse(2048, 64, 7).Restore(snap); err == nil {
+		t.Fatal("block-count mismatch accepted")
+	}
+	if err := NewSparse(1024, 64, 7).Restore(snap[:3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package raworam
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func newPersistORAM(t *testing.T) (*ORAM, *device.Sim, *device.Sim) {
+	t.Helper()
+	cfg := Config{NumBlocks: 256, BlockSize: 32, Seed: 42}
+	probe := device.NewSSD(1 << 30)
+	dram := device.NewDRAM(1 << 30)
+	trial, err := New(cfg, probe, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssd := device.NewSSD(trial.RequiredBytes())
+	dram = device.NewDRAM(1 << 30)
+	o, err := New(cfg, ssd, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, ssd, dram
+}
+
+// drive performs a deterministic mixed workload (AO reads, write-backs,
+// dummies) whose effects depend on the ORAM's internal RNG and eviction
+// phase — exactly the state a snapshot must capture.
+func drive(t *testing.T, o *ORAM, rng *rand.Rand, steps int) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		id := uint64(rng.Intn(256))
+		switch rng.Intn(4) {
+		case 0:
+			if _, _, err := o.AOAccess(id); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if _, err := o.AODummy(); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			data := make([]byte, 32)
+			rng.Read(data)
+			if _, err := o.WriteBack(id, data); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			if _, err := o.WriteBackDummy(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSnapshotResumeEquivalence is the core durability property: run a
+// workload, snapshot mid-stream, keep running (A); restore the snapshot
+// into a fresh instance and run the identical continuation (B). A and B
+// must agree on every block, the stash, the eviction phase, and the
+// device image.
+func TestSnapshotResumeEquivalence(t *testing.T) {
+	a, ssdA, _ := newPersistORAM(t)
+	drive(t, a, rand.New(rand.NewSource(7)), 200)
+
+	oramSnap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssdSnap, err := ssdA.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Continuation A.
+	drive(t, a, rand.New(rand.NewSource(8)), 150)
+
+	// Restore into B and run the identical continuation.
+	b, ssdB, _ := newPersistORAM(t)
+	if err := ssdB.Restore(ssdSnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(oramSnap); err != nil {
+		t.Fatal(err)
+	}
+	drive(t, b, rand.New(rand.NewSource(8)), 150)
+
+	if a.RootCounter() != b.RootCounter() {
+		t.Fatalf("root counter %d != %d", a.RootCounter(), b.RootCounter())
+	}
+	if a.StashLen() != b.StashLen() {
+		t.Fatalf("stash %d != %d", a.StashLen(), b.StashLen())
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats %+v != %+v", a.Stats(), b.Stats())
+	}
+	for id := uint64(0); id < 256; id++ {
+		pa, err := a.Peek(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.Peek(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pa, pb) {
+			t.Fatalf("block %d diverged after resume", id)
+		}
+	}
+}
+
+func TestSnapshotGeometryGuard(t *testing.T) {
+	a, _, _ := newPersistORAM(t)
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{NumBlocks: 512, BlockSize: 32, Seed: 42} // different N
+	probe := device.NewSSD(1 << 30)
+	dram := device.NewDRAM(1 << 30)
+	other, err := New(cfg, probe, dram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+	b, _, _ := newPersistORAM(t)
+	if err := b.Restore(snap[:len(snap)/3]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

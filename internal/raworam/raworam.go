@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/pathoram"
+	"repro/internal/persist"
 	"repro/internal/position"
 	"repro/internal/stash"
 	"repro/internal/tee"
@@ -122,6 +123,7 @@ type ORAM struct {
 
 	pos   position.Map
 	stash *stash.Stash
+	src   *persist.Source // checkpointable state behind rng
 	rng   *rand.Rand
 
 	levels     int
@@ -193,7 +195,8 @@ func New(cfg Config, ssd, dram device.Device) (*ORAM, error) {
 	}
 	o.stash = stash.New(o.cfg.StashCapacity)
 	o.pos = position.NewSparse(cfg.NumBlocks, leaves, uint64(cfg.Seed)+1)
-	o.rng = rand.New(rand.NewSource(cfg.Seed))
+	o.src = persist.NewSource(cfg.Seed)
+	o.rng = rand.New(o.src)
 	o.vtree = make(map[uint32][]byte)
 	o.counters = make(map[uint32]uint64)
 	return o, nil

@@ -1,0 +1,60 @@
+package stash
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStashSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 300
+		a := New(capacity)
+		count := int(n) % 50
+		for i := 0; i < count; i++ {
+			data := make([]byte, 32)
+			rng.Read(data)
+			if err := a.Put(&Block{ID: uint64(i * 3), Leaf: uint32(rng.Intn(64)), Data: data}); err != nil {
+				return false
+			}
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			return false
+		}
+		b := New(capacity)
+		if err := b.Restore(snap); err != nil {
+			return false
+		}
+		if a.Len() != b.Len() || a.Peak() != b.Peak() {
+			return false
+		}
+		for _, id := range a.IDs() {
+			ba, bb := a.Get(id), b.Get(id)
+			if bb == nil || ba.Leaf != bb.Leaf || !bytes.Equal(ba.Data, bb.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStashRestoreGuards(t *testing.T) {
+	a := New(10)
+	a.Put(&Block{ID: 1, Leaf: 2, Data: []byte{1, 2, 3}})
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(20).Restore(snap); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+	if err := New(10).Restore(snap[:4]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
