@@ -7,12 +7,13 @@ GO ?= go
 all: build test
 
 # CI gate: static checks + the race detector over the concurrent layers
-# (the FL worker pool and the fedora round pipeline).
+# (the FL worker pool, the fedora round pipeline, the sharded ORAM
+# engine, and the HTTP API server).
 check:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/fl/... ./internal/fedora/...
+	$(GO) test -race ./internal/fl/... ./internal/fedora/... ./internal/shard/... ./internal/api/...
 
 # Durability gate: kill-resume fingerprint identity, corrupt-checkpoint
 # fallback, torn-WAL replay, every Snapshot/Restore round trip, and a

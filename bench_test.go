@@ -185,6 +185,41 @@ func BenchmarkRoundWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRoundShards sweeps the sharded ORAM engine: the embedding
+// table partitioned across S parallel per-shard ORAMs with an S-sized
+// worker pool. The oram-read phase (union + ε-FDP sampling + main-ORAM
+// reads, all per shard) is the part that scales; ε=0 keeps the model
+// bit-identical across shard counts (fl.TestShardedFingerprintIdentity
+// is the correctness side of this claim).
+func BenchmarkRoundShards(b *testing.B) {
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			cfg := dataset.MovieLensConfig()
+			cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 2000, 400, 60
+			ds := dataset.Generate(cfg)
+			tr, err := fl.New(fl.Config{
+				Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+				Epsilon: 0, ClientsPerRound: 50, LocalEpochs: 2,
+				LocalLR: 0.1, Seed: 1, Shards: s, ShardWorkers: s,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var rep fl.RoundReport
+			for i := 0; i < b.N; i++ {
+				rep, err = tr.RunRound()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if rep.Timings.ORAMRead > 0 {
+				b.ReportMetric(float64(rep.Timings.ORAMRead.Microseconds()), "oram-read-us/round")
+			}
+		})
+	}
+}
+
 // --- Core primitive microbenchmarks -----------------------------------
 
 // BenchmarkPathORAMAccess measures one functional Path ORAM access

@@ -10,6 +10,7 @@
 //	fedora-bench -ablation-chunk   union chunk-size sweep
 //	fedora-bench -ablation-shape   e-FDP shape (Y) sweep
 //	fedora-bench -parallel         FL round wall-clock vs worker count
+//	fedora-bench -shards           FL round wall-clock vs ORAM shard count
 //	fedora-bench -all              everything above
 //
 // -quick restricts sweeps to the Small/10K point for a fast smoke run.
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -41,6 +43,7 @@ func main() {
 		shape  = flag.Bool("ablation-shape", false, "sweep the e-FDP shape Y")
 		sched  = flag.Bool("ablation-schedule", false, "FL-friendly vs vanilla RAW ORAM schedule")
 		par    = flag.Bool("parallel", false, "sweep the FL trainer's worker count and report round wall-clock + speedup")
+		shardS = flag.Bool("shards", false, "sweep the embedding-table shard count and report round wall-clock + oram-read speedup")
 		geom   = flag.Bool("geometry", false, "print the derived ORAM configurations (Sec 6.1)")
 		family = flag.Bool("ablation-family", false, "tree vs shuffling ORAM family (Sec 7)")
 		all    = flag.Bool("all", false, "run every experiment")
@@ -193,6 +196,17 @@ func main() {
 			fail(err)
 		}
 	}
+	if *shardS || *all {
+		any = true
+		// The -csv path is owned by the Fig 7/8 sweep when that runs too.
+		csvPath := *csvOut
+		if needSweep {
+			csvPath = ""
+		}
+		if err := runShardSweep(*rounds, *seed, *quick, csvPath); err != nil {
+			fail(err)
+		}
+	}
 	if !any {
 		flag.Usage()
 		os.Exit(2)
@@ -261,5 +275,71 @@ func runParallelSweep(rounds int, seed int64, quick bool) error {
 		{Name: "train", D: lastPhases.Train},
 		{Name: "aggregate", D: lastPhases.Aggregate},
 	}))
+	return nil
+}
+
+// runShardSweep measures FL round wall-clock as the embedding table is
+// partitioned across S parallel per-shard ORAMs (ShardWorkers = S). At
+// ε = 0 every union entry is read and sharding must not change the
+// model, so the sweep doubles as a determinism check: every shard count
+// has to land on the same AUC.
+func runShardSweep(rounds int, seed int64, quick bool, csvPath string) error {
+	cfg := dataset.MovieLensConfig()
+	cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 2000, 400, 60
+	if quick {
+		cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 400, 150, 40
+	}
+	ds := dataset.Generate(cfg)
+	if rounds <= 0 {
+		rounds = 2
+	}
+
+	counts := []int{1, 2, 4, 8}
+	fmt.Printf("ORAM sharding (MovieLens-like, %d items, %d rounds, GOMAXPROCS=%d)\n\n",
+		cfg.NumItems, rounds, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s  %12s  %12s  %12s  %8s  %7s\n",
+		"shards", "round wall", "oram-read", "union", "speedup", "AUC")
+	var csv strings.Builder
+	csv.WriteString("shards,round_wall_us,oram_read_us,union_us,speedup,auc\n")
+	var base float64
+	var baseAUC float64
+	for _, s := range counts {
+		tr, err := fl.New(fl.Config{
+			Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+			Epsilon: 0, ClientsPerRound: 50, LocalEpochs: 2,
+			LocalLR: 0.1, Seed: seed, Shards: s, ShardWorkers: s,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := tr.Run(rounds)
+		if err != nil {
+			return err
+		}
+		perRound := res.Phases.Total / time.Duration(rounds)
+		readPer := res.Phases.ORAMRead / time.Duration(rounds)
+		unionPer := res.Phases.Union / time.Duration(rounds)
+		if s == 1 {
+			base = float64(res.Phases.ORAMRead)
+			baseAUC = res.AUC
+		} else if res.AUC != baseAUC {
+			return fmt.Errorf("determinism violated: shards=%d AUC %v != shards=1 AUC %v",
+				s, res.AUC, baseAUC)
+		}
+		speedup := base / float64(res.Phases.ORAMRead)
+		fmt.Printf("%8d  %12v  %12v  %12v  %7.2fx  %.4f\n",
+			s, perRound.Round(time.Microsecond), readPer.Round(time.Microsecond),
+			unionPer.Round(time.Microsecond), speedup, res.AUC)
+		fmt.Fprintf(&csv, "%d,%d,%d,%d,%.3f,%.4f\n",
+			s, perRound.Microseconds(), readPer.Microseconds(),
+			unionPer.Microseconds(), speedup, res.AUC)
+	}
+	fmt.Println()
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", csvPath)
+	}
 	return nil
 }

@@ -49,6 +49,7 @@ func main() {
 		features = flag.Int("max-features", 100, "max features per client")
 		lr       = flag.Float64("lr", 1.0, "server learning rate")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
+		shards   = flag.Int("shards", 1, "partition the table across this many parallel per-shard ORAMs (1 = monolithic)")
 		ckptDir  = flag.String("checkpoint-dir", "", "restore controller state on start, checkpoint on shutdown")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain limit")
 	)
@@ -62,6 +63,7 @@ func main() {
 		MaxFeaturesPerClient: *features,
 		LearningRate:         float32(*lr),
 		Seed:                 *seed,
+		Shards:               *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -78,8 +80,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("fedora-server: N=%d dim=%d eps=%g — main ORAM %.2f GB (SSD), %.2f GB DRAM\n",
-		*rows, *dim, *eps,
+	fmt.Printf("fedora-server: N=%d dim=%d eps=%g shards=%d — main ORAM %.2f GB (SSD), %.2f GB DRAM\n",
+		*rows, *dim, *eps, ctrl.Shards(),
 		float64(ctrl.MainORAMBytes())/1e9, float64(ctrl.DRAMResidentBytes())/1e9)
 	fmt.Printf("listening on %s\n", *listen)
 

@@ -35,6 +35,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		csvOut  = flag.String("csv", "", "also write Table 1 to this CSV file")
 		workers = flag.Int("workers", 0, "client-training worker pool size (0 = GOMAXPROCS); results are seed-deterministic at any value")
+		shards  = flag.Int("shards", 1, "partition the embedding table across this many parallel per-shard ORAMs (1 = monolithic); results are seed-deterministic at any value")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory for -single (enables crash recovery)")
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint period in rounds (with -checkpoint-dir)")
@@ -77,14 +78,14 @@ func main() {
 		}
 		fmt.Println(experiments.RenderPoolingAblation(rows))
 	case *single:
-		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed, *workers, *ckptDir, *ckptEvery, *resume)
+		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed, *workers, *shards, *ckptDir, *ckptEvery, *resume)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64, workers int, ckptDir string, ckptEvery int, resume bool) {
+func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64, workers, shards int, ckptDir string, ckptEvery int, resume bool) {
 	var cfg dataset.Config
 	switch dsName {
 	case "movielens":
@@ -104,7 +105,7 @@ func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, 
 		Dataset: ds, Dim: 8, Hidden: 16,
 		ClientsPerRound: 40, MaxFeaturesPerClient: 100,
 		LocalLR: 0.1, LocalEpochs: 2, Seed: seed,
-		Workers: workers,
+		Workers: workers, Shards: shards,
 	}
 	switch mode {
 	case "pub":
@@ -171,7 +172,8 @@ func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, 
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dataset=%s mode=%s eps=%g rounds=%d workers=%d\n", dsName, mode, eps, rounds, res.Workers)
+	fmt.Printf("dataset=%s mode=%s eps=%g rounds=%d workers=%d shards=%d\n",
+		dsName, mode, eps, rounds, res.Workers, tr.Controller().Shards())
 	fmt.Printf("AUC:              %.4f\n", res.AUC)
 	fmt.Printf("reduced accesses: %.2f%%\n", 100*res.ReducedAccesses)
 	fmt.Printf("dummy accesses:   %.2f%% of optimum\n", 100*res.DummyFrac)

@@ -65,8 +65,10 @@ func (s *Server) Handler() http.Handler {
 }
 
 // StatusResponse reports controller configuration and device traffic.
+// SSD byte counters aggregate across all shards when sharded.
 type StatusResponse struct {
 	Backend          string `json:"backend"`
+	Shards           int    `json:"shards"`
 	Round            uint64 `json:"round"`
 	RoundInProgress  bool   `json:"round_in_progress"`
 	EffectiveEpsilon string `json:"effective_epsilon"`
@@ -131,9 +133,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ssd := s.ctrl.SSDDevice().Stats()
+	ssd := s.ctrl.SSDStats()
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Backend:          s.ctrl.Backend().String(),
+		Shards:           s.ctrl.Shards(),
 		Round:            s.ctrl.Round(),
 		RoundInProgress:  s.round != nil,
 		EffectiveEpsilon: strconv.FormatFloat(s.ctrl.EffectiveEpsilon(), 'g', -1, 64),
@@ -187,18 +190,28 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad row: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.round == nil {
+	// Snapshot the round pointer, then serve OUTSIDE the server mutex:
+	// Round entry points are concurrency-safe, and on a sharded
+	// controller downloads for rows on different shards proceed in
+	// parallel (the server mutex would serialize them again).
+	round := s.currentRound()
+	if round == nil {
 		http.Error(w, "no round in progress", http.StatusConflict)
 		return
 	}
-	entry, ok, err := s.round.ServeEntry(row)
+	entry, ok, err := round.ServeEntry(row)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, EntryResponse{Row: row, Entry: entry, OK: ok})
+}
+
+// currentRound reads the active round handle under the server mutex.
+func (s *Server) currentRound() *fedora.Round {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
 }
 
 func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
@@ -215,13 +228,12 @@ func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "samples must be positive", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.round == nil {
+	round := s.currentRound()
+	if round == nil {
 		http.Error(w, "no round in progress", http.StatusConflict)
 		return
 	}
-	delivered, err := s.round.SubmitGradient(req.Row, req.Grad, req.Samples)
+	delivered, err := round.SubmitGradient(req.Row, req.Grad, req.Samples)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -257,8 +269,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ssd := s.ctrl.SSDDevice().Stats()
-	dram := s.ctrl.DRAMDevice().Stats()
+	ssd := s.ctrl.SSDStats()
+	dram := s.ctrl.DRAMStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	inProgress := 0
 	if s.round != nil {
@@ -271,6 +283,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}{
 		{"fedora_rounds_total", "counter", strconv.FormatUint(s.ctrl.Round(), 10)},
 		{"fedora_round_in_progress", "gauge", strconv.Itoa(inProgress)},
+		{"fedora_shards", "gauge", strconv.Itoa(s.ctrl.Shards())},
 		{"fedora_ssd_bytes_read_total", "counter", strconv.FormatUint(ssd.BytesRead, 10)},
 		{"fedora_ssd_bytes_written_total", "counter", strconv.FormatUint(ssd.BytesWritten, 10)},
 		{"fedora_dram_bytes_read_total", "counter", strconv.FormatUint(dram.BytesRead, 10)},

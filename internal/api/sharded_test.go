@@ -1,0 +1,174 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fdp"
+	"repro/internal/fedora"
+)
+
+func newShardedServer(t *testing.T, shards int) (*Client, *fedora.Controller) {
+	t.Helper()
+	ctrl, err := fedora.New(fedora.Config{
+		NumRows: 1024, Dim: 4, Epsilon: fdp.EpsilonInfinity,
+		MaxClientsPerRound: 8, MaxFeaturesPerClient: 8,
+		LearningRate: 1, Seed: 3, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(ctrl).Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), ctrl
+}
+
+// TestShardedStatusReportsShards: the status and metrics endpoints
+// surface the shard count and aggregate device counters.
+func TestShardedStatusReportsShards(t *testing.T) {
+	c, _ := newShardedServer(t, 4)
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 {
+		t.Errorf("status shards = %d, want 4", st.Shards)
+	}
+	if err := c.BeginRound([][]uint64{{1, 600}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FinishRound(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SSDBytesRead == 0 {
+		t.Error("aggregated SSD read counter is zero after a round")
+	}
+	resp, err := http.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	if !strings.Contains(string(body[:n]), "fedora_shards 4") {
+		t.Errorf("metrics missing fedora_shards gauge:\n%s", body[:n])
+	}
+}
+
+// TestShardedConcurrentEntryAndGradient hammers one round with parallel
+// downloads AND uploads spanning every shard; every operation must
+// succeed and every gradient must be delivered.
+func TestShardedConcurrentEntryAndGradient(t *testing.T) {
+	c, _ := newShardedServer(t, 4)
+	// Rows chosen to span all 4 shards of the 1024-row table.
+	rows := []uint64{1, 2, 300, 301, 600, 601, 900, 901}
+	if err := c.BeginRound([][]uint64{rows[:4], rows[4:]}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			row := rows[g%len(rows)]
+			if g%2 == 0 {
+				_, ok, err := c.Entry(row)
+				if err == nil && !ok {
+					err = fmt.Errorf("row %d not resident", row)
+				}
+				errCh <- err
+			} else {
+				delivered, err := c.SubmitGradient(row, []float32{1, 1, 1, 1}, 1)
+				if err == nil && !delivered {
+					err = fmt.Errorf("row %d gradient dropped", row)
+				}
+				errCh <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.FinishRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K != len(rows) {
+		t.Errorf("finish stats K = %d, want %d", st.K, len(rows))
+	}
+}
+
+// TestShardedErrorPaths: unknown rows, operations after finish, and
+// malformed bodies all fail with client errors, sharded or not.
+func TestShardedErrorPaths(t *testing.T) {
+	c, _ := newShardedServer(t, 4)
+
+	// Begin with a row beyond the table: rejected up front.
+	resp, err := http.Post(c.base+"/v1/rounds", "application/json",
+		strings.NewReader(`{"requests":[[4096]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range begin status = %d", resp.StatusCode)
+	}
+
+	if err := c.BeginRound([][]uint64{{1, 900}}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown-but-in-range row: an indistinguishable miss, not an error.
+	if _, ok, err := c.Entry(700); err != nil || ok {
+		t.Errorf("entry for unrequested row: ok=%v err=%v, want miss", ok, err)
+	}
+	// Unknown row in a gradient: dropped, not delivered.
+	if delivered, err := c.SubmitGradient(700, []float32{0, 0, 0, 0}, 1); err != nil || delivered {
+		t.Errorf("gradient for unrequested row: delivered=%v err=%v", delivered, err)
+	}
+	// Out-of-range row during the round: a client error from the router.
+	resp, err = http.Get(c.base + "/v1/rounds/current/entry?row=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 400 {
+		t.Errorf("out-of-range entry status = %d, want error", resp.StatusCode)
+	}
+	// Malformed gradient JSON.
+	resp, err = http.Post(c.base+"/v1/rounds/current/gradient", "application/json",
+		strings.NewReader(`{"row":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed gradient status = %d", resp.StatusCode)
+	}
+
+	if _, err := c.FinishRound(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything after finish: 409 conflict.
+	if _, _, err := c.Entry(1); err == nil {
+		t.Error("entry after finish accepted")
+	}
+	if _, err := c.SubmitGradient(1, []float32{0, 0, 0, 0}, 1); err == nil {
+		t.Error("gradient after finish accepted")
+	}
+	if _, err := c.FinishRound(); err == nil {
+		t.Error("double finish accepted")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/pathoram"
 	"repro/internal/persist"
 	"repro/internal/raworam"
+	"repro/internal/shard"
 	"repro/internal/tee"
 )
 
@@ -133,6 +134,17 @@ type Config struct {
 	// Union entries then come out in ascending-ID rather than first-seen
 	// order, which changes what "SelectFirst" means.
 	SortedUnion bool
+	// Shards partitions the embedding table into this many contiguous row
+	// ranges, each with its own main ORAM, buffer ORAM, position map and
+	// ε-FDP sampler, executed concurrently each round (0 or 1 =
+	// monolithic). The round ε is unchanged: chunks already compose in
+	// parallel, and per-shard chunks partition the same request set.
+	Shards int
+	// ShardWorkers bounds the goroutines driving shards concurrently
+	// (0 = min(GOMAXPROCS, Shards)). The worker count never changes
+	// results: each shard's RNG stream is derived from Seed and the shard
+	// index alone.
+	ShardWorkers int
 }
 
 func (c *Config) setDefaults() {
@@ -162,6 +174,12 @@ func (c *Config) validate() error {
 	}
 	if c.ChunkSize < 0 {
 		return errors.New("fedora: ChunkSize must be non-negative")
+	}
+	if c.Shards < 0 {
+		return errors.New("fedora: Shards must be non-negative")
+	}
+	if c.Shards > 1 && uint64(c.Shards) > c.NumRows {
+		return fmt.Errorf("fedora: %d shards exceed the %d embedding rows", c.Shards, c.NumRows)
 	}
 	return nil
 }
@@ -195,6 +213,12 @@ type Controller struct {
 	round   uint64
 	inRound bool
 	acct    fdp.Accountant
+
+	// Sharded mode (cfg.Shards > 1): eng routes rounds across the
+	// sub-controllers in subs, each a full monolithic pipeline over its
+	// contiguous row range; every ORAM/device field above is nil.
+	eng  *shard.Engine
+	subs []*Controller
 }
 
 // New builds a controller, provisioning simulated devices sized to the
@@ -203,6 +227,9 @@ func New(cfg Config) (*Controller, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 1 {
+		return newSharded(cfg)
 	}
 	c := &Controller{cfg: cfg}
 	c.src = persist.NewSource(cfg.Seed + 3)
@@ -360,8 +387,15 @@ func (c *Controller) Backend() Backend { return c.cfg.Backend }
 func (c *Controller) EffectiveEpsilon() float64 { return c.effEps }
 
 // MainORAMBytes is the main ORAM's device footprint (= the SSD size used
-// for lifetime reporting).
+// for lifetime reporting), summed across shards when sharded.
 func (c *Controller) MainORAMBytes() uint64 {
+	if c.eng != nil {
+		var total uint64
+		for _, s := range c.subs {
+			total += s.MainORAMBytes()
+		}
+		return total
+	}
 	if c.path != nil {
 		return c.path.RequiredBytes()
 	}
@@ -370,7 +404,15 @@ func (c *Controller) MainORAMBytes() uint64 {
 
 // DRAMResidentBytes is the capacity the design must provision in DRAM:
 // buffer ORAM + position map + VTree (FEDORA backends) + stash headroom.
+// Summed across shards when sharded.
 func (c *Controller) DRAMResidentBytes() uint64 {
+	if c.eng != nil {
+		var total uint64
+		for _, s := range c.subs {
+			total += s.DRAMResidentBytes()
+		}
+		return total
+	}
 	total := c.buf.RequiredBytes()
 	total += c.cfg.NumRows * 4 // position map
 	if c.raw != nil {
@@ -380,8 +422,53 @@ func (c *Controller) DRAMResidentBytes() uint64 {
 }
 
 // SSDDevice / DRAMDevice expose the simulated devices for stats capture.
-func (c *Controller) SSDDevice() *device.Sim  { return c.ssd }
-func (c *Controller) DRAMDevice() *device.Sim { return c.dram }
+// A sharded controller has one device pair per shard; these return shard
+// 0's — use SSDStats / DRAMStats for the aggregate counters.
+func (c *Controller) SSDDevice() *device.Sim {
+	if c.eng != nil {
+		return c.subs[0].ssd
+	}
+	return c.ssd
+}
+
+func (c *Controller) DRAMDevice() *device.Sim {
+	if c.eng != nil {
+		return c.subs[0].dram
+	}
+	return c.dram
+}
+
+// SSDStats / DRAMStats aggregate the device counters across all shards
+// (identical to the single device's stats when monolithic).
+func (c *Controller) SSDStats() device.Stats {
+	if c.eng != nil {
+		var total device.Stats
+		for _, s := range c.subs {
+			total.Add(s.ssd.Stats())
+		}
+		return total
+	}
+	return c.ssd.Stats()
+}
+
+func (c *Controller) DRAMStats() device.Stats {
+	if c.eng != nil {
+		var total device.Stats
+		for _, s := range c.subs {
+			total.Add(s.dram.Stats())
+		}
+		return total
+	}
+	return c.dram.Stats()
+}
+
+// Shards reports the shard count (1 when monolithic).
+func (c *Controller) Shards() int {
+	if c.eng != nil {
+		return c.eng.Shards()
+	}
+	return 1
+}
 
 // Round returns the number of completed rounds.
 func (c *Controller) Round() uint64 {
@@ -391,8 +478,12 @@ func (c *Controller) Round() uint64 {
 }
 
 // MainEvictPeriod reports the main ORAM's eviction period A (0 for the
-// Path ORAM+ backend, which has no eviction period).
+// Path ORAM+ backend, which has no eviction period). Sharded controllers
+// report shard 0's period (all shards share the derivation rule).
 func (c *Controller) MainEvictPeriod() int {
+	if c.eng != nil {
+		return c.subs[0].MainEvictPeriod()
+	}
 	if c.raw == nil {
 		return 0
 	}
@@ -403,6 +494,13 @@ func (c *Controller) MainEvictPeriod() int {
 // traffic or state change. It exists so evaluation code can score the
 // global model; a deployment has no such backdoor.
 func (c *Controller) PeekRow(row uint64) ([]float32, error) {
+	if c.eng != nil {
+		if row >= c.cfg.NumRows {
+			return nil, fmt.Errorf("fedora: peek row %d out of range %d", row, c.cfg.NumRows)
+		}
+		si := shard.ShardOf(c.cfg.NumRows, c.cfg.Shards, row)
+		return c.subs[si].PeekRow(row - shard.Base(c.cfg.NumRows, c.cfg.Shards, si))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var (

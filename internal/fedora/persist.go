@@ -18,7 +18,15 @@ import (
 // between rounds — BeginRound..FinishRound state is deliberately not
 // serializable; recovery re-executes the interrupted round from the WAL.
 
-const controllerSnapshotVersion = 1
+const (
+	controllerSnapshotVersion = 1
+	// shardedSnapshotVersion tags snapshots of sharded controllers: a
+	// shard count + config digest header wrapping the shard.Engine
+	// container (one named section per shard). The two formats are
+	// deliberately distinct so cross-mode restores fail with a clear
+	// message instead of a decode error.
+	shardedSnapshotVersion = 2
+)
 
 // ErrRoundOpen is returned by Snapshot when a round is in flight.
 var ErrRoundOpen = errors.New("fedora: cannot snapshot mid-round")
@@ -47,6 +55,9 @@ func (c *Controller) ConfigDigest() uint64 {
 	e.U8(uint8(cfg.Selection))
 	e.U32(uint32(cfg.EvictPeriod))
 	e.Bool(cfg.SortedUnion)
+	// ShardWorkers is deliberately excluded: the worker count is a purely
+	// operational knob that never affects state.
+	e.U32(uint32(cfg.Shards))
 	h := fnv.New64a()
 	h.Write(e.Finish())
 	return h.Sum64()
@@ -59,6 +70,20 @@ func (c *Controller) Snapshot() ([]byte, error) {
 	defer c.mu.Unlock()
 	if c.inRound {
 		return nil, ErrRoundOpen
+	}
+
+	if c.eng != nil {
+		blob, err := c.eng.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		var e persist.Encoder
+		e.U8(shardedSnapshotVersion)
+		e.U32(uint32(c.cfg.Shards))
+		e.U64(c.ConfigDigest())
+		e.U64(c.round)
+		e.Bytes(blob)
+		return e.Finish(), nil
 	}
 
 	scratchBlob, err := c.scratch.Snapshot()
@@ -121,9 +146,15 @@ func (c *Controller) Restore(b []byte) error {
 	if c.inRound {
 		return ErrRoundOpen
 	}
+	if c.eng != nil {
+		return c.restoreSharded(b)
+	}
 
 	d := persist.NewDecoder(b)
 	if v := d.U8(); d.Err() == nil && v != controllerSnapshotVersion {
+		if v == shardedSnapshotVersion {
+			return errors.New("fedora: snapshot was taken by a sharded controller; configure the same Shards count to restore it")
+		}
 		return fmt.Errorf("fedora: unsupported controller snapshot version %d", v)
 	}
 	digest := d.U64()
@@ -198,6 +229,39 @@ func (c *Controller) Restore(b []byte) error {
 	c.round = round
 	c.sel.requestCount = requestCount
 	c.sel.readBefore = readBefore
+	return nil
+}
+
+// restoreSharded restores a sharded controller from a v2 snapshot. The
+// caller holds c.mu. The shard count is checked before the digest so a
+// mismatched partitioning gets the specific error, not the generic one.
+func (c *Controller) restoreSharded(b []byte) error {
+	d := persist.NewDecoder(b)
+	v := d.U8()
+	if d.Err() == nil && v != shardedSnapshotVersion {
+		if v == controllerSnapshotVersion {
+			return fmt.Errorf("fedora: snapshot was taken by an unsharded controller, this one is configured with %d shards", c.cfg.Shards)
+		}
+		return fmt.Errorf("fedora: unsupported controller snapshot version %d", v)
+	}
+	shards := int(d.U32())
+	if d.Err() == nil && shards != c.cfg.Shards {
+		return fmt.Errorf("fedora: snapshot was taken with %d shards, controller is configured with %d — restore requires an identical shard count", shards, c.cfg.Shards)
+	}
+	digest := d.U64()
+	if d.Err() == nil && digest != c.ConfigDigest() {
+		return fmt.Errorf("fedora: snapshot config digest %016x != controller %016x (configs differ)",
+			digest, c.ConfigDigest())
+	}
+	round := d.U64()
+	engBlob := d.Bytes()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("fedora: controller snapshot: %w", err)
+	}
+	if err := c.eng.Restore(engBlob); err != nil {
+		return err
+	}
+	c.round = round
 	return nil
 }
 

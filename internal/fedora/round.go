@@ -3,11 +3,13 @@ package fedora
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bufferoram"
 	"repro/internal/fdp"
 	"repro/internal/obliv"
+	"repro/internal/shard"
 )
 
 // DummyRequest is the padding value clients use in the hide-number-of-
@@ -15,56 +17,26 @@ import (
 // the union, exactly like a request for a value the user does not have.
 const DummyRequest = obliv.InvalidID
 
-// RoundStats summarizes one FL round for the evaluation harness.
-type RoundStats struct {
-	// K is the total number of client requests (public).
-	K int
-	// KUnion is Σ per-chunk unique requests (secret; exposed here for
-	// experiment reporting only).
-	KUnion int
-	// KSampled is Σ per-chunk sampled k — the main-ORAM access count an
-	// adversary observes.
-	KSampled int
-	// Dummy / Lost are Σ max(0, k−k_union) and Σ max(0, k_union−k).
-	Dummy int
-	Lost  int
-	// CrossChunkDup counts accesses wasted on rows already fetched by an
-	// earlier chunk this round (the chunking overhead the paper notes).
-	CrossChunkDup int
-	// Chunks is the number of union chunks.
-	Chunks int
-	// RoundEpsilon is the ε-FDP guarantee of the round (parallel
-	// composition over chunks).
-	RoundEpsilon float64
-	// Phase durations (modelled device time, not wall clock).
-	UnionTime     time.Duration
-	ReadTime      time.Duration
-	ServeTime     time.Duration
-	AggregateTime time.Duration
-	UpdateTime    time.Duration
-	// Wall-clock phase durations measured on the host (as opposed to the
-	// modelled device times above): the oblivious-union scans, the main-
-	// ORAM → buffer-ORAM reads of BeginRound, and the write-back pass of
-	// Finish. The fl layer combines these with its own select/train
-	// timings into the per-round phase breakdown.
-	UnionWallTime  time.Duration
-	ReadWallTime   time.Duration
-	FinishWallTime time.Duration
-}
+// RoundStats summarizes one FL round for the evaluation harness. The
+// canonical definition lives in the shard package (both the monolithic
+// pipeline here and the sharded engine produce it); the alias keeps
+// fedora.RoundStats the name the fl/api/experiment layers use.
+type RoundStats = shard.RoundStats
 
-// Total is the controller-side critical-path time added to the FL round.
-func (s RoundStats) Total() time.Duration {
-	return s.UnionTime + s.ReadTime + s.ServeTime + s.AggregateTime + s.UpdateTime
-}
+// ShardStats is the per-shard breakdown attached to a sharded round.
+type ShardStats = shard.ShardStats
 
 // Round is an in-flight FL round (between BeginRound and Finish).
 //
 // ServeEntry, SubmitGradient and Finish are safe for concurrent use by
 // multiple goroutines: multiple trainer workers may stage downloads and
 // uploads simultaneously while the controller's mutex keeps the ORAM
-// pipeline single-writer underneath.
+// pipeline single-writer underneath. When the controller is sharded the
+// round delegates to the shard engine instead, and operations on rows
+// owned by different shards proceed in parallel.
 type Round struct {
 	c      *Controller
+	er     *shard.Round // sharded mode: the engine round (nil otherwise)
 	loaded map[uint64]bool
 	stats  RoundStats
 	done   bool
@@ -103,6 +75,18 @@ func (c *Controller) BeginRound(requests [][]uint64) (*Round, error) {
 	}
 	c.inRound = true
 	c.round++
+
+	// Sharded mode: the engine routes the requests and drives every
+	// shard's ①–③ concurrently; each sub-controller runs its own union,
+	// ε-FDP sampling and ORAM reads over its row range.
+	if c.eng != nil {
+		er, err := c.eng.BeginRound(requests)
+		if err != nil {
+			c.inRound = false
+			return nil, err
+		}
+		return &Round{c: c, er: er}, nil
+	}
 	c.buf.SetRound(c.round)
 
 	r := &Round{c: c, loaded: make(map[uint64]bool)}
@@ -277,6 +261,11 @@ func (r *Round) dummyFetch() error {
 // lost-entry policy (our FL layer, like the paper's prototype, drops the
 // affected training samples).
 func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
+	if r.er != nil {
+		// Sharded: the engine routes to the owning shard; rows on
+		// different shards are served concurrently.
+		return r.er.ServeEntry(row)
+	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
@@ -297,6 +286,9 @@ func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
 // aggregate (step ⑥). delivered is false when the row was not resident
 // (the gradient is dropped, matching a lost entry).
 func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delivered bool, err error) {
+	if r.er != nil {
+		return r.er.SubmitGradient(row, grad, nSamples)
+	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
@@ -316,6 +308,13 @@ func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delive
 // Finish applies aggregated updates back to the main ORAM (step ⑦) and
 // closes the round.
 func (r *Round) Finish() (RoundStats, error) {
+	if r.er != nil {
+		st, err := r.er.Finish()
+		r.c.mu.Lock()
+		r.c.inRound = false
+		r.c.mu.Unlock()
+		return st, err
+	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
@@ -323,7 +322,15 @@ func (r *Round) Finish() (RoundStats, error) {
 	}
 	c := r.c
 	wallStart := time.Now()
+	// Deterministic write-back order: map iteration would randomize the
+	// ORAM state evolution run-to-run, breaking bit-identical snapshots
+	// (all k rows move either way, so the order leaks nothing new).
+	rows := make([]uint64, 0, len(r.loaded))
 	for row := range r.loaded {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for _, row := range rows {
 		entry, d, err := c.buf.Unload(row)
 		r.stats.UpdateTime += d
 		if err != nil {

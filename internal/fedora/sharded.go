@@ -1,0 +1,70 @@
+package fedora
+
+import (
+	"fmt"
+
+	"repro/internal/shard"
+)
+
+// newSharded builds a sharded controller: cfg.Shards sub-controllers,
+// each a complete monolithic FEDORA pipeline (own main ORAM, buffer
+// ORAM, position map, devices, TEE engine and ε-FDP sampler) over one
+// contiguous row range, driven concurrently by a shard.Engine. The
+// parent Controller owns no ORAM state itself — it routes.
+func newSharded(cfg Config) (*Controller, error) {
+	c := &Controller{cfg: cfg}
+	n := cfg.Shards
+	c.subs = make([]*Controller, n)
+	parts := make([]shard.Partition, n)
+	for i := 0; i < n; i++ {
+		sub := cfg
+		sub.Shards = 0
+		sub.ShardWorkers = 0
+		sub.NumRows = shard.Rows(cfg.NumRows, n, i)
+		// Independent, deterministic RNG stream per shard: results are
+		// bit-identical at any worker count.
+		sub.Seed = shard.Seed(cfg.Seed, i)
+		if cfg.InitRow != nil {
+			base := shard.Base(cfg.NumRows, n, i)
+			init := cfg.InitRow
+			sub.InitRow = func(row uint64) []float32 { return init(base + row) }
+		}
+		s, err := New(sub)
+		if err != nil {
+			return nil, fmt.Errorf("fedora: shard %d: %w", i, err)
+		}
+		c.subs[i] = s
+		parts[i] = (*subPartition)(s)
+	}
+	eng, err := shard.NewEngine(shard.Config{
+		Shards:  n,
+		NumRows: cfg.NumRows,
+		Workers: cfg.ShardWorkers,
+		Dummy:   DummyRequest,
+	}, parts)
+	if err != nil {
+		return nil, err
+	}
+	c.eng = eng
+	// All shards share the same (ε, group-privacy) configuration, and
+	// their protected values are disjoint rows, so the round composes in
+	// parallel: the effective per-value ε is any sub-controller's.
+	c.effEps = c.subs[0].effEps
+	return c, nil
+}
+
+// subPartition adapts a monolithic sub-controller to the engine's
+// Partition interface (Go needs the exact interface types in the return
+// positions, hence the thin wrapper).
+type subPartition Controller
+
+func (p *subPartition) BeginRound(requests [][]uint64) (shard.PartitionRound, error) {
+	r, err := (*Controller)(p).BeginRound(requests)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *subPartition) Snapshot() ([]byte, error) { return (*Controller)(p).Snapshot() }
+func (p *subPartition) Restore(b []byte) error    { return (*Controller)(p).Restore(b) }

@@ -122,6 +122,13 @@ type Config struct {
 	// merge itself replays uploads in client order, which makes the model
 	// state bit-identical for a given Seed at ANY worker count.
 	Workers int
+	// Shards partitions the controller's embedding table into this many
+	// per-shard ORAM pipelines executed concurrently (0 or 1 =
+	// monolithic; see fedora.Config.Shards). At equal chunking the model
+	// and ε guarantees are unchanged — sharding only moves wall-clock.
+	Shards int
+	// ShardWorkers bounds the controller-side shard pool (0 = derive).
+	ShardWorkers int
 }
 
 func (c *Config) setDefaults() {
@@ -199,6 +206,8 @@ func New(cfg Config) (*Trainer, error) {
 		Seed:                 cfg.Seed,
 		Selection:            cfg.Selection,
 		InitRow:              initRow,
+		Shards:               cfg.Shards,
+		ShardWorkers:         cfg.ShardWorkers,
 	})
 	if err != nil {
 		return nil, err

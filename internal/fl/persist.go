@@ -65,6 +65,8 @@ func (t *Trainer) configDigest() uint64 {
 	e.U64(math.Float64bits(cfg.DPSigma))
 	e.Bool(cfg.UseSecAgg)
 	e.U64(math.Float64bits(cfg.DropoutProb))
+	// Workers/ShardWorkers are excluded: pool sizes never affect state.
+	e.U32(uint32(cfg.Shards))
 	h := fnv.New64a()
 	h.Write(e.Finish())
 	return h.Sum64()

@@ -1,0 +1,204 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/fdp"
+)
+
+// TestShardedFingerprintIdentity is the end-to-end acceptance criterion:
+// at ε = 0 (Delta shape — every union entry is read, nothing sacrificed)
+// training with Shards=S and Workers ≥ S must land on the exact same
+// model fingerprint as the monolithic controller, and spend the exact
+// same effective ε.
+func TestShardedFingerprintIdentity(t *testing.T) {
+	ds := smallMovieLens()
+	base := Config{
+		Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+		Epsilon: 0, Seed: 99, ClientsPerRound: 10, LocalEpochs: 1,
+	}
+	mono := newTrainer(t, base)
+	for i := 0; i < 3; i++ {
+		if _, err := mono.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := fingerprint(t, mono)
+
+	for _, shards := range []int{2, 4} {
+		cfg := base
+		cfg.Shards = shards
+		cfg.ShardWorkers = shards // Workers ≥ S
+		tr := newTrainer(t, cfg)
+		if got := tr.Controller().Shards(); got != shards {
+			t.Fatalf("controller shards = %d, want %d", got, shards)
+		}
+		var rep RoundReport
+		var err error
+		for i := 0; i < 3; i++ {
+			if rep, err = tr.RunRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(rep.PerShard) != shards {
+			t.Errorf("shards=%d PerShard has %d entries", shards, len(rep.PerShard))
+		}
+		if tr.Controller().EffectiveEpsilon() != mono.Controller().EffectiveEpsilon() {
+			t.Errorf("shards=%d effective ε %v != monolithic %v", shards,
+				tr.Controller().EffectiveEpsilon(), mono.Controller().EffectiveEpsilon())
+		}
+		if got := fingerprint(t, tr); got != want {
+			t.Errorf("shards=%d fingerprint %016x != monolithic %016x", shards, got, want)
+		}
+	}
+}
+
+// TestShardedWorkerCountFingerprint pins scheduling-independence with
+// real ε-FDP randomness: same shard count, different worker counts, same
+// model.
+func TestShardedWorkerCountFingerprint(t *testing.T) {
+	ds := smallMovieLens()
+	var want uint64
+	for i, workers := range []int{1, 4} {
+		cfg := Config{
+			Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+			Epsilon: 1, Seed: 13, ClientsPerRound: 10, LocalEpochs: 1,
+			Shards: 4, ShardWorkers: workers,
+		}
+		tr := newTrainer(t, cfg)
+		for r := 0; r < 3; r++ {
+			if _, err := tr.RunRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := fingerprint(t, tr)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("ShardWorkers=%d fingerprint %016x != %016x", workers, got, want)
+		}
+	}
+}
+
+// TestShardedKillResumeFingerprintIdentity: the durable Runner's crash
+// recovery must work unchanged over sharded controller snapshots.
+func TestShardedKillResumeFingerprintIdentity(t *testing.T) {
+	ds := smallMovieLens()
+	shardedCfg := func() Config {
+		cfg := durableCfg(ds)
+		cfg.Shards = 4
+		return cfg
+	}
+	newShardedTrainer := func() *Trainer {
+		tr, err := New(shardedCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	const total, every = 6, 2
+
+	// Uninterrupted baseline.
+	trBase := newShardedTrainer()
+	rBase, err := NewRunner(trBase, t.TempDir(), every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rBase.Close()
+	if _, err := rBase.Run(total); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, trBase)
+
+	// Crash after round 3 (past the round-2 checkpoint), then resume.
+	dir := t.TempDir()
+	r1, err := NewRunner(newShardedTrainer(), dir, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// crash: abandoned without Close.
+
+	tr2 := newShardedTrainer()
+	r2, err := NewRunner(tr2, dir, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	rep, err := r2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RestoredRound != 2 || rep.ReplayedRounds != 1 {
+		t.Fatalf("resume = %+v, want checkpoint at round 2 + 1 replayed", rep)
+	}
+	if _, err := r2.Run(total); err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, tr2); got != want {
+		t.Fatalf("sharded kill-resume fingerprint %016x != uninterrupted %016x", got, want)
+	}
+}
+
+// TestShardedResumeRejectsShardCountChange: a checkpoint taken at one
+// shard count must not silently restore into another.
+func TestShardedResumeRejectsShardCountChange(t *testing.T) {
+	ds := smallMovieLens()
+	dir := t.TempDir()
+	cfg := durableCfg(ds)
+	cfg.Shards = 4
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := NewRunner(tr, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := durableCfg(ds)
+	cfg2.Shards = 2
+	tr2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(tr2, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.Resume(); err == nil {
+		t.Fatal("resume across a shard-count change accepted")
+	}
+}
+
+// TestShardedTrainingImproves: a sanity check that real training (with
+// losses, hide-count padding, ε-FDP sampling) works end to end sharded.
+func TestShardedTrainingImproves(t *testing.T) {
+	cfg := Config{
+		Dataset: smallMovieLens(), Dim: 8, Hidden: 16, UsePrivate: true,
+		Epsilon: 2, HideCount: true, MaxFeaturesPerClient: 40,
+		Seed: 5, ClientsPerRound: 10, LocalEpochs: 1, Shards: 4,
+	}
+	tr := newTrainer(t, cfg)
+	res, err := tr.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AUC <= 0.5 {
+		t.Errorf("sharded AUC = %.3f, want > 0.5", res.AUC)
+	}
+	if res.CumulativeEpsilon <= 0 || res.CumulativeEpsilon == fdp.EpsilonInfinity {
+		t.Errorf("cumulative ε = %v", res.CumulativeEpsilon)
+	}
+}

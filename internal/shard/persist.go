@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/persist"
+)
+
+// Engine.Snapshot/Restore serialize every partition as a NAMED section
+// of a persist.Checkpoint container (the same CRC-framed format the
+// durable checkpoint files use), plus a meta section pinning the shard
+// geometry. Restoring a snapshot taken at a different shard count is
+// rejected: the per-shard ORAM trees, position maps and RNG streams are
+// only meaningful under the exact partition they were written with.
+
+// engineSnapshotVersion stamps the meta section.
+const engineSnapshotVersion = 1
+
+// metaSection / SectionName name the container sections.
+const metaSection = "shard/meta"
+
+// SectionName returns the checkpoint-section name of shard i.
+func SectionName(i int) string { return fmt.Sprintf("shard/%04d", i) }
+
+// ErrRoundOpen is returned by Snapshot when a round is in flight.
+var ErrRoundOpen = errors.New("shard: cannot snapshot mid-round")
+
+// Snapshot serializes the engine geometry and every partition.
+func (e *Engine) Snapshot() ([]byte, error) {
+	e.mu.Lock()
+	if e.inRound {
+		e.mu.Unlock()
+		return nil, ErrRoundOpen
+	}
+	e.mu.Unlock()
+
+	cp := persist.NewCheckpoint()
+	var meta persist.Encoder
+	meta.U8(engineSnapshotVersion)
+	meta.U32(uint32(e.cfg.Shards))
+	meta.U64(e.cfg.NumRows)
+	cp.Put(metaSection, meta.Finish())
+	for i, p := range e.parts {
+		blob, err := p.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		cp.Put(SectionName(i), blob)
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces every partition's state from a snapshot taken by an
+// engine with identical geometry. A diverging shard count or row count
+// is rejected before any partition is touched.
+func (e *Engine) Restore(b []byte) error {
+	e.mu.Lock()
+	if e.inRound {
+		e.mu.Unlock()
+		return ErrRoundOpen
+	}
+	e.mu.Unlock()
+
+	cp, err := persist.DecodeCheckpoint(bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("shard: engine snapshot: %w", err)
+	}
+	meta, ok := cp.Get(metaSection)
+	if !ok {
+		return fmt.Errorf("shard: engine snapshot has no %q section", metaSection)
+	}
+	d := persist.NewDecoder(meta)
+	version := d.U8()
+	shards := int(d.U32())
+	numRows := d.U64()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("shard: engine snapshot meta: %w", err)
+	}
+	if version != engineSnapshotVersion {
+		return fmt.Errorf("shard: unsupported engine snapshot version %d", version)
+	}
+	if shards != e.cfg.Shards {
+		return fmt.Errorf("shard: snapshot was taken with %d shards, engine is configured with %d — restore requires an identical shard count", shards, e.cfg.Shards)
+	}
+	if numRows != e.cfg.NumRows {
+		return fmt.Errorf("shard: snapshot covers %d rows, engine is configured with %d", numRows, e.cfg.NumRows)
+	}
+	for i, p := range e.parts {
+		blob, ok := cp.Get(SectionName(i))
+		if !ok {
+			return fmt.Errorf("shard: engine snapshot has no %q section", SectionName(i))
+		}
+		if err := p.Restore(blob); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+// Package shard implements the sharded ORAM engine: the embedding table
+// is partitioned into S contiguous shards, each backed by its own full
+// ORAM pipeline (main ORAM, position map, stash, buffer ORAM, TEE engine
+// and device accounting), and the S pipelines execute one FL round's
+// steps ①–③ and ⑦ concurrently on a bounded worker pool.
+//
+// Paper mapping: Sec 4.2 already splits each round's requests into 16K
+// chunks and composes ε in parallel across them; the shards here are the
+// same construction applied to *disjoint row ranges* instead of arrival
+// order, which lets the independent per-shard ORAMs run concurrently.
+// Within a shard the ε-FDP mechanism bounds what the shard's access
+// count k reveals about its k_union; across shards the protected values
+// are disjoint feature values, so by parallel composition the round
+// satisfies the same per-value ε the monolithic pipeline gives (the
+// round ε is the maximum, not the sum, of the per-shard chunk εs — see
+// fdp.Accountant).
+//
+// The engine is deliberately generic: it routes rows, fans rounds out,
+// and merges statistics, while the actual pipelines are supplied as
+// Partition values (the fedora package wraps one sub-controller per
+// shard). This keeps the package free of a dependency on the controller
+// that embeds it.
+//
+// Key invariants:
+//
+//   - Routing is a pure function of (NumRows, Shards, row): contiguous
+//     balanced ranges, every shard non-empty when Shards ≤ NumRows.
+//   - Each shard's randomness comes from its own stream, seeded by
+//     Seed(base, shard). Results are therefore bit-identical at ANY
+//     worker count — scheduling cannot change which RNG serves which
+//     shard (the same invariant the fl worker pool established in PR 1).
+//   - Dummy (padding) requests route by (client, position), not by row,
+//     so the per-shard public K is independent of where a client's REAL
+//     rows live only up to the real-row histogram; docs/ARCHITECTURE.md
+//     discusses the resulting leakage trade-off.
+//   - At most one round is in flight per engine.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the partition count S (≥ 1).
+	Shards int
+	// NumRows is the global embedding-table height being partitioned.
+	NumRows uint64
+	// Workers bounds the worker pool that executes shards concurrently
+	// (0 = min(GOMAXPROCS, Shards); 1 = fully sequential).
+	Workers int
+	// Dummy is the sentinel request ID used as hide-count padding; it is
+	// routed round-robin by (client, position) instead of by row so the
+	// padding spreads deterministically across shards.
+	Dummy uint64
+}
+
+// Partition is one shard's pipeline, as supplied by the embedding layer.
+// BeginRound receives per-client request lists already translated to the
+// partition's LOCAL row space.
+type Partition interface {
+	BeginRound(requests [][]uint64) (PartitionRound, error)
+	Snapshot() ([]byte, error)
+	Restore(b []byte) error
+}
+
+// PartitionRound is one shard's in-flight round. Implementations must be
+// safe for concurrent use (the fedora Round is).
+type PartitionRound interface {
+	ServeEntry(row uint64) (entry []float32, ok bool, err error)
+	SubmitGradient(row uint64, grad []float32, nSamples int) (delivered bool, err error)
+	Finish() (RoundStats, error)
+}
+
+// ErrRoundInProgress is returned by BeginRound when the previous round
+// was not finished.
+var ErrRoundInProgress = errors.New("shard: previous round not finished")
+
+// ErrRoundFinished is returned by round operations after Finish.
+var ErrRoundFinished = errors.New("shard: round already finished")
+
+// Engine routes rows to shards and drives the per-shard pipelines.
+type Engine struct {
+	cfg   Config
+	parts []Partition
+
+	mu      sync.Mutex
+	inRound bool
+}
+
+// NewEngine builds an engine over the given partitions. len(parts) must
+// equal cfg.Shards, and every shard must own at least one row.
+func NewEngine(cfg Config, parts []Partition) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("shard: Shards must be at least 1")
+	}
+	if cfg.NumRows == 0 {
+		return nil, errors.New("shard: NumRows must be positive")
+	}
+	if uint64(cfg.Shards) > cfg.NumRows {
+		return nil, fmt.Errorf("shard: %d shards exceed %d rows (every shard must own at least one row)",
+			cfg.Shards, cfg.NumRows)
+	}
+	if len(parts) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d partitions supplied for %d shards", len(parts), cfg.Shards)
+	}
+	return &Engine{cfg: cfg, parts: parts}, nil
+}
+
+// Shards reports the partition count.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// Workers resolves the effective worker-pool size.
+func (e *Engine) Workers() int {
+	w := e.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > e.cfg.Shards {
+		w = e.cfg.Shards
+	}
+	return w
+}
+
+// --- Routing ----------------------------------------------------------
+//
+// The table is split into contiguous balanced ranges: with N rows and S
+// shards, the first N%S shards own ⌈N/S⌉ rows and the rest own ⌊N/S⌋,
+// so every shard is non-empty whenever S ≤ N.
+
+// Rows returns the number of rows shard i owns under an (N, S) split.
+func Rows(numRows uint64, shards, i int) uint64 {
+	q := numRows / uint64(shards)
+	r := numRows % uint64(shards)
+	if uint64(i) < r {
+		return q + 1
+	}
+	return q
+}
+
+// Base returns the first global row of shard i under an (N, S) split.
+func Base(numRows uint64, shards, i int) uint64 {
+	q := numRows / uint64(shards)
+	r := numRows % uint64(shards)
+	ui := uint64(i)
+	if ui < r {
+		return ui * (q + 1)
+	}
+	return r*(q+1) + (ui-r)*q
+}
+
+// ShardOf returns the shard owning a global row under an (N, S) split.
+func ShardOf(numRows uint64, shards int, row uint64) int {
+	q := numRows / uint64(shards)
+	r := numRows % uint64(shards)
+	big := r * (q + 1) // rows held by the ⌈N/S⌉-sized shards
+	if row < big {
+		return int(row / (q + 1))
+	}
+	return int(r + (row-big)/q)
+}
+
+// Seed derives shard i's deterministic RNG seed from the run's base
+// seed (splitmix64 over base + i·φ so neighbouring shards decorrelate).
+func Seed(base int64, shard int) int64 {
+	x := uint64(base) + 0x9E3779B97F4A7C15*uint64(shard+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// ShardOf returns the shard owning a global row.
+func (e *Engine) ShardOf(row uint64) int {
+	return ShardOf(e.cfg.NumRows, e.cfg.Shards, row)
+}
+
+// locate translates a global row to (shard, local row).
+func (e *Engine) locate(row uint64) (int, uint64) {
+	s := e.ShardOf(row)
+	return s, row - Base(e.cfg.NumRows, e.cfg.Shards, s)
+}
+
+// route splits per-client request lists into per-shard per-client lists
+// of LOCAL rows. Dummy padding requests route by (client, position).
+func (e *Engine) route(requests [][]uint64) ([][][]uint64, error) {
+	S := e.cfg.Shards
+	perShard := make([][][]uint64, S)
+	for s := 0; s < S; s++ {
+		perShard[s] = make([][]uint64, len(requests))
+	}
+	for ci, reqs := range requests {
+		for j, row := range reqs {
+			var s int
+			var local uint64
+			if row == e.cfg.Dummy {
+				s, local = (ci+j)%S, e.cfg.Dummy
+			} else {
+				if row >= e.cfg.NumRows {
+					return nil, fmt.Errorf("shard: client %d requests row %d out of range %d",
+						ci, row, e.cfg.NumRows)
+				}
+				s, local = e.locate(row)
+			}
+			perShard[s][ci] = append(perShard[s][ci], local)
+		}
+	}
+	return perShard, nil
+}
+
+// forEach runs fn(i) for every shard index over the bounded worker pool
+// and blocks until all complete.
+func (e *Engine) forEach(fn func(i int)) {
+	workers := e.Workers()
+	if workers == 1 {
+		for i := 0; i < e.cfg.Shards; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < e.cfg.Shards; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// firstError returns the lowest-shard-index error, for deterministic
+// error reporting regardless of scheduling.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// endRound clears the in-flight flag.
+func (e *Engine) endRound() {
+	e.mu.Lock()
+	e.inRound = false
+	e.mu.Unlock()
+}
+
+// Round is an in-flight sharded round: one PartitionRound per shard plus
+// the wall-clock bookkeeping needed to attribute phase time. ServeEntry
+// and SubmitGradient are safe for concurrent use and, unlike the
+// monolithic pipeline, proceed in parallel when the rows live on
+// different shards (each shard serializes only its own pipeline).
+type Round struct {
+	e         *Engine
+	subs      []PartitionRound
+	beginWall time.Duration   // wall clock of the parallel ①–③ section
+	shardWall []time.Duration // per-shard BeginRound wall clock
+
+	mu   sync.RWMutex
+	done bool
+}
+
+// BeginRound routes the requests and runs every shard's steps ①–③
+// concurrently. On a shard failure the shards that did begin are closed
+// (best effort) and the lowest-indexed error is returned.
+func (e *Engine) BeginRound(requests [][]uint64) (*Round, error) {
+	e.mu.Lock()
+	if e.inRound {
+		e.mu.Unlock()
+		return nil, ErrRoundInProgress
+	}
+	e.inRound = true
+	e.mu.Unlock()
+
+	perShard, err := e.route(requests)
+	if err != nil {
+		e.endRound()
+		return nil, err
+	}
+	S := e.cfg.Shards
+	r := &Round{
+		e:         e,
+		subs:      make([]PartitionRound, S),
+		shardWall: make([]time.Duration, S),
+	}
+	errs := make([]error, S)
+	wallStart := time.Now()
+	e.forEach(func(i int) {
+		start := time.Now()
+		sub, err := e.parts[i].BeginRound(perShard[i])
+		r.shardWall[i] = time.Since(start)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r.subs[i] = sub
+	})
+	r.beginWall = time.Since(wallStart)
+	if err := firstError(errs); err != nil {
+		e.forEach(func(i int) {
+			if r.subs[i] != nil {
+				_, _ = r.subs[i].Finish()
+			}
+		})
+		e.endRound()
+		return nil, err
+	}
+	return r, nil
+}
+
+// ServeEntry serves a client download (step ④), routed to the owning
+// shard. ok is false for rows the shard's ε-FDP mechanism sacrificed.
+func (r *Round) ServeEntry(row uint64) ([]float32, bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.done {
+		return nil, false, ErrRoundFinished
+	}
+	if row >= r.e.cfg.NumRows {
+		return nil, false, fmt.Errorf("shard: row %d out of range %d", row, r.e.cfg.NumRows)
+	}
+	s, local := r.e.locate(row)
+	return r.subs[s].ServeEntry(local)
+}
+
+// SubmitGradient folds a client gradient into the owning shard's
+// aggregate (step ⑥).
+func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.done {
+		return false, ErrRoundFinished
+	}
+	if row >= r.e.cfg.NumRows {
+		return false, fmt.Errorf("shard: row %d out of range %d", row, r.e.cfg.NumRows)
+	}
+	s, local := r.e.locate(row)
+	return r.subs[s].SubmitGradient(local, grad, nSamples)
+}
+
+// Finish runs every shard's write-back (step ⑦) concurrently, merges
+// the per-shard statistics (sums for counts and modelled device time,
+// parallel-section wall clock for the wall-time phases, parallel ε
+// composition for the round guarantee) and closes the round.
+func (r *Round) Finish() (RoundStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return RoundStats{}, ErrRoundFinished
+	}
+	S := r.e.cfg.Shards
+	stats := make([]RoundStats, S)
+	finishShard := make([]time.Duration, S)
+	errs := make([]error, S)
+	wallStart := time.Now()
+	r.e.forEach(func(i int) {
+		start := time.Now()
+		st, err := r.subs[i].Finish()
+		finishShard[i] = time.Since(start)
+		stats[i], errs[i] = st, err
+	})
+	finishWall := time.Since(wallStart)
+	r.done = true
+	r.e.endRound()
+	if err := firstError(errs); err != nil {
+		return RoundStats{}, err
+	}
+	return r.e.merge(stats, r.beginWall, finishWall, r.shardWall, finishShard), nil
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"time"
+
+	"repro/internal/fdp"
+)
+
+// RoundStats summarizes one FL round for the evaluation harness. It is
+// produced by the monolithic fedora pipeline and by this package's
+// Engine alike (the fedora package aliases it), so the fl/api/experiment
+// layers see one shape regardless of the shard count.
+type RoundStats struct {
+	// K is the total number of client requests (public).
+	K int
+	// KUnion is Σ per-chunk unique requests (secret; exposed here for
+	// experiment reporting only).
+	KUnion int
+	// KSampled is Σ per-chunk sampled k — the main-ORAM access count an
+	// adversary observes.
+	KSampled int
+	// Dummy / Lost are Σ max(0, k−k_union) and Σ max(0, k_union−k).
+	Dummy int
+	Lost  int
+	// CrossChunkDup counts accesses wasted on rows already fetched by an
+	// earlier chunk this round (the chunking overhead the paper notes).
+	CrossChunkDup int
+	// Chunks is the number of union chunks (summed across shards).
+	Chunks int
+	// RoundEpsilon is the ε-FDP guarantee of the round (parallel
+	// composition over chunks, and over shards when sharded).
+	RoundEpsilon float64
+	// Phase durations (modelled device time, not wall clock). When
+	// sharded these sum over shards: they model the work the devices
+	// performed, not the elapsed time.
+	UnionTime     time.Duration
+	ReadTime      time.Duration
+	ServeTime     time.Duration
+	AggregateTime time.Duration
+	UpdateTime    time.Duration
+	// Wall-clock phase durations measured on the host (as opposed to the
+	// modelled device times above): the oblivious-union scans, the main-
+	// ORAM → buffer-ORAM reads of BeginRound, and the write-back pass of
+	// Finish. When sharded these are the PARALLEL section's elapsed time,
+	// which is what shrinks as the shard count grows.
+	UnionWallTime  time.Duration
+	ReadWallTime   time.Duration
+	FinishWallTime time.Duration
+	// PerShard is the per-shard breakdown (nil for a monolithic round).
+	PerShard []ShardStats
+}
+
+// Total is the controller-side critical-path time added to the FL round
+// (modelled device time).
+func (s RoundStats) Total() time.Duration {
+	return s.UnionTime + s.ReadTime + s.ServeTime + s.AggregateTime + s.UpdateTime
+}
+
+// ShardStats is one shard's slice of a round.
+type ShardStats struct {
+	// Shard is the shard index; Rows the number of table rows it owns.
+	Shard int
+	Rows  uint64
+	// Request/access counts, as in RoundStats but for this shard only.
+	K        int
+	KUnion   int
+	KSampled int
+	Dummy    int
+	Lost     int
+	Chunks   int
+	// RoundEpsilon is the shard's own parallel-composition guarantee.
+	RoundEpsilon float64
+	// BeginWall / FinishWall are the shard's own wall-clock times for
+	// steps ①–③ and ⑦ (each shard ran concurrently with the others).
+	BeginWall  time.Duration
+	FinishWall time.Duration
+}
+
+// merge folds per-shard round statistics into the round view: counts and
+// modelled device times sum; wall times take the parallel section's
+// elapsed time; the round ε composes in parallel across shards (max, via
+// the same accountant the chunked union uses).
+func (e *Engine) merge(stats []RoundStats, beginWall, finishWall time.Duration, beginShard, finishShard []time.Duration) RoundStats {
+	var m RoundStats
+	var acct fdp.Accountant
+	m.PerShard = make([]ShardStats, len(stats))
+	for i, st := range stats {
+		m.K += st.K
+		m.KUnion += st.KUnion
+		m.KSampled += st.KSampled
+		m.Dummy += st.Dummy
+		m.Lost += st.Lost
+		m.CrossChunkDup += st.CrossChunkDup
+		m.Chunks += st.Chunks
+		m.UnionTime += st.UnionTime
+		m.ReadTime += st.ReadTime
+		m.ServeTime += st.ServeTime
+		m.AggregateTime += st.AggregateTime
+		m.UpdateTime += st.UpdateTime
+		if st.UnionWallTime > m.UnionWallTime {
+			m.UnionWallTime = st.UnionWallTime
+		}
+		if st.Chunks > 0 {
+			acct.Observe(st.RoundEpsilon)
+		}
+		m.PerShard[i] = ShardStats{
+			Shard: i, Rows: Rows(e.cfg.NumRows, e.cfg.Shards, i),
+			K: st.K, KUnion: st.KUnion, KSampled: st.KSampled,
+			Dummy: st.Dummy, Lost: st.Lost, Chunks: st.Chunks,
+			RoundEpsilon: st.RoundEpsilon,
+			BeginWall:    beginShard[i], FinishWall: finishShard[i],
+		}
+	}
+	m.RoundEpsilon = acct.RoundEpsilon()
+	m.ReadWallTime = beginWall - m.UnionWallTime
+	if m.ReadWallTime < 0 {
+		m.ReadWallTime = 0
+	}
+	m.FinishWallTime = finishWall
+	return m
+}

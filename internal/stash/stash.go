@@ -15,6 +15,7 @@ package stash
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrOverflow is returned when an insert would exceed the stash capacity.
@@ -82,13 +83,16 @@ func (s *Stash) Capacity() int { return s.capacity }
 // same length-`level` path prefix as leaf — i.e. blocks that may legally
 // be placed into the bucket at depth `level` on the path to `leaf` in a
 // tree with `treeLevels` levels (root = level 0). This is the greedy
-// selection of Path ORAM eviction. Blocks are returned in arbitrary
-// order and are NOT removed; callers remove the ones they place.
+// selection of Path ORAM eviction. Blocks are returned in ascending ID
+// order — map-order iteration would make the eviction choice (and hence
+// the tree bytes) differ run to run, breaking bit-identical state
+// snapshots — and are NOT removed; callers remove the ones they place.
 func (s *Stash) EvictableFor(leaf uint32, level, treeLevels, max int) []*Block {
 	var out []*Block
 	shift := uint(treeLevels - 1 - level)
 	want := leaf >> shift
-	for _, b := range s.blocks {
+	for _, id := range s.IDs() {
+		b := s.blocks[id]
 		if b.Leaf>>shift == want {
 			out = append(out, b)
 			if len(out) == max {
@@ -106,12 +110,14 @@ func (s *Stash) ForEach(fn func(*Block)) {
 	}
 }
 
-// IDs returns the IDs of all resident blocks (unspecified order).
+// IDs returns the IDs of all resident blocks in ascending order (a
+// deterministic order keeps eviction and serialization reproducible).
 func (s *Stash) IDs() []uint64 {
 	out := make([]uint64, 0, len(s.blocks))
 	for id := range s.blocks {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
