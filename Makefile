@@ -8,12 +8,12 @@ all: build test
 
 # CI gate: static checks + the race detector over the concurrent layers
 # (the FL worker pool, the fedora round pipeline, the sharded ORAM
-# engine, and the HTTP API server).
+# engine, the HTTP API server, and the retrying HTTP client SDK).
 check:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/fl/... ./internal/fedora/... ./internal/shard/... ./internal/api/...
+	$(GO) test -race ./internal/fl/... ./internal/fedora/... ./internal/shard/... ./internal/api/... ./internal/client/...
 
 # Durability gate: kill-resume fingerprint identity, corrupt-checkpoint
 # fallback, torn-WAL replay, every Snapshot/Restore round trip, and a

@@ -1,0 +1,260 @@
+// Command fedora-client is a CLI for the FEDORA serving API, built on
+// the internal/client SDK (v2 protocol: batched transfers, retries
+// with capped exponential backoff, idempotency keys).
+//
+//	fedora-client -server http://localhost:8080 status
+//	fedora-client -server http://localhost:8080 round -requests "1,2,3;4,5"
+//	fedora-client -server http://localhost:8080 bench -clients 8 -k 32
+//
+// The bench subcommand runs one FL round twice — over the deprecated
+// per-row v1 API and over the batched v2 API — and reports the HTTP
+// request counts and wall time of each, demonstrating the O(K) → O(K/
+// batch) request reduction of the batched protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "http://127.0.0.1:8080", "server base URL")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-attempt HTTP timeout")
+		retries = flag.Int("retries", 4, "max retries per request")
+		batch   = flag.Int("batch", 64, "rows per batched transfer")
+	)
+	flag.Parse()
+
+	c, err := client.New(client.Config{
+		BaseURL:    *server,
+		Timeout:    *timeout,
+		MaxRetries: *retries,
+		BatchSize:  *batch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		fmt.Fprintln(os.Stderr, "subcommands: status | round -requests \"1,2,3;4,5\" | bench -clients N -k K")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "status":
+		runStatus(ctx, c)
+	case "round":
+		fs := flag.NewFlagSet("round", flag.ExitOnError)
+		requests := fs.String("requests", "", "per-client row lists: rows comma-separated, clients semicolon-separated")
+		deadline := fs.Duration("deadline", 0, "round deadline (0 = none)")
+		fs.Parse(args[1:])
+		runRound(ctx, c, *requests, *deadline)
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		clients := fs.Int("clients", 8, "simulated clients per round")
+		k := fs.Int("k", 32, "rows per client")
+		seed := fs.Int64("seed", 1, "row-selection seed")
+		fs.Parse(args[1:])
+		runBench(ctx, c, *server, *clients, *k, *seed)
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q", args[0]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedora-client:", err)
+	os.Exit(1)
+}
+
+func runStatus(ctx context.Context, c *client.Client) {
+	st, err := c.Status(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("backend:           %s\n", st.Backend)
+	fmt.Printf("shards:            %d\n", st.Shards)
+	fmt.Printf("rows:              %d\n", st.NumRows)
+	fmt.Printf("round:             %d (in progress: %v", st.Round, st.RoundInProgress)
+	if st.CurrentRoundID != "" {
+		fmt.Printf(", id %s", st.CurrentRoundID)
+	}
+	fmt.Println(")")
+	fmt.Printf("effective epsilon: %s\n", st.EffectiveEpsilon)
+	fmt.Printf("main ORAM bytes:   %d\n", st.MainORAMBytes)
+	fmt.Printf("DRAM bytes:        %d\n", st.DRAMBytes)
+	fmt.Printf("SSD read/written:  %d / %d\n", st.SSDBytesRead, st.SSDBytesWritten)
+}
+
+// parseRequests turns "1,2,3;4,5" into [][]uint64{{1,2,3},{4,5}}.
+func parseRequests(s string) ([][]uint64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty -requests")
+	}
+	var out [][]uint64
+	for _, clientPart := range strings.Split(s, ";") {
+		var rows []uint64
+		for _, rowPart := range strings.Split(clientPart, ",") {
+			rowPart = strings.TrimSpace(rowPart)
+			if rowPart == "" {
+				continue
+			}
+			row, err := strconv.ParseUint(rowPart, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad row %q: %w", rowPart, err)
+			}
+			rows = append(rows, row)
+		}
+		out = append(out, rows)
+	}
+	return out, nil
+}
+
+// runRound begins a round from the given requests, downloads every
+// requested row (batched), and finishes, printing the round stats.
+func runRound(ctx context.Context, c *client.Client, requests string, deadline time.Duration) {
+	reqs, err := parseRequests(requests)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := c.Begin(ctx, api.BeginV2Request{Requests: reqs, DeadlineMS: deadline.Milliseconds()})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("round %s (controller round %d) begun\n", info.RoundID, info.Round)
+
+	var all []uint64
+	for _, rows := range reqs {
+		all = append(all, rows...)
+	}
+	entries, err := c.Entries(ctx, info.RoundID, all)
+	if err != nil {
+		fatal(err)
+	}
+	served := 0
+	for _, e := range entries {
+		if e.OK {
+			served++
+		}
+	}
+	fmt.Printf("downloaded %d rows (%d served, %d lost)\n", len(entries), served, len(entries)-served)
+
+	done, err := c.FinishRound(ctx, info.RoundID)
+	if err != nil {
+		fatal(err)
+	}
+	if done.Stats != nil {
+		st := done.Stats
+		fmt.Printf("finished: k=%d union=%d sampled=%d dummy=%d lost=%d chunks=%d eps=%s overhead=%s\n",
+			st.K, st.KUnion, st.KSampled, st.Dummy, st.Lost, st.Chunks, st.RoundEpsilon, st.TotalOverhead)
+	} else {
+		fmt.Println("finished")
+	}
+	stats := c.Stats()
+	fmt.Printf("http: %d requests, %d retries, %d failures\n", stats.Requests, stats.Retries, stats.Failures)
+}
+
+// runBench measures one identical round driven over the v1 per-row API
+// and over the v2 batched API.
+func runBench(ctx context.Context, c *client.Client, server string, clients, k int, seed int64) {
+	st, err := c.Status(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if st.RoundInProgress {
+		fatal(fmt.Errorf("a round is already in progress; bench needs an idle server"))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([][]uint64, clients)
+	for i := range reqs {
+		rows := make([]uint64, k)
+		for j := range rows {
+			rows[j] = uint64(rng.Int63n(int64(st.NumRows)))
+		}
+		reqs[i] = rows
+	}
+	total := clients * k
+
+	// The embedding dimension (for the zero gradients bench uploads)
+	// comes from the evaluation backdoor.
+	row0, err := c.PeekRow(ctx, 0)
+	if err != nil {
+		fatal(err)
+	}
+	zero := make([]float32, len(row0))
+
+	// --- v1: one HTTP request per row download and per gradient row.
+	v1 := api.NewClient(server)
+	v1Requests := 0
+	v1Start := time.Now()
+	if err := v1.BeginRound(reqs); err != nil {
+		fatal(err)
+	}
+	v1Requests++
+	for _, rows := range reqs {
+		for _, row := range rows {
+			if _, _, err := v1.Entry(row); err != nil {
+				fatal(err)
+			}
+			v1Requests++
+		}
+	}
+	for _, rows := range reqs {
+		for _, row := range rows {
+			if _, err := v1.SubmitGradient(row, zero, 1); err != nil {
+				fatal(err)
+			}
+			v1Requests++
+		}
+	}
+	if _, err := v1.FinishRound(); err != nil {
+		fatal(err)
+	}
+	v1Requests++
+	v1Elapsed := time.Since(v1Start)
+
+	// --- v2: batched transfers through the SDK.
+	before := c.Stats()
+	v2Start := time.Now()
+	info, err := c.BeginRound(ctx, reqs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, rows := range reqs {
+		if _, err := c.Entries(ctx, info.RoundID, rows); err != nil {
+			fatal(err)
+		}
+	}
+	for _, rows := range reqs {
+		grads := make([]api.GradientRequest, len(rows))
+		for j, row := range rows {
+			grads[j] = api.GradientRequest{Row: row, Grad: zero, Samples: 1}
+		}
+		if _, err := c.SubmitGradients(ctx, info.RoundID, grads); err != nil {
+			fatal(err)
+		}
+	}
+	if _, err := c.FinishRound(ctx, info.RoundID); err != nil {
+		fatal(err)
+	}
+	v2Elapsed := time.Since(v2Start)
+	after := c.Stats()
+	v2Requests := int(after.Requests - before.Requests)
+
+	fmt.Printf("bench: %d clients × %d rows = %d row transfers each way\n", clients, k, total)
+	fmt.Printf("%-22s %12s %14s\n", "protocol", "http reqs", "wall time")
+	fmt.Printf("%-22s %12d %14v\n", "v1 (per-row)", v1Requests, v1Elapsed.Round(time.Millisecond))
+	fmt.Printf("%-22s %12d %14v\n", "v2 (batched)", v2Requests, v2Elapsed.Round(time.Millisecond))
+	fmt.Printf("request reduction: %.1f×\n", float64(v1Requests)/float64(v2Requests))
+}

@@ -9,14 +9,22 @@
 // in-flight requests, so a restart continues from the saved ORAM and
 // model state.
 //
-// Try it:
+// With -fl-dataset the controller is built from the FL accuracy-study
+// configuration (fl.SingleConfig) instead of the raw -rows/-dim flags,
+// so a remote fedora-train with the same dataset/mode/eps/seed
+// reproduces the in-process run bit for bit:
 //
-//	curl -s localhost:8080/v1/status | jq .
-//	curl -s -X POST localhost:8080/v1/rounds -d '{"requests":[[7,21],[7,99]]}'
-//	curl -s 'localhost:8080/v1/rounds/current/entry?row=7'
-//	curl -s -X POST localhost:8080/v1/rounds/current/gradient \
-//	     -d '{"row":7,"grad":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1],"samples":1}'
-//	curl -s -X POST localhost:8080/v1/rounds/current/finish | jq .
+//	fedora-server -listen :8080 -fl-dataset movielens -fl-mode hide-val -eps 1 -fl-quick
+//	fedora-train  -single -remote http://localhost:8080 -dataset movielens -mode hide-val -eps 1 -quick
+//
+// Try it (v2 API; see docs/API.md — /v1 is deprecated):
+//
+//	curl -s localhost:8080/v2/status | jq .
+//	curl -s -X POST localhost:8080/v2/rounds -d '{"requests":[[7,21],[7,99]]}'
+//	curl -s -X POST localhost:8080/v2/rounds/r1/entries -d '{"rows":[7,21,99]}'
+//	curl -s -X POST localhost:8080/v2/rounds/r1/gradients \
+//	     -d '{"gradients":[{"row":7,"grad":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1],"samples":1}]}'
+//	curl -s -X POST localhost:8080/v2/rounds/r1/finish | jq .
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/fedora"
+	"repro/internal/fl"
 	"repro/internal/persist"
 )
 
@@ -52,19 +61,39 @@ func main() {
 		shards   = flag.Int("shards", 1, "partition the table across this many parallel per-shard ORAMs (1 = monolithic)")
 		ckptDir  = flag.String("checkpoint-dir", "", "restore controller state on start, checkpoint on shutdown")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain limit")
+
+		flDataset = flag.String("fl-dataset", "", "build the controller for the FL study instead of raw -rows/-dim: movielens | taobao (pairs with fedora-train -remote)")
+		flMode    = flag.String("fl-mode", "hide-val", "privacy mode with -fl-dataset: pub | hide-val | hide-num")
+		flQuick   = flag.Bool("fl-quick", false, "trimmed dataset with -fl-dataset")
+
+		roundDeadline = flag.Duration("round-deadline", 0, "finish rounds with partial gradients after this long (0 = no deadline)")
 	)
 	flag.Parse()
 
-	ctrl, err := fedora.New(fedora.Config{
-		NumRows:              *rows,
-		Dim:                  *dim,
-		Epsilon:              *eps,
-		MaxClientsPerRound:   *clients,
-		MaxFeaturesPerClient: *features,
-		LearningRate:         float32(*lr),
-		Seed:                 *seed,
-		Shards:               *shards,
-	})
+	var (
+		ctrl    *fedora.Controller
+		err     error
+		dimUsed = *dim
+	)
+	if *flDataset != "" {
+		flCfg, cfgErr := fl.SingleConfig(*flDataset, *eps, *flMode, *flQuick, *seed, 0, *shards)
+		if cfgErr != nil {
+			log.Fatal(cfgErr)
+		}
+		dimUsed = flCfg.Dim
+		ctrl, err = fl.BuildController(flCfg)
+	} else {
+		ctrl, err = fedora.New(fedora.Config{
+			NumRows:              *rows,
+			Dim:                  *dim,
+			Epsilon:              *eps,
+			MaxClientsPerRound:   *clients,
+			MaxFeaturesPerClient: *features,
+			LearningRate:         float32(*lr),
+			Seed:                 *seed,
+			Shards:               *shards,
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,11 +110,15 @@ func main() {
 	}
 
 	fmt.Printf("fedora-server: N=%d dim=%d eps=%g shards=%d — main ORAM %.2f GB (SSD), %.2f GB DRAM\n",
-		*rows, *dim, *eps, ctrl.Shards(),
+		ctrl.NumRows(), dimUsed, *eps, ctrl.Shards(),
 		float64(ctrl.MainORAMBytes())/1e9, float64(ctrl.DRAMResidentBytes())/1e9)
 	fmt.Printf("listening on %s\n", *listen)
 
-	srv := &http.Server{Addr: *listen, Handler: api.NewServer(ctrl).Handler()}
+	var opts []api.Option
+	if *roundDeadline > 0 {
+		opts = append(opts, api.WithDefaultDeadline(*roundDeadline))
+	}
+	srv := &http.Server{Addr: *listen, Handler: api.NewServer(ctrl, opts...).Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 

@@ -6,6 +6,14 @@
 //	fedora-train -table1          the full Table 1 sweep
 //	fedora-train -table1 -quick   trimmed datasets + fewer rounds
 //	fedora-train -single -dataset movielens -eps 1.0 -mode hide-val
+//
+// With -remote the -single run drives a fedora-server over the v2 HTTP
+// API (through the internal/client SDK) instead of an in-process
+// controller; start the server with matching -fl-dataset/-fl-mode/
+// -eps/-seed flags and the two deployments produce bit-identical
+// models:
+//
+//	fedora-train -single -remote http://localhost:8080 -dataset movielens -mode hide-val -eps 1
 package main
 
 import (
@@ -14,10 +22,10 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
-	"repro/internal/dataset"
+	"repro/internal/client"
 	"repro/internal/experiments"
-	"repro/internal/fdp"
 	"repro/internal/fl"
 	"repro/internal/metrics"
 )
@@ -40,6 +48,11 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory for -single (enables crash recovery)")
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint period in rounds (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume -single from -checkpoint-dir (restores the newest valid checkpoint and replays the round WAL)")
+
+		remote        = flag.String("remote", "", "drive a fedora-server at this base URL instead of an in-process controller (-single only)")
+		remoteBatch   = flag.Int("remote-batch", 64, "rows per batched HTTP transfer with -remote")
+		remoteRetry   = flag.Int("remote-retries", 4, "max retries per request with -remote")
+		remoteTimeout = flag.Duration("remote-timeout", 30*time.Second, "per-attempt HTTP timeout with -remote")
 	)
 	flag.Parse()
 
@@ -78,78 +91,97 @@ func main() {
 		}
 		fmt.Println(experiments.RenderPoolingAblation(rows))
 	case *single:
-		runSingle(*dsName, *epsStr, *mode, *rounds, *quick, *seed, *workers, *shards, *ckptDir, *ckptEvery, *resume)
+		runSingle(singleOptions{
+			dsName: *dsName, eps: *epsStr, mode: *mode, rounds: *rounds,
+			quick: *quick, seed: *seed, workers: *workers, shards: *shards,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+			remote: *remote, remoteBatch: *remoteBatch,
+			remoteRetries: *remoteRetry, remoteTimeout: *remoteTimeout,
+		})
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, seed int64, workers, shards int, ckptDir string, ckptEvery int, resume bool) {
-	var cfg dataset.Config
-	switch dsName {
-	case "movielens":
-		cfg = dataset.MovieLensConfig()
-	case "taobao":
-		cfg = dataset.TaobaoConfig()
-	default:
-		fmt.Fprintf(os.Stderr, "fedora-train: unknown dataset %q\n", dsName)
-		os.Exit(2)
-	}
-	if quick {
-		cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 400, 150, 40
-	}
-	ds := dataset.Generate(cfg)
+type singleOptions struct {
+	dsName  string
+	eps     float64
+	mode    string
+	rounds  int
+	quick   bool
+	seed    int64
+	workers int
+	shards  int
 
-	flCfg := fl.Config{
-		Dataset: ds, Dim: 8, Hidden: 16,
-		ClientsPerRound: 40, MaxFeaturesPerClient: 100,
-		LocalLR: 0.1, LocalEpochs: 2, Seed: seed,
-		Workers: workers, Shards: shards,
-	}
-	switch mode {
-	case "pub":
-		flCfg.Epsilon = fdp.EpsilonInfinity
-	case "hide-val":
-		flCfg.UsePrivate = true
-		flCfg.Epsilon = eps
-	case "hide-num":
-		flCfg.UsePrivate = true
-		flCfg.Epsilon = eps
-		flCfg.HideCount = true
-	default:
-		fmt.Fprintf(os.Stderr, "fedora-train: unknown mode %q\n", mode)
+	ckptDir   string
+	ckptEvery int
+	resume    bool
+
+	remote        string
+	remoteBatch   int
+	remoteRetries int
+	remoteTimeout time.Duration
+}
+
+func runSingle(o singleOptions) {
+	flCfg, err := fl.SingleConfig(o.dsName, o.eps, o.mode, o.quick, o.seed, o.workers, o.shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(2)
 	}
-	if dsName == "movielens" {
-		flCfg.Dropout = 0.5
+
+	var (
+		tr  *fl.Trainer
+		sdk *client.Client
+	)
+	if o.remote != "" {
+		// Remote mode: the trainer keeps the whole deterministic FL loop
+		// (selection, local SGD, merge order) and drives the server's
+		// controller over the batched v2 API. Durability belongs to the
+		// server process (fedora-server -checkpoint-dir), not the client.
+		if o.ckptDir != "" || o.resume {
+			fmt.Fprintln(os.Stderr, "fedora-train: -checkpoint-dir/-resume require an in-process controller; with -remote, run fedora-server -checkpoint-dir instead")
+			os.Exit(2)
+		}
+		sdk, err = client.New(client.Config{
+			BaseURL:    o.remote,
+			Timeout:    o.remoteTimeout,
+			MaxRetries: o.remoteRetries,
+			BatchSize:  o.remoteBatch,
+		})
+		if err == nil {
+			tr, err = client.NewRemoteTrainer(flCfg, sdk)
+		}
+	} else {
+		tr, err = fl.New(flCfg)
 	}
-	tr, err := fl.New(flCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(1)
 	}
+	rounds := o.rounds
 	if rounds == 0 {
 		rounds = 100
-		if quick {
+		if o.quick {
 			rounds = 40
 		}
 	}
-	if resume && ckptDir == "" {
+	if o.resume && o.ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "fedora-train: -resume requires -checkpoint-dir")
 		os.Exit(1)
 	}
 	var res fl.Result
-	if ckptDir != "" {
+	if o.ckptDir != "" {
 		// Durable mode: periodic checkpoints + round WAL; -resume picks up
 		// a crashed or interrupted run exactly where it left off.
-		runner, rerr := fl.NewRunner(tr, ckptDir, ckptEvery)
+		runner, rerr := fl.NewRunner(tr, o.ckptDir, o.ckptEvery)
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "fedora-train:", rerr)
 			os.Exit(1)
 		}
 		defer runner.Close()
-		if resume {
+		if o.resume {
 			rep, rerr := runner.Resume()
 			if rerr != nil {
 				fmt.Fprintln(os.Stderr, "fedora-train: resume:", rerr)
@@ -172,8 +204,19 @@ func runSingle(dsName string, eps float64, mode string, rounds int, quick bool, 
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("dataset=%s mode=%s eps=%g rounds=%d workers=%d shards=%d\n",
-		dsName, mode, eps, rounds, res.Workers, tr.Controller().Shards())
+	where := "in-process"
+	shardsStr := "?"
+	if ctrl := tr.Controller(); ctrl != nil {
+		shardsStr = fmt.Sprintf("%d", ctrl.Shards())
+	} else {
+		where = "remote " + o.remote
+	}
+	fmt.Printf("dataset=%s mode=%s eps=%g rounds=%d workers=%d shards=%s controller=%s\n",
+		o.dsName, o.mode, o.eps, rounds, res.Workers, shardsStr, where)
+	if sdk != nil {
+		st := sdk.Stats()
+		fmt.Printf("http: %d requests, %d retries, %d failures\n", st.Requests, st.Retries, st.Failures)
+	}
 	fmt.Printf("AUC:              %.4f\n", res.AUC)
 	fmt.Printf("reduced accesses: %.2f%%\n", 100*res.ReducedAccesses)
 	fmt.Printf("dummy accesses:   %.2f%% of optimum\n", 100*res.DummyFrac)

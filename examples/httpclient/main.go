@@ -1,16 +1,20 @@
 // HTTP client walkthrough: starts an in-process FEDORA server (the same
 // handler cmd/fedora-server exposes), then plays the orchestrator and
-// two clients over the wire — the networked version of the quickstart.
+// two clients over the wire with the internal/client SDK — the
+// networked version of the quickstart, on the batched v2 protocol.
 //
 //	go run ./examples/httpclient
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"time"
 
 	"repro/internal/api"
+	"repro/internal/client"
 	"repro/internal/fedora"
 )
 
@@ -25,47 +29,68 @@ func main() {
 	}
 	srv := httptest.NewServer(api.NewServer(ctrl).Handler())
 	defer srv.Close()
-	c := api.NewClient(srv.URL)
 
-	status, err := c.Status()
+	// The SDK retries transient faults with capped exponential backoff
+	// and splits large row sets into BatchSize-row HTTP transfers.
+	c, err := client.New(client.Config{
+		BaseURL:    srv.URL,
+		Timeout:    10 * time.Second,
+		MaxRetries: 4,
+		BatchSize:  64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	status, err := c.Status(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("server up: backend=%s main ORAM %.1f MB\n\n",
 		status.Backend, float64(status.MainORAMBytes)/1e6)
 
-	// Orchestrator opens a round for two clients.
+	// Orchestrator opens a round for two clients. BeginRound attaches an
+	// idempotency key, so a retried begin never double-opens the round.
 	alice := []uint64{7, 21, 1000}
 	bob := []uint64{7, 99}
-	if err := c.BeginRound([][]uint64{alice, bob}); err != nil {
-		log.Fatal(err)
-	}
-
-	// Each client downloads its rows and uploads a unit gradient.
-	for who, rows := range map[string][]uint64{"alice": alice, "bob": bob} {
-		for _, row := range rows {
-			entry, ok, err := c.Entry(row)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if !ok {
-				fmt.Printf("%s: row %d lost to the mechanism\n", who, row)
-				continue
-			}
-			grad := make([]float32, len(entry))
-			for i := range grad {
-				grad[i] = 1
-			}
-			if _, err := c.SubmitGradient(row, grad, 1); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-
-	stats, err := c.FinishRound()
+	info, err := c.BeginRound(ctx, [][]uint64{alice, bob})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("round %s open (controller round %d)\n", info.RoundID, info.Round)
+
+	// Each client downloads all its rows in one batched request and
+	// uploads its gradients in one batch (with a dedup batch id).
+	for who, rows := range map[string][]uint64{"alice": alice, "bob": bob} {
+		entries, err := c.Entries(ctx, info.RoundID, rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var grads []api.GradientRequest
+		for _, e := range entries {
+			if !e.OK {
+				fmt.Printf("%s: row %d lost to the mechanism\n", who, e.Row)
+				continue
+			}
+			grad := make([]float32, len(e.Entry))
+			for i := range grad {
+				grad[i] = 1
+			}
+			grads = append(grads, api.GradientRequest{Row: e.Row, Grad: grad, Samples: 1})
+		}
+		if _, err := c.SubmitGradients(ctx, info.RoundID, grads); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	done, err := c.FinishRound(ctx, info.RoundID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := done.Stats
 	fmt.Printf("round done: K=%d unique=%d oram-accesses=%d dummy=%d lost=%d overhead=%s\n",
-		stats.K, stats.KUnion, stats.KSampled, stats.Dummy, stats.Lost, stats.TotalOverhead)
+		st.K, st.KUnion, st.KSampled, st.Dummy, st.Lost, st.TotalOverhead)
+	hs := c.Stats()
+	fmt.Printf("http: %d requests, %d retries, %d failures\n", hs.Requests, hs.Retries, hs.Failures)
 }

@@ -1,0 +1,57 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// The v2 API reports every failure as a JSON envelope:
+//
+//	{"error": {"code": "round_not_found", "message": "..."}}
+//
+// with a machine-readable code the SDK switches on and a human-readable
+// message. The v1 shim keeps its original plain-text errors for
+// compatibility.
+
+// Error codes returned by the v2 API.
+const (
+	CodeBadJSON          = "bad_json"           // 400: request body is not valid JSON
+	CodeInvalidArgument  = "invalid_argument"   // 400: well-formed but semantically wrong
+	CodeMethodNotAllowed = "method_not_allowed" // 405
+	CodeNotFound         = "not_found"          // 404: no such route
+	CodeRoundInProgress  = "round_in_progress"  // 409: a round is already open
+	CodeRoundNotFound    = "round_not_found"    // 404: unknown round id
+	CodeRoundFinished    = "round_finished"     // 409: round already finished (or expired)
+	CodeRowNotFound      = "row_not_found"      // 404: row id out of range
+	CodeNoRound          = "no_round"           // 409: v2 op needs an open round
+	CodeInternal         = "internal"           // 500
+)
+
+// ErrorBody is the inner object of the v2 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the v2 error wire shape.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError emits the v2 JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// methodNotAllowed is the shared fallback for v2 routes hit with the
+// wrong verb; allow lists the verbs the route accepts.
+func methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s not allowed (allow: %s)", r.Method, allow)
+	}
+}

@@ -1,0 +1,131 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// httpMetrics records per-endpoint request counters and latency
+// histograms, rendered on /metrics in the Prometheus text format:
+//
+//	fedora_http_requests_total{endpoint="v2_entries",code="200"} 41
+//	fedora_http_request_duration_seconds_bucket{endpoint="v2_entries",le="0.005"} 39
+//	...
+//
+// Stdlib only; a fixed bucket ladder keeps render output deterministic.
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+type latencyHist struct {
+	buckets []uint64 // per-bucket counts; cumulated at render time
+	count   uint64
+	sum     float64
+}
+
+type endpointStats struct {
+	codes map[int]uint64
+	hist  latencyHist
+}
+
+type httpMetrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *httpMetrics) observe(endpoint string, code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{
+			codes: make(map[int]uint64),
+			hist:  latencyHist{buckets: make([]uint64, len(latencyBuckets))},
+		}
+		m.endpoints[endpoint] = st
+	}
+	st.codes[code]++
+	st.hist.count++
+	st.hist.sum += sec
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			st.hist.buckets[i]++
+			break
+		}
+	}
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h so its requests are counted and timed under the
+// given endpoint label.
+func (m *httpMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		m.observe(endpoint, rec.status, time.Since(start))
+	}
+}
+
+// render writes the metrics in Prometheus text format. Endpoint and
+// code ordering is sorted so output is stable for tests and scrapers.
+func (m *httpMetrics) render(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# TYPE fedora_http_requests_total counter\n")
+	for _, name := range names {
+		st := m.endpoints[name]
+		codes := make([]int, 0, len(st.codes))
+		for c := range st.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "fedora_http_requests_total{endpoint=%q,code=%q} %d\n",
+				name, strconv.Itoa(c), st.codes[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE fedora_http_request_duration_seconds histogram\n")
+	for _, name := range names {
+		st := m.endpoints[name]
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += st.hist.buckets[i]
+			fmt.Fprintf(w, "fedora_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(w, "fedora_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n",
+			name, st.hist.count)
+		fmt.Fprintf(w, "fedora_http_request_duration_seconds_sum{endpoint=%q} %s\n",
+			name, strconv.FormatFloat(st.hist.sum, 'g', -1, 64))
+		fmt.Fprintf(w, "fedora_http_request_duration_seconds_count{endpoint=%q} %d\n",
+			name, st.hist.count)
+	}
+}

@@ -3,13 +3,17 @@
 // clients download their embedding rows, upload gradients, and the
 // orchestrator finishes the round. JSON in, JSON out, stdlib only.
 //
-// Endpoints:
+// Two API generations are served side by side:
 //
-//	GET  /v1/status                     controller configuration + device stats
-//	POST /v1/rounds                     {"requests": [[rows...], ...]} → round stats header
-//	GET  /v1/rounds/current/entry?row=N → {"row": N, "entry": [...], "ok": true}
-//	POST /v1/rounds/current/gradient    {"row": N, "grad": [...], "samples": n}
-//	POST /v1/rounds/current/finish      → full round stats
+//	/v2/...    the current protocol — per-round IDs, batched entry and
+//	           gradient transfers, idempotent begin/upload/finish,
+//	           round deadlines, JSON error envelopes (see v2.go and
+//	           docs/API.md)
+//	/v1/...    DEPRECATED thin shim over the same round state, kept for
+//	           old clients; single-row transfers against the ambient
+//	           "current" round, plain-text errors
+//	/metrics   Prometheus text format: controller counters plus
+//	           per-endpoint request counters and latency histograms
 //
 // The row a client asks for is visible to this HTTP layer, exactly as a
 // client's download request is visible to the FEDORA controller in the
@@ -19,17 +23,20 @@
 //
 // Paper mapping: an HTTP facade over the Sec 4 round pipeline (Fig 4
 // steps ①–⑦) — it adds no privacy machinery of its own. Key
-// invariants: at most one round is in flight (a second POST /v1/rounds
-// is rejected until the current one finishes, mirroring the controller's
-// ErrRoundInProgress), and handlers never touch controller internals
-// except through the same concurrency-safe entry points the FL trainer
-// uses.
+// invariants: at most one round is in flight (a second begin is
+// rejected 409 until the current one finishes, mirroring the
+// controller's ErrRoundInProgress), and handlers never touch controller
+// internals except through the same concurrency-safe entry points the
+// FL trainer uses. The server mutex guards only the server's own round
+// bookkeeping — controller calls (BeginRound, Finish, stats getters)
+// always run outside it, so status and metrics stay readable while a
+// round is being served and batched downloads fan out across shards in
+// parallel.
 package api
 
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -37,31 +44,96 @@ import (
 	"time"
 
 	"repro/internal/fedora"
+	"repro/internal/shard"
 )
 
-// Server wraps a controller with HTTP handlers. It serializes round
-// operations: the controller is a single logical trusted unit.
+// Server wraps a controller with HTTP handlers.
 type Server struct {
-	mu    sync.Mutex
-	ctrl  *fedora.Controller
-	round *fedora.Round
+	ctrl            *fedora.Controller
+	met             *httpMetrics
+	defaultDeadline time.Duration
+
+	mu        sync.Mutex
+	current   *serverRound            // open round (nil between rounds)
+	beginning bool                    // a begin is in flight (controller side)
+	rounds    map[string]*serverRound // id → round, bounded history
+	order     []string                // ids oldest-first (for pruning)
+	byKey     map[string]string       // round_key → id (begin idempotency)
+	roundSeq  uint64                  // id allocator
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithDefaultDeadline sets a deadline applied to every round that does
+// not request its own: past it the server finishes the round with
+// whatever gradients arrived. Zero (the default) means no deadline.
+func WithDefaultDeadline(d time.Duration) Option {
+	return func(s *Server) { s.defaultDeadline = d }
 }
 
 // NewServer wraps ctrl.
-func NewServer(ctrl *fedora.Controller) *Server {
-	return &Server{ctrl: ctrl}
+func NewServer(ctrl *fedora.Controller, opts ...Option) *Server {
+	s := &Server{
+		ctrl:   ctrl,
+		met:    newHTTPMetrics(),
+		rounds: make(map[string]*serverRound),
+		byKey:  make(map[string]string),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler (v2 + deprecated v1 +
+// /metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/status", s.handleStatus)
-	mux.HandleFunc("/v1/rounds", s.handleBegin)
-	mux.HandleFunc("/v1/rounds/current/entry", s.handleEntry)
-	mux.HandleFunc("/v1/rounds/current/gradient", s.handleGradient)
-	mux.HandleFunc("/v1/rounds/current/finish", s.handleFinish)
+
+	// v2: method-scoped routes; a bare-path twin turns wrong-verb hits
+	// into the JSON 405 envelope (the method-specific pattern is more
+	// specific, so it wins for the right verb).
+	v2 := []struct {
+		pattern string // method-scoped
+		bare    string // same path, any method
+		allow   string
+		handler http.HandlerFunc
+		name    string
+	}{
+		{"GET /v2/status", "/v2/status", "GET", s.handleStatusV2, "v2_status"},
+		{"POST /v2/rounds", "/v2/rounds", "POST", s.handleBeginV2, "v2_begin"},
+		{"GET /v2/rounds/{id}", "/v2/rounds/{id}", "GET", s.handleRoundInfoV2, "v2_round_info"},
+		{"POST /v2/rounds/{id}/entries", "/v2/rounds/{id}/entries", "POST", s.handleEntriesV2, "v2_entries"},
+		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.handleGradientsV2, "v2_gradients"},
+		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.handleFinishV2, "v2_finish"},
+		{"GET /v2/rows/{row}", "/v2/rows/{row}", "GET", s.handleRowV2, "v2_row"},
+	}
+	for _, r := range v2 {
+		mux.HandleFunc(r.pattern, s.met.instrument(r.name, r.handler))
+		mux.HandleFunc(r.bare, s.met.instrument(r.name, methodNotAllowed(r.allow)))
+	}
+	mux.HandleFunc("/v2/", s.handleV2Fallback)
+
+	// v1: deprecated shim, original plain-text error behavior.
+	mux.HandleFunc("/v1/status", s.met.instrument("v1_status", deprecated(s.handleStatus)))
+	mux.HandleFunc("/v1/rounds", s.met.instrument("v1_begin", deprecated(s.handleBegin)))
+	mux.HandleFunc("/v1/rounds/current/entry", s.met.instrument("v1_entry", deprecated(s.handleEntry)))
+	mux.HandleFunc("/v1/rounds/current/gradient", s.met.instrument("v1_gradient", deprecated(s.handleGradient)))
+	mux.HandleFunc("/v1/rounds/current/finish", s.met.instrument("v1_finish", deprecated(s.handleFinish)))
+
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// deprecated marks v1 responses with a Deprecation header (RFC 9745
+// style) pointing clients at /v2.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v2/status>; rel=\"successor-version\"")
+		h(w, r)
+	}
 }
 
 // StatusResponse reports controller configuration and device traffic.
@@ -69,8 +141,10 @@ func (s *Server) Handler() http.Handler {
 type StatusResponse struct {
 	Backend          string `json:"backend"`
 	Shards           int    `json:"shards"`
+	NumRows          uint64 `json:"num_rows"`
 	Round            uint64 `json:"round"`
 	RoundInProgress  bool   `json:"round_in_progress"`
+	CurrentRoundID   string `json:"current_round_id,omitempty"`
 	EffectiveEpsilon string `json:"effective_epsilon"`
 	MainORAMBytes    uint64 `json:"main_oram_bytes"`
 	DRAMBytes        uint64 `json:"dram_bytes"`
@@ -78,7 +152,36 @@ type StatusResponse struct {
 	SSDBytesWritten  uint64 `json:"ssd_bytes_written"`
 }
 
-// BeginRequest starts a round.
+// statusSnapshot reads the server round state under the mutex, then
+// queries the controller OUTSIDE it (the getters are concurrency-safe;
+// holding the server mutex across them would block round operations —
+// the bug the v1 handlers used to have).
+func (s *Server) statusSnapshot() StatusResponse {
+	s.mu.Lock()
+	inProgress := s.current != nil || s.beginning
+	curID := ""
+	if s.current != nil {
+		curID = s.current.id
+	}
+	s.mu.Unlock()
+
+	ssd := s.ctrl.SSDStats()
+	return StatusResponse{
+		Backend:          s.ctrl.Backend().String(),
+		Shards:           s.ctrl.Shards(),
+		NumRows:          s.ctrl.NumRows(),
+		Round:            s.ctrl.Round(),
+		RoundInProgress:  inProgress,
+		CurrentRoundID:   curID,
+		EffectiveEpsilon: strconv.FormatFloat(s.ctrl.EffectiveEpsilon(), 'g', -1, 64),
+		MainORAMBytes:    s.ctrl.MainORAMBytes(),
+		DRAMBytes:        s.ctrl.DRAMResidentBytes(),
+		SSDBytesRead:     ssd.BytesRead,
+		SSDBytesWritten:  ssd.BytesWritten,
+	}
+}
+
+// BeginRequest starts a round (v1 wire shape).
 type BeginRequest struct {
 	// Requests holds per-client row lists; null entries are dummies.
 	Requests [][]uint64 `json:"requests"`
@@ -86,25 +189,55 @@ type BeginRequest struct {
 
 // RoundStatsJSON mirrors fedora.RoundStats for the wire.
 type RoundStatsJSON struct {
-	K        int `json:"k_total"`
-	KUnion   int `json:"k_union"`
-	KSampled int `json:"k_sampled"`
-	Dummy    int `json:"dummy"`
-	Lost     int `json:"lost"`
-	Chunks   int `json:"chunks"`
+	K             int `json:"k_total"`
+	KUnion        int `json:"k_union"`
+	KSampled      int `json:"k_sampled"`
+	Dummy         int `json:"dummy"`
+	Lost          int `json:"lost"`
+	CrossChunkDup int `json:"cross_chunk_dup"`
+	Chunks        int `json:"chunks"`
 	// RoundEpsilon is a string because ε may be +Inf, which JSON numbers
-	// cannot represent.
+	// cannot represent. The 'g'/-1 formatting round-trips float64
+	// exactly, so remote trainers accumulate the same ε as local ones.
 	RoundEpsilon  string `json:"round_epsilon"`
 	TotalOverhead string `json:"total_overhead"`
+	// Wall-clock phase durations in nanoseconds (what a remote trainer
+	// reports in its per-round timing breakdown).
+	UnionWallNS  int64 `json:"union_wall_ns"`
+	ReadWallNS   int64 `json:"read_wall_ns"`
+	FinishWallNS int64 `json:"finish_wall_ns"`
 }
 
 func statsJSON(st fedora.RoundStats) RoundStatsJSON {
 	return RoundStatsJSON{
 		K: st.K, KUnion: st.KUnion, KSampled: st.KSampled,
-		Dummy: st.Dummy, Lost: st.Lost, Chunks: st.Chunks,
+		Dummy: st.Dummy, Lost: st.Lost,
+		CrossChunkDup: st.CrossChunkDup, Chunks: st.Chunks,
 		RoundEpsilon:  strconv.FormatFloat(st.RoundEpsilon, 'g', -1, 64),
 		TotalOverhead: st.Total().String(),
+		UnionWallNS:   st.UnionWallTime.Nanoseconds(),
+		ReadWallNS:    st.ReadWallTime.Nanoseconds(),
+		FinishWallNS:  st.FinishWallTime.Nanoseconds(),
 	}
+}
+
+// Stats converts the wire shape back to fedora.RoundStats (the fields
+// the FL trainer consumes; modelled per-phase device times and the
+// per-shard breakdown do not cross the wire).
+func (j RoundStatsJSON) Stats() (fedora.RoundStats, error) {
+	eps, err := strconv.ParseFloat(j.RoundEpsilon, 64)
+	if err != nil {
+		return fedora.RoundStats{}, fmt.Errorf("api: round_epsilon %q: %w", j.RoundEpsilon, err)
+	}
+	return shard.RoundStats{
+		K: j.K, KUnion: j.KUnion, KSampled: j.KSampled,
+		Dummy: j.Dummy, Lost: j.Lost,
+		CrossChunkDup: j.CrossChunkDup, Chunks: j.Chunks,
+		RoundEpsilon:   eps,
+		UnionWallTime:  time.Duration(j.UnionWallNS),
+		ReadWallTime:   time.Duration(j.ReadWallNS),
+		FinishWallTime: time.Duration(j.FinishWallNS),
+	}, nil
 }
 
 // EntryResponse is a download reply.
@@ -121,30 +254,19 @@ type GradientRequest struct {
 	Samples int       `json:"samples"`
 }
 
-// GradientResponse acknowledges an upload.
+// GradientResponse acknowledges an upload (v1 wire shape).
 type GradientResponse struct {
 	Delivered bool `json:"delivered"`
 }
+
+// ---- v1 shim handlers (deprecated) -----------------------------------
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ssd := s.ctrl.SSDStats()
-	writeJSON(w, http.StatusOK, StatusResponse{
-		Backend:          s.ctrl.Backend().String(),
-		Shards:           s.ctrl.Shards(),
-		Round:            s.ctrl.Round(),
-		RoundInProgress:  s.round != nil,
-		EffectiveEpsilon: strconv.FormatFloat(s.ctrl.EffectiveEpsilon(), 'g', -1, 64),
-		MainORAMBytes:    s.ctrl.MainORAMBytes(),
-		DRAMBytes:        s.ctrl.DRAMResidentBytes(),
-		SSDBytesRead:     ssd.BytesRead,
-		SSDBytesWritten:  ssd.BytesWritten,
-	})
+	writeJSON(w, http.StatusOK, s.statusSnapshot())
 }
 
 func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
@@ -161,23 +283,23 @@ func (s *Server) handleBegin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no client requests", http.StatusBadRequest)
 		return
 	}
+	sr, _, aerr := s.beginRound(BeginV2Request{Requests: req.Requests})
+	if aerr != nil {
+		if aerr.code == CodeRoundInProgress {
+			http.Error(w, "round already in progress", http.StatusConflict)
+			return
+		}
+		http.Error(w, aerr.msg, aerr.status)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint64{"round": sr.seq})
+}
+
+// currentServerRound reads the active round under the server mutex.
+func (s *Server) currentServerRound() *serverRound {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.round != nil {
-		http.Error(w, "round already in progress", http.StatusConflict)
-		return
-	}
-	round, err := s.ctrl.BeginRound(req.Requests)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, fedora.ErrRoundInProgress) {
-			status = http.StatusConflict
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	s.round = round
-	writeJSON(w, http.StatusCreated, map[string]uint64{"round": s.ctrl.Round()})
+	return s.current
 }
 
 func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
@@ -190,12 +312,16 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad row: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Snapshot the round pointer, then serve OUTSIDE the server mutex:
-	// Round entry points are concurrency-safe, and on a sharded
-	// controller downloads for rows on different shards proceed in
-	// parallel (the server mutex would serialize them again).
-	round := s.currentRound()
-	if round == nil {
+	// Snapshot the round, then serve OUTSIDE the server mutex: Round
+	// entry points are concurrency-safe, and on a sharded controller
+	// downloads for rows on different shards proceed in parallel.
+	sr := s.currentServerRound()
+	if sr == nil {
+		http.Error(w, "no round in progress", http.StatusConflict)
+		return
+	}
+	round, aerr := s.liveRound(sr)
+	if aerr != nil {
 		http.Error(w, "no round in progress", http.StatusConflict)
 		return
 	}
@@ -205,13 +331,6 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, EntryResponse{Row: row, Entry: entry, OK: ok})
-}
-
-// currentRound reads the active round handle under the server mutex.
-func (s *Server) currentRound() *fedora.Round {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.round
 }
 
 func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
@@ -228,8 +347,13 @@ func (s *Server) handleGradient(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "samples must be positive", http.StatusBadRequest)
 		return
 	}
-	round := s.currentRound()
-	if round == nil {
+	sr := s.currentServerRound()
+	if sr == nil {
+		http.Error(w, "no round in progress", http.StatusConflict)
+		return
+	}
+	round, aerr := s.liveRound(sr)
+	if aerr != nil {
 		http.Error(w, "no round in progress", http.StatusConflict)
 		return
 	}
@@ -246,36 +370,38 @@ func (s *Server) handleFinish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.round == nil {
+	sr := s.currentServerRound()
+	if sr == nil {
 		http.Error(w, "no round in progress", http.StatusConflict)
 		return
 	}
-	st, err := s.round.Finish()
-	s.round = nil
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	st, msg := s.finishRound(sr, false)
+	if msg != "" {
+		http.Error(w, msg, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, statsJSON(st))
 }
 
-// handleMetrics exposes Prometheus-style counters (text format).
+// handleMetrics exposes Prometheus-style counters (text format):
+// controller/device counters plus per-endpoint HTTP request counters
+// and latency histograms. The server mutex is held only long enough to
+// snapshot the round state, so metrics stay readable mid-round.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	inProgress := 0
+	if s.current != nil || s.beginning {
+		inProgress = 1
+	}
+	s.mu.Unlock()
+
 	ssd := s.ctrl.SSDStats()
 	dram := s.ctrl.DRAMStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	inProgress := 0
-	if s.round != nil {
-		inProgress = 1
-	}
 	lines := []struct {
 		name  string
 		kind  string
@@ -293,6 +419,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, l := range lines {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", l.name, l.kind, l.name, l.value)
 	}
+	s.met.render(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -304,9 +431,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// ---- Client ----------------------------------------------------------
+// ---- v1 Client (deprecated) ------------------------------------------
 
-// Client is a typed HTTP client for Server.
+// Client is a typed HTTP client for the DEPRECATED v1 API. New code
+// should use internal/client, which speaks v2 (batched transfers,
+// retries with backoff, idempotency keys).
 type Client struct {
 	base string
 	http *http.Client

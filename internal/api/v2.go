@@ -1,0 +1,515 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fedora"
+)
+
+// The v2 protocol replaces v1's single ambient "current" round with
+// explicitly addressed rounds and batched transfers:
+//
+//	POST /v2/rounds                     begin (idempotent via round_key)
+//	GET  /v2/rounds/{id}                round info
+//	POST /v2/rounds/{id}/entries        batched download
+//	POST /v2/rounds/{id}/gradients      batched upload (idempotent via batch_id)
+//	POST /v2/rounds/{id}/finish         finish (idempotent)
+//	GET  /v2/rows/{row}                 evaluation backdoor (PeekRow)
+//	GET  /v2/status                     status + current round id
+//
+// Idempotency is what makes SDK retries safe: a duplicate begin with
+// the same round_key returns the existing round, a duplicate gradient
+// batch with the same batch_id replays the recorded response instead of
+// double-applying, and a repeated finish returns the recorded stats.
+// Rounds may carry a deadline; when it passes the server finishes the
+// round with whatever gradients arrived (partial aggregation), exactly
+// as a production orchestrator would cut off stragglers.
+
+// BeginV2Request starts (or idempotently re-fetches) a round.
+type BeginV2Request struct {
+	// Requests holds per-client row lists (fedora.DummyRequest pads).
+	Requests [][]uint64 `json:"requests"`
+	// RoundKey, when set, makes the begin idempotent: a later begin with
+	// the same key returns the round it created instead of conflicting.
+	RoundKey string `json:"round_key,omitempty"`
+	// DeadlineMS, when positive, bounds the round's lifetime; past it
+	// the server finishes the round with partial gradients.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// RoundInfo describes one round's lifecycle state.
+type RoundInfo struct {
+	RoundID  string `json:"round_id"`
+	Round    uint64 `json:"round"` // controller round number
+	Finished bool   `json:"finished"`
+	// Expired reports the deadline fired before an explicit finish.
+	Expired    bool            `json:"expired,omitempty"`
+	DeadlineMS int64           `json:"deadline_ms,omitempty"`
+	Stats      *RoundStatsJSON `json:"stats,omitempty"` // set once finished
+}
+
+// EntriesRequest downloads a batch of rows in one request.
+type EntriesRequest struct {
+	Rows []uint64 `json:"rows"`
+}
+
+// EntriesResponse carries one EntryResponse per requested row, in
+// request order.
+type EntriesResponse struct {
+	RoundID string          `json:"round_id"`
+	Entries []EntryResponse `json:"entries"`
+}
+
+// GradientBatchRequest uploads a batch of row gradients in one request.
+type GradientBatchRequest struct {
+	// BatchID, when set, deduplicates retries: the server applies a
+	// given batch id at most once per round and replays the recorded
+	// response for duplicates.
+	BatchID   string            `json:"batch_id,omitempty"`
+	Gradients []GradientRequest `json:"gradients"`
+}
+
+// GradientBatchResponse acknowledges a gradient batch.
+type GradientBatchResponse struct {
+	RoundID   string `json:"round_id"`
+	Delivered int    `json:"delivered"`
+	Dropped   int    `json:"dropped"`
+	// Duplicate reports the batch id was already applied; Results echo
+	// the original application.
+	Duplicate bool   `json:"duplicate,omitempty"`
+	Results   []bool `json:"results"`
+}
+
+// RowResponse is the evaluation-backdoor reply.
+type RowResponse struct {
+	Row   uint64    `json:"row"`
+	Entry []float32 `json:"entry"`
+}
+
+// batchEntry records one gradient batch application (or its failure)
+// for replay to retries. done is closed once the outcome fields are
+// set; a concurrent duplicate waits on it instead of re-applying.
+type batchEntry struct {
+	done chan struct{}
+
+	// Exactly one of the two outcomes is recorded before done closes.
+	resp      GradientBatchResponse
+	errStatus int // 0 = success
+	errCode   string
+	errMsg    string
+}
+
+// serverRound is the server-side state of one round.
+type serverRound struct {
+	id         string
+	seq        uint64 // controller round number
+	key        string
+	deadlineMS int64
+	timer      *time.Timer
+	finishMu   sync.Mutex
+
+	// Mutable fields below are guarded by the server mutex. finishMu
+	// additionally serializes the finish transition itself so exactly
+	// one caller (explicit finish, deadline timer, or v1 shim) runs
+	// fedora.Round.Finish.
+	round     *fedora.Round // nil once finished
+	finished  bool
+	expired   bool
+	stats     fedora.RoundStats
+	finishErr string
+	batches   map[string]*batchEntry
+}
+
+// ---- round lifecycle core (shared by v1 shim and v2) -----------------
+
+// apiError is an internal carrier for (status, code, message).
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// beginRound runs the begin flow: idempotency check, controller
+// BeginRound (outside the server mutex), round registration, deadline
+// arming. Returns the (possibly pre-existing) round and whether it was
+// created by this call.
+func (s *Server) beginRound(req BeginV2Request) (*serverRound, bool, *apiError) {
+	if len(req.Requests) == 0 {
+		return nil, false, errf(http.StatusBadRequest, CodeInvalidArgument, "no client requests")
+	}
+	for ci, rows := range req.Requests {
+		for _, row := range rows {
+			if row != fedora.DummyRequest && row >= s.ctrl.NumRows() {
+				return nil, false, errf(http.StatusBadRequest, CodeInvalidArgument,
+					"client %d requests row %d out of range %d", ci, row, s.ctrl.NumRows())
+			}
+		}
+	}
+
+	s.mu.Lock()
+	if req.RoundKey != "" {
+		if id, ok := s.byKey[req.RoundKey]; ok {
+			sr := s.rounds[id]
+			s.mu.Unlock()
+			return sr, false, nil
+		}
+	}
+	if s.current != nil || s.beginning {
+		s.mu.Unlock()
+		return nil, false, errf(http.StatusConflict, CodeRoundInProgress, "round already in progress")
+	}
+	s.beginning = true
+	s.mu.Unlock()
+
+	// The controller's BeginRound does the heavy lifting (oblivious
+	// union, FDP sampling, ORAM reads) — never under the server mutex.
+	round, err := s.ctrl.BeginRound(req.Requests)
+
+	s.mu.Lock()
+	s.beginning = false
+	if err != nil {
+		s.mu.Unlock()
+		if errors.Is(err, fedora.ErrRoundInProgress) {
+			return nil, false, errf(http.StatusConflict, CodeRoundInProgress, "%s", err.Error())
+		}
+		return nil, false, errf(http.StatusBadRequest, CodeInvalidArgument, "%s", err.Error())
+	}
+	s.roundSeq++
+	sr := &serverRound{
+		id:      fmt.Sprintf("r%d", s.roundSeq),
+		seq:     s.ctrl.Round(),
+		key:     req.RoundKey,
+		round:   round,
+		batches: make(map[string]*batchEntry),
+	}
+	deadline := s.defaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		sr.deadlineMS = deadline.Milliseconds()
+		sr.timer = time.AfterFunc(deadline, func() { s.finishRound(sr, true) })
+	}
+	s.rounds[sr.id] = sr
+	s.order = append(s.order, sr.id)
+	if sr.key != "" {
+		s.byKey[sr.key] = sr.id
+	}
+	s.current = sr
+	s.pruneLocked()
+	s.mu.Unlock()
+	return sr, true, nil
+}
+
+// lookupRound resolves a round id.
+func (s *Server) lookupRound(id string) (*serverRound, *apiError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.rounds[id]
+	if !ok {
+		return nil, errf(http.StatusNotFound, CodeRoundNotFound, "unknown round %q", id)
+	}
+	return sr, nil
+}
+
+// liveRound returns the fedora round handle, or a round_finished error.
+func (s *Server) liveRound(sr *serverRound) (*fedora.Round, *apiError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sr.finished || sr.round == nil {
+		return nil, errf(http.StatusConflict, CodeRoundFinished, "round %s already finished", sr.id)
+	}
+	return sr.round, nil
+}
+
+// finishRound finishes sr exactly once (explicit finish, v1 shim, and
+// the deadline timer all funnel here); later callers get the recorded
+// outcome. Returns the stats and the recorded finish error ("" = ok).
+func (s *Server) finishRound(sr *serverRound, expired bool) (fedora.RoundStats, string) {
+	sr.finishMu.Lock()
+	defer sr.finishMu.Unlock()
+
+	s.mu.Lock()
+	if sr.finished {
+		st, msg := sr.stats, sr.finishErr
+		s.mu.Unlock()
+		return st, msg
+	}
+	round := sr.round
+	s.mu.Unlock()
+
+	// Finish outside the server mutex: write-back touches every shard.
+	st, err := round.Finish()
+
+	s.mu.Lock()
+	sr.finished = true
+	sr.expired = expired
+	sr.round = nil
+	sr.stats = st
+	if err != nil && !errors.Is(err, fedora.ErrRoundFinished) {
+		sr.finishErr = err.Error()
+	}
+	if sr.timer != nil {
+		sr.timer.Stop()
+		sr.timer = nil
+	}
+	if s.current == sr {
+		s.current = nil
+	}
+	msg := sr.finishErr
+	s.mu.Unlock()
+	return st, msg
+}
+
+// roundInfo snapshots sr for the wire.
+func (s *Server) roundInfo(sr *serverRound) RoundInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := RoundInfo{
+		RoundID:    sr.id,
+		Round:      sr.seq,
+		Finished:   sr.finished,
+		Expired:    sr.expired,
+		DeadlineMS: sr.deadlineMS,
+	}
+	if sr.finished && sr.finishErr == "" {
+		st := statsJSON(sr.stats)
+		info.Stats = &st
+	}
+	return info
+}
+
+// pruneLocked bounds the round history, dropping the oldest FINISHED
+// rounds past the cap (an unfinished round is never dropped — at most
+// one exists, and it is s.current). Caller holds s.mu.
+func (s *Server) pruneLocked() {
+	const keep = 64
+	if len(s.order) <= keep {
+		return
+	}
+	excess := len(s.order) - keep
+	kept := s.order[:0]
+	for _, id := range s.order {
+		sr := s.rounds[id]
+		if excess > 0 && sr != nil && sr.finished {
+			delete(s.rounds, id)
+			if sr.key != "" && s.byKey[sr.key] == id {
+				delete(s.byKey, sr.key)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// ---- v2 handlers -----------------------------------------------------
+
+func (s *Server) handleStatusV2(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statusSnapshot())
+}
+
+func (s *Server) handleBeginV2(w http.ResponseWriter, r *http.Request) {
+	var req BeginV2Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad json: %s", err.Error())
+		return
+	}
+	sr, created, aerr := s.beginRound(req)
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	status := http.StatusOK // idempotent re-fetch
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, s.roundInfo(sr))
+}
+
+func (s *Server) handleRoundInfoV2(w http.ResponseWriter, r *http.Request) {
+	sr, aerr := s.lookupRound(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.roundInfo(sr))
+}
+
+func (s *Server) handleEntriesV2(w http.ResponseWriter, r *http.Request) {
+	sr, aerr := s.lookupRound(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	var req EntriesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad json: %s", err.Error())
+		return
+	}
+	for _, row := range req.Rows {
+		if row >= s.ctrl.NumRows() {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				"row %d out of range %d", row, s.ctrl.NumRows())
+			return
+		}
+	}
+	round, aerr := s.liveRound(sr)
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	// ServeEntries fans out across shards internally; an empty batch is
+	// legal (a fully-padded client has nothing real to download).
+	results, err := round.ServeEntries(req.Rows)
+	if err != nil {
+		if errors.Is(err, fedora.ErrRoundFinished) {
+			writeError(w, http.StatusConflict, CodeRoundFinished, "%s", err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", err.Error())
+		return
+	}
+	resp := EntriesResponse{RoundID: sr.id, Entries: make([]EntryResponse, len(results))}
+	for i, res := range results {
+		resp.Entries[i] = EntryResponse{Row: res.Row, Entry: res.Entry, OK: res.OK}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGradientsV2(w http.ResponseWriter, r *http.Request) {
+	sr, aerr := s.lookupRound(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	var req GradientBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad json: %s", err.Error())
+		return
+	}
+	for i, g := range req.Gradients {
+		if g.Samples <= 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				"gradient %d: samples must be positive", i)
+			return
+		}
+		if g.Row >= s.ctrl.NumRows() {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				"gradient %d: row %d out of range %d", i, g.Row, s.ctrl.NumRows())
+			return
+		}
+	}
+
+	// Dedup: reserve the batch id before applying, so a concurrent
+	// retry of the same batch waits for the first application instead
+	// of double-applying.
+	var be *batchEntry
+	if req.BatchID != "" {
+		s.mu.Lock()
+		if prev, ok := sr.batches[req.BatchID]; ok {
+			s.mu.Unlock()
+			<-prev.done
+			if prev.errStatus != 0 {
+				writeError(w, prev.errStatus, prev.errCode, "%s", prev.errMsg)
+				return
+			}
+			resp := prev.resp
+			resp.Duplicate = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		be = &batchEntry{done: make(chan struct{})}
+		sr.batches[req.BatchID] = be
+		s.mu.Unlock()
+		defer close(be.done)
+	}
+
+	fail := func(status int, code, msg string) {
+		if be != nil {
+			be.errStatus, be.errCode, be.errMsg = status, code, msg
+		}
+		writeError(w, status, code, "%s", msg)
+	}
+
+	round, aerr := s.liveRound(sr)
+	if aerr != nil {
+		fail(aerr.status, aerr.code, aerr.msg)
+		return
+	}
+	grads := make([]fedora.RowGradient, len(req.Gradients))
+	for i, g := range req.Gradients {
+		grads[i] = fedora.RowGradient{Row: g.Row, Grad: g.Grad, Samples: g.Samples}
+	}
+	results, err := round.SubmitGradients(grads)
+	if err != nil {
+		if errors.Is(err, fedora.ErrRoundFinished) {
+			fail(http.StatusConflict, CodeRoundFinished, err.Error())
+			return
+		}
+		fail(http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	resp := GradientBatchResponse{RoundID: sr.id, Results: results}
+	for _, ok := range results {
+		if ok {
+			resp.Delivered++
+		} else {
+			resp.Dropped++
+		}
+	}
+	if be != nil {
+		be.resp = resp
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFinishV2(w http.ResponseWriter, r *http.Request) {
+	sr, aerr := s.lookupRound(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	_, msg := s.finishRound(sr, false)
+	if msg != "" {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.roundInfo(sr))
+}
+
+func (s *Server) handleRowV2(w http.ResponseWriter, r *http.Request) {
+	row, err := strconv.ParseUint(r.PathValue("row"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad row: %s", err.Error())
+		return
+	}
+	if row >= s.ctrl.NumRows() {
+		writeError(w, http.StatusNotFound, CodeRowNotFound,
+			"row %d out of range %d", row, s.ctrl.NumRows())
+		return
+	}
+	entry, err := s.ctrl.PeekRow(row)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, RowResponse{Row: row, Entry: entry})
+}
+
+func (s *Server) handleV2Fallback(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, CodeNotFound, "no such route: %s %s", r.Method, r.URL.Path)
+}

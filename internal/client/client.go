@@ -1,0 +1,379 @@
+// Package client is the Go SDK for the FEDORA serving API (v2). It
+// wraps the batched round protocol with:
+//
+//   - per-attempt timeouts and capped exponential backoff with jitter,
+//   - retries restricted to failures that are safe to repeat — transport
+//     errors, 5xx, and 429 — against endpoints the server makes
+//     idempotent (begin via round_key, gradient batches via batch_id,
+//     finish by construction),
+//   - context cancellation across attempts and backoff sleeps,
+//   - transfer chunking (BatchSize rows per HTTP request), and
+//   - atomic counters (requests / retries / failures) so callers can
+//     assert retry behavior.
+//
+// The higher-level RemoteTrainer (remote.go) plugs this client into the
+// fl package's Orchestrator seam, running the unchanged local-SGD loop
+// against a remote server.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Config tunes a Client. The zero value of every field has a sensible
+// default; only BaseURL is required.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Timeout bounds each individual HTTP attempt (default 30s).
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first try
+	// (default 4, so at most 5 requests per call). Negative disables
+	// retries.
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the capped exponential backoff
+	// between attempts (defaults 50ms / 2s). Each sleep is the base
+	// doubled per attempt, capped, then jittered ×[0.5, 1.5).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BatchSize chunks entry downloads and gradient uploads (default
+	// 64 rows per request).
+	BatchSize int
+	// RetrySeed seeds the jitter RNG and the idempotency-key prefix
+	// (0 = derived from the wall clock; set it in tests for
+	// reproducible backoff schedules).
+	RetrySeed int64
+	// HTTPClient overrides the transport (default &http.Client{}; the
+	// per-attempt context carries the timeout, so the client itself has
+	// none).
+	HTTPClient *http.Client
+}
+
+// Stats are cumulative client-side counters.
+type Stats struct {
+	// Requests counts every HTTP attempt, including retries.
+	Requests uint64
+	// Retries counts re-attempts (Requests - logical calls ≤ Retries
+	// budget).
+	Retries uint64
+	// Failures counts logical calls that exhausted their retry budget
+	// or hit a non-retryable error.
+	Failures uint64
+}
+
+// APIError is a decoded v2 error envelope (or a plain non-2xx reply).
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("api error %d (%s): %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("api error %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether repeating the request may succeed: server
+// faults and throttling are retryable, client errors (4xx) are not.
+func (e *APIError) Retryable() bool {
+	return e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// transportError marks connection-level failures (dial, reset, attempt
+// timeout) — always retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// Client is a v2 API client. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	idPrefix string
+	idSeq    atomic.Uint64
+
+	requests atomic.Uint64
+	retries  atomic.Uint64
+	failures atomic.Uint64
+}
+
+// New builds a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: BaseURL required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Client{
+		cfg:      cfg,
+		http:     hc,
+		rng:      rng,
+		idPrefix: fmt.Sprintf("c%08x", rng.Uint32()),
+	}, nil
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests: c.requests.Load(),
+		Retries:  c.retries.Load(),
+		Failures: c.failures.Load(),
+	}
+}
+
+// nextID mints a unique idempotency key ("<prefix>-<n>"). Retries of
+// one logical call reuse the key; distinct calls never collide.
+func (c *Client) nextID() string {
+	return fmt.Sprintf("%s-%d", c.idPrefix, c.idSeq.Add(1))
+}
+
+// ---- request core ----------------------------------------------------
+
+// do runs one logical call: attempt, classify, back off, retry. The
+// caller's ctx spans all attempts; each attempt additionally gets the
+// configured per-attempt timeout.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := c.backoff(ctx, attempt); err != nil {
+				c.failures.Add(1)
+				return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, err, lastErr)
+			}
+		}
+		lastErr = c.attempt(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !retryable(lastErr) || attempt >= c.cfg.MaxRetries {
+			c.failures.Add(1)
+			return fmt.Errorf("client: %s %s failed after %d attempt(s): %w",
+				method, path, attempt+1, lastErr)
+		}
+	}
+}
+
+// attempt performs a single HTTP round trip.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.requests.Add(1)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return &transportError{err}
+	}
+	if resp.StatusCode >= 300 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		var env api.ErrorEnvelope
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			apiErr.Code, apiErr.Message = env.Error.Code, env.Error.Message
+		} else {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// backoff sleeps before re-attempt number attempt (≥1), honoring ctx.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	c.rngMu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable classifies an attempt error.
+func retryable(err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable()
+	}
+	return false
+}
+
+// ---- API methods -----------------------------------------------------
+
+// Status fetches server status.
+func (c *Client) Status(ctx context.Context) (api.StatusResponse, error) {
+	var out api.StatusResponse
+	err := c.do(ctx, http.MethodGet, "/v2/status", nil, &out)
+	return out, err
+}
+
+// Begin starts a round. An empty RoundKey is filled with a fresh
+// idempotency key, so retried begins land on the round the first
+// (possibly lost) attempt created instead of conflicting.
+func (c *Client) Begin(ctx context.Context, req api.BeginV2Request) (api.RoundInfo, error) {
+	if req.RoundKey == "" {
+		req.RoundKey = c.nextID()
+	}
+	var out api.RoundInfo
+	err := c.do(ctx, http.MethodPost, "/v2/rounds", req, &out)
+	return out, err
+}
+
+// BeginRound starts a round from per-client row requests.
+func (c *Client) BeginRound(ctx context.Context, requests [][]uint64) (api.RoundInfo, error) {
+	return c.Begin(ctx, api.BeginV2Request{Requests: requests})
+}
+
+// RoundInfo fetches a round's lifecycle state.
+func (c *Client) RoundInfo(ctx context.Context, roundID string) (api.RoundInfo, error) {
+	var out api.RoundInfo
+	err := c.do(ctx, http.MethodGet, "/v2/rounds/"+roundID, nil, &out)
+	return out, err
+}
+
+// Entries downloads the given rows, chunked into BatchSize-row
+// requests; replies come back in request order.
+func (c *Client) Entries(ctx context.Context, roundID string, rows []uint64) ([]api.EntryResponse, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make([]api.EntryResponse, 0, len(rows))
+	for start := 0; start < len(rows); start += c.cfg.BatchSize {
+		end := min(start+c.cfg.BatchSize, len(rows))
+		var resp api.EntriesResponse
+		err := c.do(ctx, http.MethodPost, "/v2/rounds/"+roundID+"/entries",
+			api.EntriesRequest{Rows: rows[start:end]}, &resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Entries) != end-start {
+			return nil, fmt.Errorf("client: entries batch returned %d of %d rows",
+				len(resp.Entries), end-start)
+		}
+		out = append(out, resp.Entries...)
+	}
+	return out, nil
+}
+
+// SubmitGradients uploads the given row gradients, chunked into
+// BatchSize-row batches. Every batch carries a fresh batch_id, so a
+// retried batch is applied at most once. Returns per-gradient delivery
+// flags in input order.
+func (c *Client) SubmitGradients(ctx context.Context, roundID string, grads []api.GradientRequest) ([]bool, error) {
+	if len(grads) == 0 {
+		return nil, nil
+	}
+	results := make([]bool, 0, len(grads))
+	for start := 0; start < len(grads); start += c.cfg.BatchSize {
+		end := min(start+c.cfg.BatchSize, len(grads))
+		var resp api.GradientBatchResponse
+		err := c.do(ctx, http.MethodPost, "/v2/rounds/"+roundID+"/gradients",
+			api.GradientBatchRequest{BatchID: c.nextID(), Gradients: grads[start:end]}, &resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != end-start {
+			return nil, fmt.Errorf("client: gradient batch returned %d of %d results",
+				len(resp.Results), end-start)
+		}
+		results = append(results, resp.Results...)
+	}
+	return results, nil
+}
+
+// FinishRound completes the round (idempotent server-side) and returns
+// its info with stats.
+func (c *Client) FinishRound(ctx context.Context, roundID string) (api.RoundInfo, error) {
+	var out api.RoundInfo
+	err := c.do(ctx, http.MethodPost, "/v2/rounds/"+roundID+"/finish", nil, &out)
+	return out, err
+}
+
+// PeekRow reads one embedding row through the evaluation backdoor.
+func (c *Client) PeekRow(ctx context.Context, row uint64) ([]float32, error) {
+	var out api.RowResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v2/rows/%d", row), nil, &out)
+	return out.Entry, err
+}

@@ -1,0 +1,207 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+)
+
+// parityConfig is a small FL study configuration exercised both
+// in-process and over the wire; the two must yield identical models.
+func parityConfig(t *testing.T) fl.Config {
+	t.Helper()
+	ds := dataset.Generate(dataset.Config{
+		Name:           "parity",
+		NumItems:       160,
+		NumUsers:       40,
+		LatentDim:      6,
+		SamplesPerUser: 12,
+		TestFraction:   0.2,
+		HistMean:       6,
+		HistSkew:       1.2,
+		HistZeroProb:   0.1,
+		HistMax:        20,
+		PopZipfS:       1.05,
+		Seed:           7,
+	})
+	return fl.Config{
+		Dataset:              ds,
+		Dim:                  8,
+		Hidden:               16,
+		UsePrivate:           true,
+		Epsilon:              1,
+		ClientsPerRound:      10,
+		MaxFeaturesPerClient: 20,
+		LocalLR:              0.1,
+		LocalEpochs:          2,
+		Seed:                 1,
+		Workers:              2,
+		Shards:               2,
+	}
+}
+
+const parityRounds = 3
+
+// localFingerprint runs the reference in-process trainer.
+func localFingerprint(t *testing.T, cfg fl.Config) uint64 {
+	t.Helper()
+	tr, err := fl.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(parityRounds); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// remoteFingerprint runs the same trainer loop against an HTTP server
+// whose handler may be wrapped for fault injection.
+func remoteFingerprint(t *testing.T, cfg fl.Config, wrap func(http.Handler) http.Handler) (uint64, Stats) {
+	t.Helper()
+	ctrl, err := fl.BuildController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h http.Handler = api.NewServer(ctrl).Handler()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	c, err := New(Config{
+		BaseURL:     srv.URL,
+		Timeout:     10 * time.Second,
+		MaxRetries:  6,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		BatchSize:   16,
+		RetrySeed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewRemoteTrainer(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(parityRounds); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := tr.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, c.Stats()
+}
+
+// TestRemoteParityFingerprint: the remote trainer over the batched v2
+// API reproduces the in-process model bit for bit at seed parity.
+func TestRemoteParityFingerprint(t *testing.T) {
+	cfg := parityConfig(t)
+	local := localFingerprint(t, cfg)
+	remote, stats := remoteFingerprint(t, cfg, nil)
+	if local != remote {
+		t.Fatalf("fingerprint mismatch: local %016x, remote %016x", local, remote)
+	}
+	if stats.Failures != 0 {
+		t.Fatalf("clean run reported failures: %+v", stats)
+	}
+}
+
+// TestRemoteRoundSurvivesFaults injects the nastiest failure mode:
+// every Nth request is EXECUTED by the real handler (the server applies
+// the side effect) but the response is discarded and replaced with a
+// 503 — so the SDK retries requests whose work already happened. The
+// round-key / batch-id / finish idempotency must absorb the replays and
+// still land on the bit-identical model.
+func TestRemoteRoundSurvivesFaults(t *testing.T) {
+	cfg := parityConfig(t)
+	local := localFingerprint(t, cfg)
+
+	var n atomic.Int64
+	wrap := func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if n.Add(1)%5 == 0 {
+				rec := httptest.NewRecorder()
+				inner.ServeHTTP(rec, r) // side effect lands, response lost
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	remote, stats := remoteFingerprint(t, cfg, wrap)
+	if stats.Retries == 0 {
+		t.Fatal("fault injection produced no retries")
+	}
+	if stats.Failures != 0 {
+		t.Fatalf("retries did not absorb the faults: %+v", stats)
+	}
+	if local != remote {
+		t.Fatalf("fingerprint mismatch under faults: local %016x, remote %016x", local, remote)
+	}
+	t.Logf("survived faults: %+v", stats)
+}
+
+// TestRemoteTrainerRejectsDurable: checkpoint/WAL durability needs an
+// in-process controller; the remote trainer must refuse it loudly.
+func TestRemoteTrainerRejectsDurable(t *testing.T) {
+	cfg := parityConfig(t)
+	ctrl, err := fl.BuildController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.NewServer(ctrl).Handler())
+	defer srv.Close()
+	c, err := New(Config{BaseURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewRemoteTrainer(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.NewRunner(tr, t.TempDir(), 1); err == nil {
+		t.Fatal("want error from durable runner over a remote trainer")
+	}
+}
+
+// TestRemoteOrchestratorStatus: Round and EffectiveEpsilon come from
+// the server when no round has been driven yet.
+func TestRemoteOrchestratorStatus(t *testing.T) {
+	cfg := parityConfig(t)
+	ctrl, err := fl.BuildController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.NewServer(ctrl).Handler())
+	defer srv.Close()
+	c, err := New(Config{BaseURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOrchestrator(context.Background(), c)
+	if got := o.Round(); got != 0 {
+		t.Fatalf("Round() = %d, want 0", got)
+	}
+	if got := o.EffectiveEpsilon(); got != ctrl.EffectiveEpsilon() {
+		t.Fatalf("EffectiveEpsilon() = %v, want %v", got, ctrl.EffectiveEpsilon())
+	}
+	row, err := o.PeekRow(3)
+	if err != nil || len(row) != cfg.Dim {
+		t.Fatalf("PeekRow = %v (err %v), want %d floats", row, err, cfg.Dim)
+	}
+}

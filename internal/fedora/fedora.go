@@ -383,6 +383,11 @@ func bucketSlotsFor(bucketBytes, blockSize int, encrypted bool) int {
 // Backend reports the configured backend.
 func (c *Controller) Backend() Backend { return c.cfg.Backend }
 
+// NumRows reports the embedding-table height N (the valid row space is
+// [0, NumRows); serving layers use it to reject out-of-range requests
+// before they reach the round pipeline).
+func (c *Controller) NumRows() uint64 { return c.cfg.NumRows }
+
 // EffectiveEpsilon is the per-value ε after group privacy.
 func (c *Controller) EffectiveEpsilon() float64 { return c.effEps }
 

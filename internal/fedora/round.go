@@ -3,7 +3,9 @@ package fedora
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bufferoram"
@@ -45,6 +47,10 @@ type Round struct {
 // ErrRoundInProgress is returned by BeginRound when the previous round
 // was not finished.
 var ErrRoundInProgress = errors.New("fedora: previous round not finished")
+
+// ErrRoundFinished is returned by round operations after Finish closed
+// the round (including a concurrent Finish racing an in-flight serve).
+var ErrRoundFinished = errors.New("fedora: round already finished")
 
 // BeginRound runs steps ①–③ for the given per-client request lists and
 // returns the Round handle used for serving, aggregation and completion.
@@ -264,12 +270,16 @@ func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
 	if r.er != nil {
 		// Sharded: the engine routes to the owning shard; rows on
 		// different shards are served concurrently.
-		return r.er.ServeEntry(row)
+		entry, ok, err := r.er.ServeEntry(row)
+		if errors.Is(err, shard.ErrRoundFinished) {
+			err = ErrRoundFinished
+		}
+		return entry, ok, err
 	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
-		return nil, false, errors.New("fedora: round already finished")
+		return nil, false, ErrRoundFinished
 	}
 	entry, d, err := r.c.buf.Serve(row)
 	r.stats.ServeTime += d
@@ -287,12 +297,16 @@ func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
 // (the gradient is dropped, matching a lost entry).
 func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delivered bool, err error) {
 	if r.er != nil {
-		return r.er.SubmitGradient(row, grad, nSamples)
+		delivered, err = r.er.SubmitGradient(row, grad, nSamples)
+		if errors.Is(err, shard.ErrRoundFinished) {
+			err = ErrRoundFinished
+		}
+		return delivered, err
 	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
-		return false, errors.New("fedora: round already finished")
+		return false, ErrRoundFinished
 	}
 	d, err := r.c.buf.Aggregate(row, grad, nSamples)
 	r.stats.AggregateTime += d
@@ -310,6 +324,9 @@ func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delive
 func (r *Round) Finish() (RoundStats, error) {
 	if r.er != nil {
 		st, err := r.er.Finish()
+		if errors.Is(err, shard.ErrRoundFinished) {
+			err = ErrRoundFinished
+		}
 		r.c.mu.Lock()
 		r.c.inRound = false
 		r.c.mu.Unlock()
@@ -318,7 +335,7 @@ func (r *Round) Finish() (RoundStats, error) {
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
-		return r.stats, errors.New("fedora: round already finished")
+		return r.stats, ErrRoundFinished
 	}
 	c := r.c
 	wallStart := time.Now()
@@ -388,4 +405,115 @@ func f32bytes(f []float32) []byte {
 	b := make([]byte, 4*len(f))
 	encodeF32s(b, f)
 	return b
+}
+
+// ---- Batched round operations ---------------------------------------
+//
+// Remote clients touch many rows per round; serving them one HTTP
+// request at a time pays the wire overhead K times. The batch entry
+// points below amortize it: one call serves (or aggregates) a whole
+// working set, and on a sharded controller the rows fan out across the
+// per-shard pipelines concurrently.
+
+// EntryResult is one row's outcome in a batched download: OK is false
+// for rows the ε-FDP mechanism sacrificed this round (the caller applies
+// its lost-entry policy, exactly as with ServeEntry).
+type EntryResult struct {
+	Row   uint64
+	Entry []float32
+	OK    bool
+}
+
+// RowGradient is one row's contribution to a batched gradient upload.
+type RowGradient struct {
+	Row     uint64
+	Grad    []float32
+	Samples int
+}
+
+// ServeEntries serves a batch of downloads (step ④), one EntryResult per
+// requested row, in request order. On a sharded controller rows owned by
+// different shards are served in parallel; monolithic controllers serve
+// sequentially (the controller mutex would serialize the goroutines
+// anyway). Duplicate rows are allowed and served independently.
+func (r *Round) ServeEntries(rows []uint64) ([]EntryResult, error) {
+	out := make([]EntryResult, len(rows))
+	err := r.fanOut(len(rows), func(i int) error {
+		entry, ok, err := r.ServeEntry(rows[i])
+		if err != nil {
+			return err
+		}
+		out[i] = EntryResult{Row: rows[i], Entry: entry, OK: ok}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubmitGradients folds a batch of client gradients into the round's
+// aggregate (step ⑥), returning per-item delivery in input order. Rows
+// within one batch should be distinct: on a sharded controller two
+// gradients for the same row in the same batch may fold in either order
+// (floating-point aggregation is order-sensitive). Batches themselves
+// are applied in call order, which is what the FL merge step relies on
+// for seed-determinism.
+func (r *Round) SubmitGradients(grads []RowGradient) ([]bool, error) {
+	delivered := make([]bool, len(grads))
+	err := r.fanOut(len(grads), func(i int) error {
+		g := grads[i]
+		ok, err := r.SubmitGradient(g.Row, g.Grad, g.Samples)
+		if err != nil {
+			return err
+		}
+		delivered[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return delivered, nil
+}
+
+// fanOut runs fn over [0, n): concurrently over a bounded pool when the
+// controller is sharded (per-shard pipelines proceed in parallel),
+// sequentially otherwise. The lowest-index error wins, so failures are
+// deterministic regardless of scheduling.
+func (r *Round) fanOut(n int, fn func(i int) error) error {
+	if r.er == nil || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

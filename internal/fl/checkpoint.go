@@ -64,7 +64,7 @@ func (t *Trainer) SaveModel(w io.Writer) error {
 	numRows := t.cfg.Dataset.NumItems
 	rows.U64(numRows)
 	for row := uint64(0); row < numRows; row++ {
-		v, err := t.ctrl.PeekRow(row)
+		v, err := t.orch.PeekRow(row)
 		if err != nil {
 			return fmt.Errorf("fl: snapshot row %d: %w", row, err)
 		}
@@ -178,7 +178,7 @@ func (t *Trainer) SaveLegacyModel(w io.Writer) error {
 		Rows:      make(map[uint64][]float32, t.cfg.Dataset.NumItems),
 	}
 	for row := uint64(0); row < cp.NumRows; row++ {
-		v, err := t.ctrl.PeekRow(row)
+		v, err := t.orch.PeekRow(row)
 		if err != nil {
 			return fmt.Errorf("fl: snapshot row %d: %w", row, err)
 		}

@@ -59,6 +59,9 @@ type ResumeReport struct {
 // explicit Checkpoint calls). Call Resume before RunRound when the
 // directory may hold prior state.
 func NewRunner(t *Trainer, dir string, every int) (*Runner, error) {
+	if t.Controller() == nil {
+		return nil, errors.New("fl: durable runner requires an in-process controller (remote trainers cannot snapshot ORAM state)")
+	}
 	mgr, err := persist.OpenManager(dir)
 	if err != nil {
 		return nil, err

@@ -155,10 +155,12 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Trainer runs FL rounds against a FEDORA controller.
+// Trainer runs FL rounds against a FEDORA controller — in-process by
+// default, or wherever the Orchestrator puts it (NewWithOrchestrator).
 type Trainer struct {
 	cfg     Config
-	ctrl    *fedora.Controller
+	orch    Orchestrator
+	ctrl    *fedora.Controller // nil when the controller is remote
 	global  *recmodel.Model
 	src     *persist.Source // checkpointable state behind rng
 	rng     *rand.Rand
@@ -176,27 +178,37 @@ type Trainer struct {
 	preRound func(round int)
 }
 
-// New builds a trainer and its controller.
-func New(cfg Config) (*Trainer, error) {
-	cfg.setDefaults()
-	if cfg.Dataset == nil {
-		return nil, errors.New("fl: Dataset required")
-	}
-	scale := float32(0.05)
-	dim := cfg.Dim
-	initRow := func(row uint64) []float32 {
+// initRowFunc is the deterministic per-row embedding initializer both
+// the trainer and BuildController derive from (Seed, Dim) — the server
+// hosting a remote trainer's controller must use the same one for the
+// two deployments to start from identical tables.
+func initRowFunc(seed int64, dim int) func(row uint64) []float32 {
+	const scale = float32(0.05)
+	return func(row uint64) []float32 {
 		// Deterministic per-row init so every run starts identically.
-		r := rand.New(rand.NewSource(cfg.Seed ^ int64(row*2654435761)))
+		r := rand.New(rand.NewSource(seed ^ int64(row*2654435761)))
 		v := make([]float32, dim)
 		for i := range v {
 			v[i] = (r.Float32()*2 - 1) * scale
 		}
 		return v
 	}
-	ctrl, err := fedora.New(fedora.Config{
+}
+
+// BuildController constructs the FEDORA controller fl.New would pair
+// with cfg. Exported so a serving process (cmd/fedora-server) can host
+// the controller while a remote trainer drives it over the wire: a
+// remote run is bit-identical to a local one exactly when both sides
+// built their halves from the same Config.
+func BuildController(cfg Config) (*fedora.Controller, error) {
+	cfg.setDefaults()
+	if cfg.Dataset == nil {
+		return nil, errors.New("fl: Dataset required")
+	}
+	return fedora.New(fedora.Config{
 		Backend:              cfg.Backend,
 		NumRows:              cfg.Dataset.NumItems,
-		Dim:                  dim,
+		Dim:                  cfg.Dim,
 		Epsilon:              cfg.Epsilon,
 		Shape:                cfg.Shape,
 		HideCount:            cfg.HideCount,
@@ -205,17 +217,48 @@ func New(cfg Config) (*Trainer, error) {
 		LearningRate:         1, // FedAvg applies the mean delta directly
 		Seed:                 cfg.Seed,
 		Selection:            cfg.Selection,
-		InitRow:              initRow,
+		InitRow:              initRowFunc(cfg.Seed, cfg.Dim),
 		Shards:               cfg.Shards,
 		ShardWorkers:         cfg.ShardWorkers,
 	})
+}
+
+// New builds a trainer and its in-process controller.
+func New(cfg Config) (*Trainer, error) {
+	ctrl, err := BuildController(cfg)
 	if err != nil {
 		return nil, err
+	}
+	t, err := buildTrainer(cfg, localOrchestrator{ctrl})
+	if err != nil {
+		return nil, err
+	}
+	t.ctrl = ctrl
+	return t, nil
+}
+
+// NewWithOrchestrator builds a trainer whose controller lives behind
+// orch — e.g. a remote fedora-server reached through internal/client.
+// The orchestrator's controller must have been built with
+// BuildController(cfg) (same Config) for runs to match the in-process
+// trainer bit for bit. Durable checkpointing (NewRunner) requires an
+// in-process controller and is unavailable on such a trainer.
+func NewWithOrchestrator(cfg Config, orch Orchestrator) (*Trainer, error) {
+	if orch == nil {
+		return nil, errors.New("fl: orchestrator required")
+	}
+	return buildTrainer(cfg, orch)
+}
+
+func buildTrainer(cfg Config, orch Orchestrator) (*Trainer, error) {
+	cfg.setDefaults()
+	if cfg.Dataset == nil {
+		return nil, errors.New("fl: Dataset required")
 	}
 	src := persist.NewSource(cfg.Seed + 1)
 	return &Trainer{
 		cfg:  cfg,
-		ctrl: ctrl,
+		orch: orch,
 		global: recmodel.New(recmodel.Config{
 			Dim: cfg.Dim, Hidden: cfg.Hidden, UsePrivate: cfg.UsePrivate,
 			LR: cfg.LocalLR, Seed: cfg.Seed, Dropout: cfg.Dropout, Pooling: cfg.Pooling,
@@ -223,11 +266,12 @@ func New(cfg Config) (*Trainer, error) {
 		}),
 		src:     src,
 		rng:     rand.New(src),
-		initRow: initRow,
+		initRow: initRowFunc(cfg.Seed, cfg.Dim),
 	}, nil
 }
 
-// Controller exposes the underlying FEDORA controller (for stats).
+// Controller exposes the underlying FEDORA controller (for stats and
+// durable checkpointing). It is nil when the controller is remote.
 func (t *Trainer) Controller() *fedora.Controller { return t.ctrl }
 
 // PhaseTimings is the host wall-clock breakdown of one FL round. Select,
@@ -336,7 +380,7 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 	report.ClientDigest = clientDigest(roundSeed, users)
 	report.Timings.Select = time.Since(selStart)
 
-	round, err := t.ctrl.BeginRound(reqs)
+	round, err := t.orch.BeginRound(reqs)
 	if err != nil {
 		return report, err
 	}
@@ -388,8 +432,16 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 		if out.trained == 0 {
 			continue // user contributed nothing (all samples dropped)
 		}
-		for j, row := range out.rows {
-			if _, err := round.SubmitGradient(row, out.deltas[j], out.trained); err != nil {
+		// One batched upload per client: rows are distinct and already in
+		// ascending order, and batches apply in client order, so the
+		// aggregation keeps its fixed, worker-count-independent sequence —
+		// while a remote round pays O(rows/batch) requests, not O(rows).
+		if len(out.rows) > 0 {
+			grads := make([]fedora.RowGradient, len(out.rows))
+			for j, row := range out.rows {
+				grads[j] = fedora.RowGradient{Row: row, Grad: out.deltas[j], Samples: out.trained}
+			}
+			if _, err := round.SubmitGradients(grads); err != nil {
 				return report, err
 			}
 		}
@@ -431,34 +483,39 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 // SGD, and delta computation. It is called from pool workers and must
 // not touch trainer state other than reads of immutable/global data; the
 // only side effects go through the concurrency-safe round handle.
-func (t *Trainer) trainClient(round *fedora.Round, u *dataset.User, req []uint64, roundSeed int64, clientIdx int) clientOutcome {
+func (t *Trainer) trainClient(round RoundHandle, u *dataset.User, req []uint64, roundSeed int64, clientIdx int) clientOutcome {
 	cfg := t.cfg
 	var out clientOutcome
 	// Per-client RNG: deterministic in (round seed, client index) so the
 	// schedule across workers cannot influence results.
 	crng := rand.New(rand.NewSource(roundSeed ^ (int64(clientIdx)+1)*0x5DEECE66D))
 
-	// Download the working set, keeping pristine copies so the upload
-	// can be the local-SGD delta Δθ_c = θ_downloaded − θ_trained.
+	// Download the working set in ONE batched request (a remote round
+	// pays O(rows/batch) wire round trips instead of O(rows)), keeping
+	// pristine copies so the upload can be the local-SGD delta
+	// Δθ_c = θ_downloaded − θ_trained.
+	realRows := make([]uint64, 0, len(req))
+	for _, row := range req {
+		if row != fedora.DummyRequest {
+			realRows = append(realRows, row)
+		}
+	}
 	local := recmodel.MapSource{}
 	downloaded := recmodel.MapSource{} // resident rows only: these upload
-	for _, row := range req {
-		if row == fedora.DummyRequest {
-			continue
-		}
-		entry, ok, err := round.ServeEntry(row)
-		if err != nil {
-			out.err = err
-			return out
-		}
-		if ok {
-			local[row] = entry
-			downloaded[row] = append([]float32(nil), entry...)
+	results, err := round.ServeEntries(realRows)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	for _, res := range results {
+		if res.OK {
+			local[res.Row] = res.Entry
+			downloaded[res.Row] = append([]float32(nil), res.Entry...)
 		} else if cfg.Lost == LostDefault {
 			// Substitute the initialization value so samples touching
 			// this row still train; its local updates are discarded at
 			// upload (the row is not resident in the buffer ORAM).
-			local[row] = t.initRow(row)
+			local[res.Row] = t.initRow(res.Row)
 		}
 	}
 	// Client dropout: the rows were fetched (and their ORAM cost paid)
@@ -576,7 +633,7 @@ func (t *Trainer) applyMLPUpdates(uploads []mlpUpload) error {
 	var sum []float32
 	if cfg.UseSecAgg && len(weighted) >= 2 {
 		var key [32]byte
-		key[0], key[1], key[2] = byte(t.cfg.Seed), byte(t.ctrl.Round()), 0x5A
+		key[0], key[1], key[2] = byte(t.cfg.Seed), byte(t.orch.Round()), 0x5A
 		sess, err := secagg.NewSession(key, len(weighted), length)
 		if err != nil {
 			return err
@@ -657,7 +714,7 @@ func (t *Trainer) EvaluateAUC() (float64, error) {
 		if v, ok := cache[id]; ok {
 			return v, true
 		}
-		v, err := t.ctrl.PeekRow(id)
+		v, err := t.orch.PeekRow(id)
 		if err != nil {
 			return nil, false
 		}
@@ -746,7 +803,7 @@ func (t *Trainer) summarize(res Result) (Result, error) {
 	}
 	res.AUC = auc
 	res.CumulativeEpsilon = t.epsSpent
-	res.AdversaryBound = fdp.AdversarySuccessBound(t.ctrl.EffectiveEpsilon())
+	res.AdversaryBound = fdp.AdversarySuccessBound(t.orch.EffectiveEpsilon())
 	if t.totK > 0 {
 		res.ReducedAccesses = 1 - float64(t.totSampled)/float64(t.totK)
 	}

@@ -1,0 +1,57 @@
+package fl
+
+import "repro/internal/fedora"
+
+// The trainer's view of the FEDORA controller is abstracted behind two
+// small interfaces so the SAME local-SGD loop can run against an
+// in-process controller (fl.New) or a remote serving process over the
+// v2 HTTP API (fl.NewWithOrchestrator + internal/client). Everything
+// that makes a run seed-deterministic — user selection, round seeds,
+// per-client RNG streams, the client-order merge — lives on the trainer
+// side, so the two deployments produce bit-identical models for the
+// same Config as long as the controller behind the orchestrator was
+// built from the same parameters (see BuildController).
+
+// RoundHandle is the per-round access surface the trainer drives: the
+// paper's steps ④ (download), ⑥ (gradient upload) and ⑦ (finish).
+// Implementations must be safe for concurrent use — trainer workers
+// stage downloads in parallel. The batched entry points exist so a
+// remote implementation can amortize wire overhead across a client's
+// whole working set; *fedora.Round implements both.
+type RoundHandle interface {
+	ServeEntry(row uint64) (entry []float32, ok bool, err error)
+	ServeEntries(rows []uint64) ([]fedora.EntryResult, error)
+	SubmitGradient(row uint64, grad []float32, samples int) (delivered bool, err error)
+	SubmitGradients(grads []fedora.RowGradient) ([]bool, error)
+	Finish() (fedora.RoundStats, error)
+}
+
+// Orchestrator abstracts where the FEDORA controller lives. Round
+// reports the round number the most recent BeginRound opened (used to
+// derive the SecAgg session key); PeekRow is the evaluation backdoor
+// EvaluateAUC and model export read through.
+type Orchestrator interface {
+	BeginRound(requests [][]uint64) (RoundHandle, error)
+	Round() uint64
+	EffectiveEpsilon() float64
+	PeekRow(row uint64) ([]float32, error)
+}
+
+// localOrchestrator adapts an in-process *fedora.Controller.
+type localOrchestrator struct {
+	ctrl *fedora.Controller
+}
+
+func (o localOrchestrator) BeginRound(requests [][]uint64) (RoundHandle, error) {
+	r, err := o.ctrl.BeginRound(requests)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (o localOrchestrator) Round() uint64             { return o.ctrl.Round() }
+func (o localOrchestrator) EffectiveEpsilon() float64 { return o.ctrl.EffectiveEpsilon() }
+func (o localOrchestrator) PeekRow(row uint64) ([]float32, error) {
+	return o.ctrl.PeekRow(row)
+}

@@ -141,7 +141,7 @@ func (t *Trainer) Fingerprint() (uint64, error) {
 		h.Write(b[:4])
 	}
 	for row := uint64(0); row < t.cfg.Dataset.NumItems; row++ {
-		v, err := t.ctrl.PeekRow(row)
+		v, err := t.orch.PeekRow(row)
 		if err != nil {
 			return 0, fmt.Errorf("fl: fingerprint row %d: %w", row, err)
 		}

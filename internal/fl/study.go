@@ -1,0 +1,64 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/fdp"
+)
+
+// SingleConfig builds the canonical single-cell study Config used by
+// cmd/fedora-train -single and cmd/fedora-server -fl-dataset: generate
+// the named synthetic dataset and apply one (mode, ε) privacy cell.
+// Factoring it here keeps the trainer and the serving process in exact
+// agreement on every parameter that feeds the model fingerprint, which
+// is what makes the remote-parity integration test meaningful.
+//
+// dsName is "movielens" or "taobao"; mode is "pub" (no FDP), "hide-val"
+// (ε-FDP on values), or "hide-num" (additionally hides the request
+// count). quick trims the dataset for fast runs. eps is ignored for
+// mode "pub" (pub always trains with ε = ∞; pass math.Inf(1) for
+// clarity).
+func SingleConfig(dsName string, eps float64, mode string, quick bool, seed int64, workers, shards int) (Config, error) {
+	var dsCfg dataset.Config
+	switch dsName {
+	case "movielens":
+		dsCfg = dataset.MovieLensConfig()
+	case "taobao":
+		dsCfg = dataset.TaobaoConfig()
+	default:
+		return Config{}, fmt.Errorf("fl: unknown dataset %q (want movielens or taobao)", dsName)
+	}
+	if quick {
+		dsCfg.NumItems, dsCfg.NumUsers, dsCfg.SamplesPerUser = 400, 150, 40
+	}
+	ds := dataset.Generate(dsCfg)
+
+	cfg := Config{
+		Dataset: ds, Dim: 8, Hidden: 16,
+		ClientsPerRound: 40, MaxFeaturesPerClient: 100,
+		LocalLR: 0.1, LocalEpochs: 2, Seed: seed,
+		Workers: workers, Shards: shards,
+	}
+	switch mode {
+	case "pub":
+		cfg.Epsilon = fdp.EpsilonInfinity
+	case "hide-val":
+		cfg.UsePrivate = true
+		cfg.Epsilon = eps
+	case "hide-num":
+		cfg.UsePrivate = true
+		cfg.Epsilon = eps
+		cfg.HideCount = true
+	default:
+		return Config{}, fmt.Errorf("fl: unknown mode %q (want pub, hide-val or hide-num)", mode)
+	}
+	if dsName == "movielens" {
+		cfg.Dropout = 0.5
+	}
+	if math.IsNaN(eps) {
+		return Config{}, fmt.Errorf("fl: epsilon must not be NaN")
+	}
+	return cfg, nil
+}
