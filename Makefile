@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check crash-test experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check crash-test chaos-test experiments table1 clean
 
 all: build test
 
@@ -25,6 +25,16 @@ crash-test:
 		./internal/device/... ./internal/position/... ./internal/stash/... ./internal/tee/...
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeCheckpoint -fuzztime=10s ./internal/persist/
 	$(GO) test -run=Fuzz -fuzz=FuzzReadWAL -fuzztime=10s ./internal/persist/
+
+# Chaos gate: the fault-injection engine, shard quarantine + recovery,
+# overload shedding, and the capstone — a remote FL run over HTTP under
+# a fault plan (transient SSD errors + bit-flip corruption) — all under
+# the race detector.
+chaos-test:
+	$(GO) test -race -count=1 ./internal/fault/...
+	$(GO) test -race -count=1 -run 'Chaos|Quarantine|Health|Overload|RetryAfter|Shed|Integrity' \
+		./internal/shard/... ./internal/api/... ./internal/client/... ./internal/tee/... ./internal/fedora/...
+	$(GO) test -race -count=1 -run Chaos .
 
 build:
 	$(GO) build ./...

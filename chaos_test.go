@@ -1,0 +1,238 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/fdp"
+	"repro/internal/fl"
+	"repro/internal/persist"
+	"repro/internal/shard"
+)
+
+// TestChaosRemoteFLRun is the chaos capstone: a remote federated
+// training run over HTTP while a fault plan kills the server's SSDs
+// under it — a transient error on shard 0 and silent bit-flip
+// corruption on shard 1 (detected by the TEE's auth tags). The run must
+// complete, /healthz must transition healthy → degraded → healthy
+// around a quarantine+recover cycle, and the post-recovery controller
+// snapshot must restore bit-identically into a fresh controller.
+//
+// EvictPeriod 1 matters: with the default period the stash absorbs this
+// small workload and the wrapped SSDs never see an op to fault.
+func TestChaosRemoteFLRun(t *testing.T) {
+	dsCfg := dataset.MovieLensConfig()
+	dsCfg.NumItems, dsCfg.NumUsers, dsCfg.SamplesPerUser = 120, 24, 12
+	ds := dataset.Generate(dsCfg)
+
+	plan := &fault.Plan{
+		Seed: 42,
+		Rules: []fault.Rule{
+			// Two transient read errors on shard 0's SSD. After skips the
+			// single read the priming round performs, so the first fault
+			// fires on the next round's begin — mid-round, where the
+			// degraded state is externally observable. The second fires on
+			// the first shard-0 read after that recovery, which is the
+			// opening trainer round's begin, so the FL layer sees (and
+			// reports) rows degraded to unavailable. The budget then runs
+			// out and the device behaves for the rest of the run.
+			{Device: "shard0/ssd", Op: "read", Kind: fault.KindTransient, P: 1, After: 1, Count: 2},
+			// Silent corruption of pages stored on shard 1's SSD later in
+			// the run: the damage persists until a subsequent read, where
+			// the TEE rejects the flipped bucket (ErrAuthFailed) and the
+			// shard quarantines on the integrity violation.
+			// After 50 places the flips in the second trainer round, after
+			// shard 0's transient budget is exhausted — the two shards'
+			// fault windows never overlap, so no round is lost outright.
+			{Device: "shard1/ssd", Kind: fault.KindBitflip, Op: "write", After: 50, Count: 2},
+		},
+	}
+	// Track the injectors the plan creates so the test can assert the
+	// faults actually fired rather than silently missing the workload.
+	var injMu sync.Mutex
+	injectors := map[string]*fault.Injector{}
+	wrap := func(name string, d device.Device) device.Device {
+		w := plan.Wrap(name, d)
+		if in, ok := w.(*fault.Injector); ok {
+			injMu.Lock()
+			injectors[name] = in
+			injMu.Unlock()
+		}
+		return w
+	}
+
+	cfg := fl.Config{
+		Dataset: ds, Dim: 4, Hidden: 8,
+		Epsilon:         fdp.EpsilonInfinity,
+		ClientsPerRound: 6, MaxFeaturesPerClient: 16,
+		LocalLR: 0.1, LocalEpochs: 1,
+		Seed:    7,
+		Shards:  2,
+		Encrypt: true, EvictPeriod: 1,
+		Workers: 1,
+	}
+	serverCfg := cfg
+	serverCfg.WrapDevice = wrap
+	ctrl, err := fl.BuildController(serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := persist.OpenManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.NewServer(ctrl,
+		api.WithAutoRecover(mgr, 1),
+		api.WithMaxInFlight(8),
+	).Handler())
+	defer srv.Close()
+
+	healthz := func() api.HealthzResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h api.HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	c, err := client.New(client.Config{
+		BaseURL: srv.URL, Timeout: 30 * time.Second,
+		BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		RetrySeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Phase 1 — healthy before any fault has had a chance to fire.
+	if h := healthz(); h.Status != shard.StatusHealthy {
+		t.Fatalf("initial health = %q, want healthy", h.Status)
+	}
+
+	// Phase 2 — a fault-free priming round populates the ORAM trees (on a
+	// fresh tree the stash absorbs everything until the finish evictions,
+	// so there is nothing on disk to fault yet).
+	info, err := c.BeginRound(ctx, [][]uint64{{2, 3}})
+	if err != nil {
+		t.Fatalf("priming begin: %v", err)
+	}
+	if _, err := c.FinishRound(ctx, info.RoundID); err != nil {
+		t.Fatalf("priming finish: %v", err)
+	}
+	if h := healthz(); h.Status != shard.StatusHealthy {
+		t.Fatalf("post-priming health = %q, want healthy", h.Status)
+	}
+
+	// Phase 3 — the next round's oblivious reads trip shard 0's transient
+	// fault. Degradation is visible mid-round; the finish triggers
+	// auto-recovery from the newest checkpoint.
+	info, err = c.BeginRound(ctx, [][]uint64{{2, 3}})
+	if err != nil {
+		t.Fatalf("degraded begin: %v", err)
+	}
+	h := healthz()
+	if h.Status != shard.StatusDegraded {
+		t.Fatalf("mid-round health = %q, want degraded", h.Status)
+	}
+	if !h.Shards[0].Quarantined || h.Shards[0].Cause == "" {
+		t.Fatalf("shard 0 detail = %+v, want quarantined with cause", h.Shards[0])
+	}
+	entries, err := c.Entries(ctx, info.RoundID, []uint64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries[0].Unavailable || entries[0].OK {
+		t.Fatalf("quarantined-shard entry = %+v, want unavailable", entries[0])
+	}
+	if _, err := c.FinishRound(ctx, info.RoundID); err != nil {
+		t.Fatal(err)
+	}
+	h = healthz()
+	if h.Status != shard.StatusHealthy {
+		t.Fatalf("post-recovery health = %q (recover_error %q), want healthy",
+			h.Status, h.RecoverError)
+	}
+	if h.Quarantines < 1 || h.Recoveries < 1 {
+		t.Fatalf("lifetime counters = %d quarantines / %d recoveries, want ≥1 each",
+			h.Quarantines, h.Recoveries)
+	}
+
+	// Phase 4 — a full remote FL run rides over the bit-flip faults:
+	// shard 1 quarantines on the integrity violation mid-run, recovers at
+	// that round's finish, and training completes regardless.
+	trainer, err := client.NewRemoteTrainer(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unavailable int
+	for round := 0; round < 6; round++ {
+		rep, err := trainer.RunRound()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		unavailable += rep.UnavailableRows
+	}
+
+	h = healthz()
+	if h.Status != shard.StatusHealthy {
+		t.Fatalf("final health = %q (recover_error %q), want healthy", h.Status, h.RecoverError)
+	}
+	if h.Quarantines < 2 || h.Recoveries < 2 {
+		t.Fatalf("final counters = %d quarantines / %d recoveries, want ≥2 each (transient + bit-flip)",
+			h.Quarantines, h.Recoveries)
+	}
+	injMu.Lock()
+	s0, s1 := injectors["shard0/ssd"], injectors["shard1/ssd"]
+	injMu.Unlock()
+	if s0 == nil || s1 == nil {
+		t.Fatalf("injectors not wired: %v", injectors)
+	}
+	if got := s0.Counters().Transients; got != 2 {
+		t.Errorf("shard0 transients = %d, want 2", got)
+	}
+	if got := s1.Counters().Bitflips; got == 0 {
+		t.Error("no bit flips injected — the integrity-violation path never ran")
+	}
+	if unavailable == 0 {
+		t.Error("no rows degraded to unavailable during the run")
+	}
+
+	// Phase 5 — no state corruption: the post-recovery snapshot restores
+	// bit-identically into a fresh, fault-free controller.
+	blob, err := ctrl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := fl.BuildController(cfg) // same config, no fault wrapping
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := clean.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatalf("snapshot round-trip not bit-identical: %d vs %d bytes", len(blob), len(blob2))
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/fault"
 	"repro/internal/fedora"
 	"repro/internal/fl"
 	"repro/internal/persist"
@@ -67,8 +68,23 @@ func main() {
 		flQuick   = flag.Bool("fl-quick", false, "trimmed dataset with -fl-dataset")
 
 		roundDeadline = flag.Duration("round-deadline", 0, "finish rounds with partial gradients after this long (0 = no deadline)")
+
+		faultPlan   = flag.String("fault-plan", "", "JSON fault-plan file: inject device faults for chaos testing (see internal/fault)")
+		maxInflight = flag.Int("max-inflight", 0, "bound concurrent round operations; excess requests are shed with 503 + Retry-After (0 = unbounded)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "with -checkpoint-dir: checkpoint every N healthy rounds and auto-recover quarantined shards after degraded rounds (0 = shutdown checkpoint only)")
 	)
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faultPlan != "" {
+		var err error
+		if plan, err = fault.Load(*faultPlan); err != nil {
+			log.Fatal(err)
+		}
+		plan.ArmCrashPoints()
+		fmt.Printf("fedora-server: fault plan %s armed (%d rules, seed %d)\n",
+			*faultPlan, len(plan.Rules), plan.Seed)
+	}
 
 	var (
 		ctrl    *fedora.Controller
@@ -81,6 +97,7 @@ func main() {
 			log.Fatal(cfgErr)
 		}
 		dimUsed = flCfg.Dim
+		flCfg.WrapDevice = plan.Wrap
 		ctrl, err = fl.BuildController(flCfg)
 	} else {
 		ctrl, err = fedora.New(fedora.Config{
@@ -92,6 +109,7 @@ func main() {
 			LearningRate:         float32(*lr),
 			Seed:                 *seed,
 			Shards:               *shards,
+			WrapDevice:           plan.Wrap,
 		})
 	}
 	if err != nil {
@@ -117,6 +135,15 @@ func main() {
 	var opts []api.Option
 	if *roundDeadline > 0 {
 		opts = append(opts, api.WithDefaultDeadline(*roundDeadline))
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, api.WithMaxInFlight(*maxInflight))
+	}
+	if *ckptEvery > 0 {
+		if mgr == nil {
+			log.Fatal("fedora-server: -checkpoint-every requires -checkpoint-dir")
+		}
+		opts = append(opts, api.WithAutoRecover(mgr, *ckptEvery))
 	}
 	srv := &http.Server{Addr: *listen, Handler: api.NewServer(ctrl, opts...).Handler()}
 	errCh := make(chan error, 1)

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/fl"
 	"repro/internal/metrics"
 )
@@ -53,6 +54,8 @@ func main() {
 		remoteBatch   = flag.Int("remote-batch", 64, "rows per batched HTTP transfer with -remote")
 		remoteRetry   = flag.Int("remote-retries", 4, "max retries per request with -remote")
 		remoteTimeout = flag.Duration("remote-timeout", 30*time.Second, "per-attempt HTTP timeout with -remote")
+
+		faultPlan = flag.String("fault-plan", "", "JSON fault-plan file for -single: inject device faults into the in-process controller to reproduce chaos failures locally (see internal/fault)")
 	)
 	flag.Parse()
 
@@ -97,6 +100,7 @@ func main() {
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 			remote: *remote, remoteBatch: *remoteBatch,
 			remoteRetries: *remoteRetry, remoteTimeout: *remoteTimeout,
+			faultPlan: *faultPlan,
 		})
 	default:
 		flag.Usage()
@@ -122,6 +126,8 @@ type singleOptions struct {
 	remoteBatch   int
 	remoteRetries int
 	remoteTimeout time.Duration
+
+	faultPlan string
 }
 
 func runSingle(o singleOptions) {
@@ -129,6 +135,20 @@ func runSingle(o singleOptions) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(2)
+	}
+	if o.faultPlan != "" {
+		if o.remote != "" {
+			fmt.Fprintln(os.Stderr, "fedora-train: -fault-plan wraps the in-process controller's devices; with -remote, pass it to fedora-server instead")
+			os.Exit(2)
+		}
+		plan, err := fault.Load(o.faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedora-train:", err)
+			os.Exit(2)
+		}
+		plan.ArmCrashPoints()
+		flCfg.WrapDevice = plan.Wrap
+		fmt.Printf("fault plan %s armed (%d rules, seed %d)\n", o.faultPlan, len(plan.Rules), plan.Seed)
 	}
 
 	var (

@@ -25,6 +25,8 @@ const (
 	CodeRowNotFound      = "row_not_found"      // 404: row id out of range
 	CodeNoRound          = "no_round"           // 409: v2 op needs an open round
 	CodeInternal         = "internal"           // 500
+	CodeOverloaded       = "overloaded"         // 503: shed by overload protection (Retry-After set)
+	CodeUnavailable      = "unavailable"        // 503: every shard is quarantined
 )
 
 // ErrorBody is the inner object of the v2 error envelope.

@@ -41,9 +41,11 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fedora"
+	"repro/internal/persist"
 	"repro/internal/shard"
 )
 
@@ -52,6 +54,19 @@ type Server struct {
 	ctrl            *fedora.Controller
 	met             *httpMetrics
 	defaultDeadline time.Duration
+
+	// Overload protection (WithMaxInFlight): a semaphore bounding
+	// concurrent round operations; nil = unlimited.
+	inflight chan struct{}
+	shed     atomic.Uint64 // requests rejected by overload protection
+
+	// Auto-recovery (WithAutoRecover). recoverMu serializes checkpoint
+	// and recovery work; it is never held while serving round traffic.
+	recoverMgr   *persist.Manager
+	recoverEvery int
+	recoverMu    sync.Mutex
+	lastEpoch    uint64
+	recoverErr   string
 
 	mu        sync.Mutex
 	current   *serverRound            // open round (nil between rounds)
@@ -83,6 +98,9 @@ func NewServer(ctrl *fedora.Controller, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.recoverMgr != nil {
+		s.bootstrapRecover()
+	}
 	return s
 }
 
@@ -102,11 +120,11 @@ func (s *Server) Handler() http.Handler {
 		name    string
 	}{
 		{"GET /v2/status", "/v2/status", "GET", s.handleStatusV2, "v2_status"},
-		{"POST /v2/rounds", "/v2/rounds", "POST", s.handleBeginV2, "v2_begin"},
+		{"POST /v2/rounds", "/v2/rounds", "POST", s.limit(s.handleBeginV2), "v2_begin"},
 		{"GET /v2/rounds/{id}", "/v2/rounds/{id}", "GET", s.handleRoundInfoV2, "v2_round_info"},
-		{"POST /v2/rounds/{id}/entries", "/v2/rounds/{id}/entries", "POST", s.handleEntriesV2, "v2_entries"},
-		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.handleGradientsV2, "v2_gradients"},
-		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.handleFinishV2, "v2_finish"},
+		{"POST /v2/rounds/{id}/entries", "/v2/rounds/{id}/entries", "POST", s.limit(s.handleEntriesV2), "v2_entries"},
+		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.limit(s.handleGradientsV2), "v2_gradients"},
+		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.limit(s.handleFinishV2), "v2_finish"},
 		{"GET /v2/rows/{row}", "/v2/rows/{row}", "GET", s.handleRowV2, "v2_row"},
 	}
 	for _, r := range v2 {
@@ -117,11 +135,12 @@ func (s *Server) Handler() http.Handler {
 
 	// v1: deprecated shim, original plain-text error behavior.
 	mux.HandleFunc("/v1/status", s.met.instrument("v1_status", deprecated(s.handleStatus)))
-	mux.HandleFunc("/v1/rounds", s.met.instrument("v1_begin", deprecated(s.handleBegin)))
-	mux.HandleFunc("/v1/rounds/current/entry", s.met.instrument("v1_entry", deprecated(s.handleEntry)))
-	mux.HandleFunc("/v1/rounds/current/gradient", s.met.instrument("v1_gradient", deprecated(s.handleGradient)))
-	mux.HandleFunc("/v1/rounds/current/finish", s.met.instrument("v1_finish", deprecated(s.handleFinish)))
+	mux.HandleFunc("/v1/rounds", s.met.instrument("v1_begin", deprecated(s.limit(s.handleBegin))))
+	mux.HandleFunc("/v1/rounds/current/entry", s.met.instrument("v1_entry", deprecated(s.limit(s.handleEntry))))
+	mux.HandleFunc("/v1/rounds/current/gradient", s.met.instrument("v1_gradient", deprecated(s.limit(s.handleGradient))))
+	mux.HandleFunc("/v1/rounds/current/finish", s.met.instrument("v1_finish", deprecated(s.limit(s.handleFinish))))
 
+	mux.HandleFunc("/healthz", s.met.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -245,6 +264,10 @@ type EntryResponse struct {
 	Row   uint64    `json:"row"`
 	Entry []float32 `json:"entry,omitempty"`
 	OK    bool      `json:"ok"`
+	// Unavailable reports the row's shard is quarantined (degraded
+	// mode): no update for this row can apply this round. Distinct from
+	// !OK, which means the ε-FDP mechanism sacrificed the row.
+	Unavailable bool `json:"unavailable,omitempty"`
 }
 
 // GradientRequest uploads one row gradient.
@@ -415,6 +438,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"fedora_dram_bytes_read_total", "counter", strconv.FormatUint(dram.BytesRead, 10)},
 		{"fedora_dram_bytes_written_total", "counter", strconv.FormatUint(dram.BytesWritten, 10)},
 		{"fedora_ssd_busy_seconds_total", "counter", strconv.FormatFloat(ssd.BusyTime.Seconds(), 'g', -1, 64)},
+		{"fedora_requests_shed_total", "counter", strconv.FormatUint(s.shed.Load(), 10)},
 	}
 	for _, l := range lines {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", l.name, l.kind, l.name, l.value)

@@ -184,6 +184,11 @@ func (s *Server) beginRound(req BeginV2Request) (*serverRound, bool, *apiError) 
 		if errors.Is(err, fedora.ErrRoundInProgress) {
 			return nil, false, errf(http.StatusConflict, CodeRoundInProgress, "%s", err.Error())
 		}
+		if errors.Is(err, fedora.ErrShardUnavailable) {
+			// Every shard is quarantined: nothing can serve until
+			// recovery runs. 503 so clients back off rather than fail.
+			return nil, false, errf(http.StatusServiceUnavailable, CodeUnavailable, "%s", err.Error())
+		}
 		return nil, false, errf(http.StatusBadRequest, CodeInvalidArgument, "%s", err.Error())
 	}
 	s.roundSeq++
@@ -270,6 +275,11 @@ func (s *Server) finishRound(sr *serverRound, expired bool) (fedora.RoundStats, 
 	}
 	msg := sr.finishErr
 	s.mu.Unlock()
+
+	// Post-finish resilience hook: checkpoint on a healthy cadence,
+	// recover quarantined shards from the newest checkpoint otherwise.
+	// Runs outside the server mutex; errors surface on /healthz only.
+	s.maybeRecover()
 	return st, msg
 }
 
@@ -385,7 +395,9 @@ func (s *Server) handleEntriesV2(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := EntriesResponse{RoundID: sr.id, Entries: make([]EntryResponse, len(results))}
 	for i, res := range results {
-		resp.Entries[i] = EntryResponse{Row: res.Row, Entry: res.Entry, OK: res.OK}
+		resp.Entries[i] = EntryResponse{
+			Row: res.Row, Entry: res.Entry, OK: res.OK, Unavailable: res.Unavailable,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -8,8 +8,11 @@
 //     finish by construction),
 //   - context cancellation across attempts and backoff sleeps,
 //   - transfer chunking (BatchSize rows per HTTP request), and
-//   - atomic counters (requests / retries / failures) so callers can
-//     assert retry behavior.
+//   - Retry-After honoring: a 429/503 with the header waits the server's
+//     hint (capped at BackoffMax) instead of the exponential schedule,
+//     and bumps the Shed counter so callers see overload pushback, and
+//   - atomic counters (requests / retries / failures / shed) so callers
+//     can assert retry behavior.
 //
 // The higher-level RemoteTrainer (remote.go) plugs this client into the
 // fl package's Orchestrator seam, running the unchanged local-SGD loop
@@ -25,6 +28,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,6 +76,10 @@ type Stats struct {
 	// Failures counts logical calls that exhausted their retry budget
 	// or hit a non-retryable error.
 	Failures uint64
+	// Shed counts attempts the server rejected with 429 or 503 —
+	// overload shedding or total unavailability. Shed attempts are
+	// retried, waiting out the server's Retry-After when it sent one.
+	Shed uint64
 }
 
 // APIError is a decoded v2 error envelope (or a plain non-2xx reply).
@@ -79,6 +87,10 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's Retry-After hint (0 = none). The retry
+	// loop sleeps this long (capped at Config.BackoffMax) instead of the
+	// exponential schedule.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -115,6 +127,7 @@ type Client struct {
 	requests atomic.Uint64
 	retries  atomic.Uint64
 	failures atomic.Uint64
+	shed     atomic.Uint64
 }
 
 // New builds a Client.
@@ -164,6 +177,7 @@ func (c *Client) Stats() Stats {
 		Requests: c.requests.Load(),
 		Retries:  c.retries.Load(),
 		Failures: c.failures.Load(),
+		Shed:     c.shed.Load(),
 	}
 }
 
@@ -190,7 +204,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
-			if err := c.backoff(ctx, attempt); err != nil {
+			if err := c.backoff(ctx, attempt, retryAfterOf(lastErr)); err != nil {
 				c.failures.Add(1)
 				return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, err, lastErr)
 			}
@@ -236,6 +250,15 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		} else {
 			apiErr.Message = strings.TrimSpace(string(data))
 		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			c.shed.Add(1)
+		}
 		return apiErr
 	}
 	if out == nil {
@@ -248,15 +271,26 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 }
 
 // backoff sleeps before re-attempt number attempt (≥1), honoring ctx.
-func (c *Client) backoff(ctx context.Context, attempt int) error {
-	d := c.cfg.BackoffBase << (attempt - 1)
-	if d <= 0 || d > c.cfg.BackoffMax {
-		d = c.cfg.BackoffMax
+// A server Retry-After hint (hint > 0) replaces the jittered exponential
+// wait, still capped at BackoffMax so a hostile or confused server
+// cannot stall the client arbitrarily long.
+func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	var d time.Duration
+	if hint > 0 {
+		d = hint
+		if d > c.cfg.BackoffMax {
+			d = c.cfg.BackoffMax
+		}
+	} else {
+		d = c.cfg.BackoffBase << (attempt - 1)
+		if d <= 0 || d > c.cfg.BackoffMax {
+			d = c.cfg.BackoffMax
+		}
+		c.rngMu.Lock()
+		jitter := 0.5 + c.rng.Float64()
+		c.rngMu.Unlock()
+		d = time.Duration(float64(d) * jitter)
 	}
-	c.rngMu.Lock()
-	jitter := 0.5 + c.rng.Float64()
-	c.rngMu.Unlock()
-	d = time.Duration(float64(d) * jitter)
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -265,6 +299,16 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// retryAfterOf extracts the server's Retry-After hint from an attempt
+// error (0 = none).
+func retryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
 }
 
 // retryable classifies an attempt error.

@@ -339,3 +339,84 @@ func asAPIError(err error, target **APIError) bool {
 	}
 	return false
 }
+
+// TestRetryAfterHonored: a 503 carrying Retry-After makes the client
+// wait the server's hint — capped at BackoffMax — instead of the
+// (much shorter here) exponential schedule, and counts the shed.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	var hits [2]time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= 2 {
+			hits[n-1] = time.Now()
+		}
+		if n == 1 {
+			w.Header().Set("Retry-After", "30") // far beyond BackoffMax
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":{"code":"overloaded","message":"shed"}}`)
+			return
+		}
+		fmt.Fprint(w, statusJSON())
+	}))
+	defer srv.Close()
+
+	cfg := fastConfig(srv.URL)
+	cfg.BackoffBase = time.Millisecond // exponential wait would be ~1ms
+	cfg.BackoffMax = 150 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	gap := hits[1].Sub(hits[0])
+	if gap < 100*time.Millisecond {
+		t.Fatalf("retry gap = %v, want ≥ ~BackoffMax (Retry-After ignored?)", gap)
+	}
+	if total := time.Since(start); total > 5*time.Second {
+		t.Fatalf("total = %v, want Retry-After capped at BackoffMax", total)
+	}
+	stats := c.Stats()
+	if stats.Shed != 1 || stats.Retries != 1 || stats.Failures != 0 {
+		t.Fatalf("stats = %+v, want 1 shed / 1 retry / 0 failures", stats)
+	}
+}
+
+// TestShedCounter: every 429/503 attempt bumps Shed, whether or not
+// Retry-After was present; other failures do not.
+func TestShedCounter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"throttled","message":"slow down"}}`)
+		case 2:
+			w.WriteHeader(http.StatusInternalServerError) // 5xx but not shed
+		case 3:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			fmt.Fprint(w, statusJSON())
+		}
+	}))
+	defer srv.Close()
+
+	c, err := New(fastConfig(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Stats()
+	if stats.Shed != 2 {
+		t.Fatalf("shed = %d, want 2 (429 + 503, not the plain 500)", stats.Shed)
+	}
+	if stats.Retries != 3 || stats.Failures != 0 {
+		t.Fatalf("stats = %+v, want 3 retries / 0 failures", stats)
+	}
+}

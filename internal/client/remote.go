@@ -116,7 +116,7 @@ func (r *remoteRound) ServeEntries(rows []uint64) ([]fedora.EntryResult, error) 
 	}
 	out := make([]fedora.EntryResult, len(entries))
 	for i, e := range entries {
-		out[i] = fedora.EntryResult{Row: e.Row, Entry: e.Entry, OK: e.OK}
+		out[i] = fedora.EntryResult{Row: e.Row, Entry: e.Entry, OK: e.OK, Unavailable: e.Unavailable}
 	}
 	return out, nil
 }

@@ -2,23 +2,38 @@ package device
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
 
-// ErrInjected is the error a Faulty device returns once triggered.
+// ErrInjected is the sentinel every injected fault wraps. Callers match it
+// with errors.Is(err, ErrInjected) at any depth of the ORAM call stack —
+// injected errors are always wrapped (%w), never returned bare, so the
+// wrapping layer can add op/address context without breaking detection.
 var ErrInjected = errors.New("device: injected fault")
 
-// Faulty wraps a Device and fails operations after a configurable number
-// of successful ones — a failure-injection harness for exercising the
-// ORAM and controller error paths (a real SSD can and does fail
-// mid-workload; the system must surface that, not corrupt state).
+// Faulty wraps a Device and fails operations — a failure-injection harness
+// for exercising the ORAM and controller error paths (a real SSD can and
+// does fail mid-workload; the system must surface that, not corrupt
+// state). Two modes:
+//
+//   - trip-after-N (NewFaulty): permanent failure once the success budget
+//     is exhausted, modelling a dead device.
+//   - seeded transient (NewTransientFaulty): each data op independently
+//     fails with probability p from a deterministic seeded stream, then
+//     the device recovers — modelling retryable media errors.
 type Faulty struct {
 	inner Device
 
 	mu        sync.Mutex
-	remaining int  // successful ops left before failing
-	failing   bool // once true, every data op fails
+	remaining int  // successful ops left before failing (trip mode)
+	failing   bool // once true, every data op fails (trip mode)
+
+	transient bool
+	p         float64
+	rng       *rand.Rand
 }
 
 // NewFaulty wraps inner; the device fails permanently after `successes`
@@ -27,10 +42,21 @@ func NewFaulty(inner Device, successes int) *Faulty {
 	return &Faulty{inner: inner, remaining: successes}
 }
 
-// trip consumes one success credit; returns true when the op must fail.
+// NewTransientFaulty wraps inner; each data operation independently fails
+// with probability p, drawn from a deterministic stream seeded by seed,
+// and the device recovers afterwards (the next op draws afresh).
+func NewTransientFaulty(inner Device, p float64, seed int64) *Faulty {
+	return &Faulty{inner: inner, transient: true, p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// trip consumes one success credit (or one transient draw); returns true
+// when the op must fail.
 func (f *Faulty) trip() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.transient {
+		return f.rng.Float64() < f.p
+	}
 	if f.failing {
 		return true
 	}
@@ -42,17 +68,23 @@ func (f *Faulty) trip() bool {
 	return false
 }
 
-// Tripped reports whether the device has started failing.
+// Tripped reports whether a trip-mode device has started failing.
+// Transient devices never trip permanently.
 func (f *Faulty) Tripped() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.failing
 }
 
+// injected builds the wrapped error for one failed operation.
+func injected(op string, addr uint64) error {
+	return fmt.Errorf("%s at %d: %w", op, addr, ErrInjected)
+}
+
 // ReadAt implements Device.
 func (f *Faulty) ReadAt(addr uint64, p []byte) (time.Duration, error) {
 	if f.trip() {
-		return 0, ErrInjected
+		return 0, injected("read", addr)
 	}
 	return f.inner.ReadAt(addr, p)
 }
@@ -60,7 +92,7 @@ func (f *Faulty) ReadAt(addr uint64, p []byte) (time.Duration, error) {
 // WriteAt implements Device.
 func (f *Faulty) WriteAt(addr uint64, p []byte) (time.Duration, error) {
 	if f.trip() {
-		return 0, ErrInjected
+		return 0, injected("write", addr)
 	}
 	return f.inner.WriteAt(addr, p)
 }
@@ -68,7 +100,7 @@ func (f *Faulty) WriteAt(addr uint64, p []byte) (time.Duration, error) {
 // PeekAt implements Device.
 func (f *Faulty) PeekAt(addr uint64, p []byte) error {
 	if f.trip() {
-		return ErrInjected
+		return injected("peek", addr)
 	}
 	return f.inner.PeekAt(addr, p)
 }
@@ -76,7 +108,7 @@ func (f *Faulty) PeekAt(addr uint64, p []byte) error {
 // PokeAt implements Device.
 func (f *Faulty) PokeAt(addr uint64, p []byte) error {
 	if f.trip() {
-		return ErrInjected
+		return injected("poke", addr)
 	}
 	return f.inner.PokeAt(addr, p)
 }

@@ -2,6 +2,7 @@ package device
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 )
 
@@ -32,6 +33,66 @@ func TestFaultyFailsAfterBudget(t *testing.T) {
 	}
 	if err := f.PokeAt(0, buf); !errors.Is(err, ErrInjected) {
 		t.Errorf("poke err = %v", err)
+	}
+}
+
+func TestFaultyErrorsWrapSentinel(t *testing.T) {
+	f := NewFaulty(NewDRAM(1<<20), 0)
+	_, err := f.ReadAt(42, make([]byte, 8))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if err.Error() == ErrInjected.Error() {
+		t.Errorf("err %q carries no op/address context", err)
+	}
+	// A further wrap (as the ORAM layers add context) must still match.
+	outer := fmt.Errorf("oram: fetch bucket: %w", err)
+	if !errors.Is(outer, ErrInjected) {
+		t.Errorf("double-wrapped err %v lost the sentinel", outer)
+	}
+}
+
+func TestTransientFaultyRecovers(t *testing.T) {
+	f := NewTransientFaulty(NewDRAM(1<<20), 0.3, 7)
+	buf := make([]byte, 8)
+	var fails, oks int
+	for i := 0; i < 1000; i++ {
+		if _, err := f.ReadAt(0, buf); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: err = %v", i, err)
+			}
+			fails++
+		} else {
+			oks++
+		}
+	}
+	if fails == 0 || oks == 0 {
+		t.Fatalf("p=0.3 over 1000 ops: %d fails, %d oks — device did not both fail and recover", fails, oks)
+	}
+	if fails < 200 || fails > 400 {
+		t.Errorf("fails = %d, far from 1000·0.3", fails)
+	}
+	if f.Tripped() {
+		t.Error("transient device reported permanently tripped")
+	}
+}
+
+func TestTransientFaultyDeterministic(t *testing.T) {
+	run := func() []bool {
+		f := NewTransientFaulty(NewDRAM(1<<20), 0.5, 99)
+		out := make([]bool, 64)
+		buf := make([]byte, 8)
+		for i := range out {
+			_, err := f.WriteAt(0, buf)
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: fault pattern diverged between identical seeds", i)
+		}
 	}
 }
 

@@ -1,0 +1,55 @@
+package fault
+
+import "sync"
+
+// Crash is the panic value raised at an armed crash point. Harnesses that
+// simulate a crash in-process recover it by type; a real chaos run lets
+// it kill the process the way power loss would.
+type Crash struct{ Point string }
+
+// Error makes a recovered Crash readable in test output.
+func (c Crash) Error() string { return "fault: crash at point " + c.Point }
+
+// crashMu guards the armed-point set. Crash points are process-global so
+// deep call sites (WAL append, checkpoint write) need no plumbing.
+var (
+	crashMu sync.Mutex
+	armed   = map[string]bool{}
+)
+
+// Arm schedules a one-shot crash at the named point.
+func Arm(point string) {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	armed[point] = true
+}
+
+// Reset disarms every crash point (test cleanup).
+func Reset() {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	armed = map[string]bool{}
+}
+
+// Armed reports whether the point is currently armed.
+func Armed(point string) bool {
+	crashMu.Lock()
+	defer crashMu.Unlock()
+	return armed[point]
+}
+
+// CrashPoint panics with Crash{point} if the point is armed, disarming it
+// first so a recovering harness does not crash again on retry. Unarmed
+// points cost one mutex acquisition and are safe to leave in production
+// code paths.
+func CrashPoint(point string) {
+	crashMu.Lock()
+	hit := armed[point]
+	if hit {
+		delete(armed, point)
+	}
+	crashMu.Unlock()
+	if hit {
+		panic(Crash{Point: point})
+	}
+}

@@ -1,0 +1,317 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+)
+
+func TestMatchGlob(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"ssd", "ssd", true},
+		{"ssd", "dram", false},
+		{"*", "shard3/ssd", true},
+		{"*", "", true},
+		{"shard*/ssd", "shard3/ssd", true},
+		{"shard*/ssd", "shard12/ssd", true},
+		{"shard*/ssd", "shard3/dram", false},
+		{"*ssd", "shard1/ssd", true},
+		{"shard1/*", "shard1/dram", true},
+		{"shard1/ssd", "shard1/ss", false},
+	}
+	for _, c := range cases {
+		if got := matchGlob(c.pattern, c.name); got != c.want {
+			t.Errorf("matchGlob(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseValidates(t *testing.T) {
+	good := `{"seed": 7, "rules": [
+		{"device": "shard*/ssd", "op": "read", "kind": "transient", "p": 0.1, "count": 3},
+		{"device": "ssd", "kind": "latency", "latency_us": 500},
+		{"device": "*", "kind": "bitflip", "op": "write", "count": 1},
+		{"device": "dram", "kind": "trip", "after": 100},
+		{"kind": "crash", "point": "runner.checkpoint"}
+	]}`
+	p, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Rules) != 5 {
+		t.Fatalf("parsed %+v", p)
+	}
+	bad := []string{
+		`{"rules":[{"device":"ssd","kind":"transient","p":0}]}`,
+		`{"rules":[{"device":"ssd","kind":"transient","p":1.5}]}`,
+		`{"rules":[{"device":"ssd","kind":"latency"}]}`,
+		`{"rules":[{"device":"ssd","kind":"meteor"}]}`,
+		`{"rules":[{"kind":"crash"}]}`,
+		`{"rules":[{"kind":"bitflip"}]}`,
+		`{"rules":[{"device":"ssd","op":"sideways","kind":"trip"}]}`,
+		`not json`,
+	}
+	for _, b := range bad {
+		if _, err := Parse([]byte(b)); err == nil {
+			t.Errorf("Parse(%s) accepted invalid plan", b)
+		}
+	}
+}
+
+func TestWrapIdentityWhenUnmatched(t *testing.T) {
+	d := device.NewDRAM(1 << 20)
+	p := &Plan{Rules: []Rule{{Device: "ssd", Kind: KindTrip}}}
+	if got := p.Wrap("dram", d); got != device.Device(d) {
+		t.Error("unmatched device was wrapped")
+	}
+	var nilPlan *Plan
+	if got := nilPlan.Wrap("ssd", d); got != device.Device(d) {
+		t.Error("nil plan wrapped the device")
+	}
+	if got := p.Wrap("ssd", d); got == device.Device(d) {
+		t.Error("matched device was not wrapped")
+	}
+}
+
+func TestTripAfterN(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Device: "ssd", Kind: KindTrip, After: 3}}}
+	d := p.Wrap("ssd", device.NewDRAM(1<<20))
+	buf := make([]byte, 8)
+	for i := 0; i < 3; i++ {
+		if _, err := d.ReadAt(0, buf); err != nil {
+			t.Fatalf("op %d failed before budget: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.WriteAt(0, buf); !errors.Is(err, device.ErrInjected) {
+			t.Fatalf("post-budget op %d: err = %v", i, err)
+		}
+	}
+	if ctr := d.(*Injector).Counters(); ctr.Trips != 2 {
+		t.Errorf("Trips = %d, want 2", ctr.Trips)
+	}
+}
+
+func TestTransientDeterministicAndCapped(t *testing.T) {
+	run := func() ([]bool, Counters) {
+		p := &Plan{Seed: 42, Rules: []Rule{
+			{Device: "ssd", Op: "read", Kind: KindTransient, P: 0.5, Count: 4},
+		}}
+		d := p.Wrap("ssd", device.NewDRAM(1<<20))
+		buf := make([]byte, 8)
+		pattern := make([]bool, 100)
+		for i := range pattern {
+			_, err := d.ReadAt(0, buf)
+			if err != nil && !errors.Is(err, device.ErrInjected) {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			pattern[i] = err != nil
+		}
+		return pattern, d.(*Injector).Counters()
+	}
+	a, ca := run()
+	b, cb := run()
+	if !bytes.Equal(boolBytes(a), boolBytes(b)) {
+		t.Fatal("fault schedule diverged between identical plans")
+	}
+	if ca.Transients != 4 || cb.Transients != 4 {
+		t.Errorf("Transients = %d/%d, want count cap 4", ca.Transients, cb.Transients)
+	}
+	// Writes are untouched by an op:"read" rule.
+	p := &Plan{Seed: 42, Rules: []Rule{{Device: "ssd", Op: "read", Kind: KindTransient, P: 1}}}
+	d := p.Wrap("ssd", device.NewDRAM(1<<20))
+	if _, err := d.WriteAt(0, make([]byte, 8)); err != nil {
+		t.Errorf("write hit a read-only rule: %v", err)
+	}
+}
+
+func boolBytes(bs []bool) []byte {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestLatencySpike(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Device: "ssd", Kind: KindLatency, LatencyUS: 1000, Count: 1}}}
+	base := device.NewDRAM(1 << 20)
+	d := p.Wrap("ssd", base)
+	buf := make([]byte, 8)
+	d0, err := d.ReadAt(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := d.ReadAt(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0-d1 != time.Millisecond {
+		t.Errorf("spiked-unspiked = %v, want 1ms", d0-d1)
+	}
+}
+
+func TestBitflipOnWritePersists(t *testing.T) {
+	p := &Plan{Seed: 3, Rules: []Rule{{Device: "ssd", Op: "write", Kind: KindBitflip, Count: 1}}}
+	base := device.NewDRAM(1 << 20)
+	d := p.Wrap("ssd", base)
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	in := append([]byte(nil), orig...)
+	if _, err := d.WriteAt(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, orig) {
+		t.Error("injector mutated the caller's write buffer")
+	}
+	got := make([]byte, 64)
+	if _, err := d.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if diff := flippedBits(orig, got); diff != 1 {
+		t.Errorf("stored page differs by %d bits, want exactly 1", diff)
+	}
+	// Count=1: the next write is clean.
+	if _, err := d.WriteAt(1024, in); err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, 64)
+	if _, err := d.ReadAt(1024, got2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, orig) {
+		t.Error("bitflip fired past its count cap")
+	}
+}
+
+func TestBitflipOnReadLeavesStoreIntact(t *testing.T) {
+	p := &Plan{Seed: 9, Rules: []Rule{{Device: "ssd", Op: "read", Kind: KindBitflip, Count: 1}}}
+	base := device.NewDRAM(1 << 20)
+	d := p.Wrap("ssd", base)
+	orig := bytes.Repeat([]byte{0x55}, 32)
+	if _, err := d.WriteAt(0, append([]byte(nil), orig...)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 32)
+	if _, err := d.ReadAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if diff := flippedBits(orig, got); diff != 1 {
+		t.Errorf("read buffer differs by %d bits, want 1", diff)
+	}
+	// The stored copy was never corrupted.
+	clean := make([]byte, 32)
+	if err := base.PeekAt(0, clean); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, orig) {
+		t.Error("read-side bitflip corrupted the store")
+	}
+}
+
+func flippedBits(a, b []byte) int {
+	n := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			n += int(x & 1)
+			x >>= 1
+		}
+	}
+	return n
+}
+
+// TestPeekPokeOnDataChannel: Peek/Poke are the RAW ORAM's real bucket
+// I/O, so error rules hit them; Charge/ChargeN never error (they are
+// pure accounting — only latency rules touch them).
+func TestPeekPokeOnDataChannel(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Device: "*", Kind: KindTrip}}} // trips immediately
+	d := p.Wrap("ssd", device.NewDRAM(1<<20))
+	buf := make([]byte, 8)
+	if err := d.PokeAt(0, buf); !errors.Is(err, device.ErrInjected) {
+		t.Errorf("poke should trip: %v", err)
+	}
+	if err := d.PeekAt(0, buf); !errors.Is(err, device.ErrInjected) {
+		t.Errorf("peek should trip: %v", err)
+	}
+	if d.Charge(device.OpRead, 0, 8) <= 0 {
+		t.Error("charge failed")
+	}
+	if d.ChargeN(device.OpWrite, 8, 2) <= 0 {
+		t.Error("chargeN failed")
+	}
+	if _, err := d.ReadAt(0, buf); !errors.Is(err, device.ErrInjected) {
+		t.Errorf("read should trip: %v", err)
+	}
+}
+
+// TestPokeBitflipPersists: a write-side bitflip through PokeAt corrupts
+// the stored page (caller's buffer untouched) — the fault a TEE-sealed
+// bucket later rejects as an auth failure.
+func TestPokeBitflipPersists(t *testing.T) {
+	p := &Plan{Seed: 11, Rules: []Rule{{Device: "ssd", Op: "write", Kind: KindBitflip, Count: 1}}}
+	base := device.NewDRAM(1 << 20)
+	d := p.Wrap("ssd", base)
+	orig := bytes.Repeat([]byte{0xC3}, 48)
+	in := append([]byte(nil), orig...)
+	if err := d.PokeAt(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, orig) {
+		t.Error("injector mutated the caller's poke buffer")
+	}
+	got := make([]byte, 48)
+	if err := base.PeekAt(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if diff := flippedBits(orig, got); diff != 1 {
+		t.Errorf("stored page differs by %d bits, want exactly 1", diff)
+	}
+}
+
+// TestLatencyOnCharge: latency rules spike the timing channel the RAW
+// ORAM actually uses (ChargeN), and never advance the data-rule budget.
+func TestLatencyOnCharge(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Device: "ssd", Kind: KindLatency, LatencyUS: 1000, Count: 1}}}
+	base := device.NewDRAM(1 << 20)
+	d := p.Wrap("ssd", base)
+	spiked := d.ChargeN(device.OpRead, 64, 4)
+	clean := d.ChargeN(device.OpRead, 64, 4)
+	if spiked-clean != time.Millisecond {
+		t.Errorf("spiked-clean = %v, want 1ms", spiked-clean)
+	}
+}
+
+func TestCrashPoints(t *testing.T) {
+	defer Reset()
+	Reset()
+	CrashPoint("unarmed") // must be a no-op
+	plan := &Plan{Rules: []Rule{{Kind: KindCrash, Point: "runner.checkpoint"}}}
+	plan.ArmCrashPoints()
+	if !Armed("runner.checkpoint") {
+		t.Fatal("point not armed")
+	}
+	func() {
+		defer func() {
+			r := recover()
+			c, ok := r.(Crash)
+			if !ok || c.Point != "runner.checkpoint" {
+				t.Errorf("recovered %v, want Crash{runner.checkpoint}", r)
+			}
+		}()
+		CrashPoint("runner.checkpoint")
+		t.Error("armed crash point did not panic")
+	}()
+	// One-shot: the same point does not fire twice.
+	if Armed("runner.checkpoint") {
+		t.Error("point still armed after firing")
+	}
+	CrashPoint("runner.checkpoint")
+}

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/device"
+)
+
+// Plan is a complete, reproducible fault schedule: a seed plus an ordered
+// rule list. The zero Plan injects nothing and Wrap returns devices
+// unwrapped, so a nil/empty plan is free.
+type Plan struct {
+	// Seed drives every probabilistic decision; together with the rule
+	// list and a deterministic workload it fixes the full fault schedule.
+	Seed int64 `json:"seed"`
+	// Rules are evaluated in order for each device operation.
+	Rules []Rule `json:"rules"`
+}
+
+// Parse decodes and validates a JSON plan.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and parses a JSON plan file (the -fault-plan flag).
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: load plan: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate rejects malformed rules with a position-indexed error.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		where := func(format string, args ...any) error {
+			return fmt.Errorf("fault: rule %d: %s", i, fmt.Sprintf(format, args...))
+		}
+		switch r.Kind {
+		case KindTransient:
+			if r.P <= 0 || r.P > 1 {
+				return where("transient needs p in (0, 1], got %g", r.P)
+			}
+		case KindLatency:
+			if r.LatencyUS <= 0 {
+				return where("latency needs latency_us > 0, got %d", r.LatencyUS)
+			}
+		case KindBitflip, KindTrip:
+			// No extra fields required.
+		case KindCrash:
+			if r.Point == "" {
+				return where("crash needs a point name")
+			}
+			continue // crash rules have no device target
+		default:
+			return where("unknown kind %q", r.Kind)
+		}
+		if r.Device == "" {
+			return where("%s needs a device glob", r.Kind)
+		}
+		if r.P < 0 || r.P > 1 {
+			return where("p must be in [0, 1], got %g", r.P)
+		}
+		if r.Op != "" && r.Op != "read" && r.Op != "write" {
+			return where(`op must be "read", "write", or empty, got %q`, r.Op)
+		}
+	}
+	return nil
+}
+
+// Wrap interposes an Injector carrying the rules whose Device glob
+// matches name; when none match (or the plan is nil) the device is
+// returned as-is. Its signature matches fedora.Config.WrapDevice.
+func (p *Plan) Wrap(name string, d device.Device) device.Device {
+	if p == nil {
+		return d
+	}
+	var matched []Rule
+	for _, r := range p.Rules {
+		if r.Kind != KindCrash && matchGlob(r.Device, name) {
+			matched = append(matched, r)
+		}
+	}
+	if len(matched) == 0 {
+		return d
+	}
+	return newInjector(name, d, p.Seed, matched)
+}
+
+// ArmCrashPoints arms the crash point named by every crash rule. Call it
+// once at process start; CrashPoint sites then panic when reached.
+func (p *Plan) ArmCrashPoints() {
+	if p == nil {
+		return
+	}
+	for _, r := range p.Rules {
+		if r.Kind == KindCrash {
+			Arm(r.Point)
+		}
+	}
+}

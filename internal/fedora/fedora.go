@@ -145,6 +145,16 @@ type Config struct {
 	// results: each shard's RNG stream is derived from Seed and the shard
 	// index alone.
 	ShardWorkers int
+	// WrapDevice, when non-nil, interposes on every device the controller
+	// provisions before the ORAMs are built over it — the fault-injection
+	// seam (internal/fault's Plan.Wrap has this signature). Names are
+	// "ssd"/"dram" monolithic and "shard<i>/ssd"/"shard<i>/dram" sharded.
+	// Snapshot/Restore and PeekRow bypass the wrapper (they address the
+	// underlying simulated device directly), so recovery and evaluation
+	// see true stored bytes. Functions are not encodable, so WrapDevice is
+	// naturally excluded from ConfigDigest: a faulted run restores
+	// checkpoints from a fault-free run of the same config and vice versa.
+	WrapDevice func(name string, d device.Device) device.Device
 }
 
 func (c *Config) setDefaults() {
@@ -212,6 +222,7 @@ type Controller struct {
 	scratch *tee.Scratchpad
 	round   uint64
 	inRound bool
+	cur     *Round // the open monolithic round, for AbortRound (nil between rounds)
 	acct    fdp.Accountant
 
 	// Sharded mode (cfg.Shards > 1): eng routes rounds across the
@@ -282,6 +293,10 @@ func New(cfg Config) (*Controller, error) {
 	probe := device.NewSim(mainProfile, 1<<62)
 	dram := device.NewDRAM(1 << 62)
 	c.dram = dram
+	// The ORAMs run over the (optionally fault-wrapped) device views;
+	// c.ssd/c.dram stay the raw simulators so Snapshot/Restore and stats
+	// bypass any injector.
+	dramDev := c.wrapDevice("dram", dram)
 
 	switch cfg.Backend {
 	case BackendFedora, BackendDRAM:
@@ -303,7 +318,7 @@ func New(cfg Config) (*Controller, error) {
 			return nil, err
 		}
 		c.ssd = device.NewSim(mainProfile, trial.RequiredBytes())
-		c.raw, err = raworam.New(rawCfg, c.ssd, dram)
+		c.raw, err = raworam.New(rawCfg, c.wrapDevice("ssd", c.ssd), dramDev)
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +346,7 @@ func New(cfg Config) (*Controller, error) {
 			return nil, err
 		}
 		c.ssd = device.NewSim(mainProfile, trial.RequiredBytes())
-		c.path, err = pathoram.New(pCfg, c.ssd)
+		c.path, err = pathoram.New(pCfg, c.wrapDevice("ssd", c.ssd))
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +361,7 @@ func New(cfg Config) (*Controller, error) {
 		LearningRate: cfg.LearningRate,
 		Seed:         cfg.Seed + 11,
 		Phantom:      cfg.Phantom,
-	}, dram)
+	}, dramDev)
 	if err != nil {
 		return nil, err
 	}
@@ -365,6 +380,47 @@ func New(cfg Config) (*Controller, error) {
 	}
 	c.mech = fdp.Mechanism{Epsilon: c.effEps, Shape: shape}
 	return c, nil
+}
+
+// wrapDevice applies Config.WrapDevice, tolerating nil returns.
+func (c *Controller) wrapDevice(name string, d device.Device) device.Device {
+	if c.cfg.WrapDevice == nil {
+		return d
+	}
+	if w := c.cfg.WrapDevice(name, d); w != nil {
+		return w
+	}
+	return d
+}
+
+// Health reports the controller's shard-health rollup. A monolithic
+// controller is a single always-live pseudo-shard: it has no quarantine
+// path (a device fault fails the round loudly), so it reports healthy
+// with zero event counters.
+func (c *Controller) Health() shard.HealthReport {
+	if c.eng != nil {
+		return c.eng.Health()
+	}
+	return shard.HealthReport{
+		Status: shard.StatusHealthy,
+		Shards: []shard.ShardHealth{{Shard: 0, Rows: c.cfg.NumRows}},
+	}
+}
+
+// AbortRound force-closes any open round WITHOUT running write-back,
+// leaving the pipeline quiesced but the in-memory ORAM state dirty; the
+// caller is expected to Restore a trusted snapshot before serving again
+// (the shard engine's quarantine/recover path does exactly that). It is
+// idempotent and safe with no round open. Sharded controllers abort
+// through their sub-controllers, not the parent.
+func (c *Controller) AbortRound() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur != nil {
+		c.cur.done = true // stragglers see ErrRoundFinished, not dirty state
+		c.cur = nil
+	}
+	c.inRound = false
 }
 
 // bucketSlotsFor derives Z so the stored bucket fits bucketBytes.

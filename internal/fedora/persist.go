@@ -265,6 +265,46 @@ func (c *Controller) restoreSharded(b []byte) error {
 	return nil
 }
 
+// RecoverQuarantined restores every quarantined shard from its section
+// of a sharded controller snapshot (the newest durable checkpoint) and
+// returns the shard indices recovered. Healthy shards — and the
+// controller round counter, which tracks the rounds the survivors kept
+// serving — are untouched: only the quarantined shards' state is
+// replaced, rolling them back to checkpoint time (the bounded data-loss
+// window ARCHITECTURE.md's degradation matrix documents). It requires a
+// quiesced controller and a snapshot with matching geometry and config
+// digest, and returns (nil, nil) when nothing is quarantined.
+func (c *Controller) RecoverQuarantined(b []byte) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inRound {
+		return nil, ErrRoundOpen
+	}
+	if c.eng == nil {
+		return nil, nil // monolithic controllers have no quarantine state
+	}
+	d := persist.NewDecoder(b)
+	v := d.U8()
+	if d.Err() == nil && v != shardedSnapshotVersion {
+		return nil, fmt.Errorf("fedora: recover: unsupported controller snapshot version %d", v)
+	}
+	shards := int(d.U32())
+	if d.Err() == nil && shards != c.cfg.Shards {
+		return nil, fmt.Errorf("fedora: recover: snapshot was taken with %d shards, controller is configured with %d", shards, c.cfg.Shards)
+	}
+	digest := d.U64()
+	if d.Err() == nil && digest != c.ConfigDigest() {
+		return nil, fmt.Errorf("fedora: recover: snapshot config digest %016x != controller %016x (configs differ)",
+			digest, c.ConfigDigest())
+	}
+	_ = d.U64() // snapshot round: NOT restored — survivors advanced past it
+	engBlob := d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("fedora: recover: %w", err)
+	}
+	return c.eng.Recover(engBlob)
+}
+
 // encodeSelector writes the selector's cross-round metadata (sorted for
 // deterministic encoding). Its RNG is serialized separately as selSrc.
 func encodeSelector(e *persist.Encoder, s *selector) {

@@ -52,6 +52,11 @@ var ErrRoundInProgress = errors.New("fedora: previous round not finished")
 // the round (including a concurrent Finish racing an in-flight serve).
 var ErrRoundFinished = errors.New("fedora: round already finished")
 
+// ErrShardUnavailable re-exports the shard engine's sentinel for rows
+// routed to a quarantined shard; serving layers match it with errors.Is
+// and degrade (skip the row) instead of failing the round.
+var ErrShardUnavailable = shard.ErrShardUnavailable
+
 // BeginRound runs steps ①–③ for the given per-client request lists and
 // returns the Round handle used for serving, aggregation and completion.
 // Clients pad with DummyRequest in the hide-count mode.
@@ -111,6 +116,7 @@ func (c *Controller) BeginRound(requests [][]uint64) (*Round, error) {
 	r.stats.Chunks = c.acct.Chunks()
 	r.stats.RoundEpsilon = c.acct.RoundEpsilon()
 	c.acct = fdp.Accountant{} // reset per round
+	c.cur = r
 	return r, nil
 }
 
@@ -397,6 +403,7 @@ func (r *Round) Finish() (RoundStats, error) {
 	r.stats.FinishWallTime = time.Since(wallStart)
 	r.done = true
 	c.inRound = false
+	c.cur = nil
 	return r.stats, nil
 }
 
@@ -417,11 +424,15 @@ func f32bytes(f []float32) []byte {
 
 // EntryResult is one row's outcome in a batched download: OK is false
 // for rows the ε-FDP mechanism sacrificed this round (the caller applies
-// its lost-entry policy, exactly as with ServeEntry).
+// its lost-entry policy, exactly as with ServeEntry). Unavailable marks
+// rows owned by a quarantined shard (always with OK false): the row
+// could not be served this round at all, and the trainer should skip or
+// resample it rather than treat the silence as a model value.
 type EntryResult struct {
-	Row   uint64
-	Entry []float32
-	OK    bool
+	Row         uint64
+	Entry       []float32
+	OK          bool
+	Unavailable bool
 }
 
 // RowGradient is one row's contribution to a batched gradient upload.
@@ -440,6 +451,12 @@ func (r *Round) ServeEntries(rows []uint64) ([]EntryResult, error) {
 	out := make([]EntryResult, len(rows))
 	err := r.fanOut(len(rows), func(i int) error {
 		entry, ok, err := r.ServeEntry(rows[i])
+		if errors.Is(err, ErrShardUnavailable) {
+			// Degraded serving: the row's shard is quarantined. The batch
+			// succeeds; this row is reported unserveable.
+			out[i] = EntryResult{Row: rows[i], Unavailable: true}
+			return nil
+		}
 		if err != nil {
 			return err
 		}
@@ -464,6 +481,12 @@ func (r *Round) SubmitGradients(grads []RowGradient) ([]bool, error) {
 	err := r.fanOut(len(grads), func(i int) error {
 		g := grads[i]
 		ok, err := r.SubmitGradient(g.Row, g.Grad, g.Samples)
+		if errors.Is(err, ErrShardUnavailable) {
+			// The shard quarantined mid-round; this gradient is lost, the
+			// rest of the batch still folds.
+			delivered[i] = false
+			return nil
+		}
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package fedora
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/shard"
 )
 
@@ -28,6 +29,14 @@ func newSharded(cfg Config) (*Controller, error) {
 			base := shard.Base(cfg.NumRows, n, i)
 			init := cfg.InitRow
 			sub.InitRow = func(row uint64) []float32 { return init(base + row) }
+		}
+		if cfg.WrapDevice != nil {
+			// Qualify device names per shard so a fault plan can target
+			// "shard1/ssd" (one shard's SSD) or "shard*/ssd" (all of them).
+			wrap, idx := cfg.WrapDevice, i
+			sub.WrapDevice = func(name string, d device.Device) device.Device {
+				return wrap(fmt.Sprintf("shard%d/%s", idx, name), d)
+			}
 		}
 		s, err := New(sub)
 		if err != nil {
@@ -68,3 +77,4 @@ func (p *subPartition) BeginRound(requests [][]uint64) (shard.PartitionRound, er
 
 func (p *subPartition) Snapshot() ([]byte, error) { return (*Controller)(p).Snapshot() }
 func (p *subPartition) Restore(b []byte) error    { return (*Controller)(p).Restore(b) }
+func (p *subPartition) Abort()                    { (*Controller)(p).AbortRound() }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/persist"
 )
 
@@ -160,6 +161,9 @@ func (r *Runner) RunRound() (RoundReport, error) {
 		Seed:         rep.RoundSeed,
 		ClientDigest: rep.ClientDigest,
 	}
+	// Crash point: round executed, WAL record not yet durable — recovery
+	// must re-run the round from the previous checkpoint + WAL.
+	fault.CrashPoint("runner.wal-append")
 	if err := r.wal.Append(rec); err != nil {
 		return rep, fmt.Errorf("fl: WAL append round %d: %w", rec.Round, err)
 	}
@@ -193,6 +197,9 @@ func (r *Runner) Run(totalRounds int) (Result, error) {
 // Checkpoint writes a full snapshot (trainer + controller) as the next
 // epoch, atomically, then prunes old epochs. Returns the new epoch.
 func (r *Runner) Checkpoint() (uint64, error) {
+	// Crash point: WAL is committed, checkpoint write about to start —
+	// recovery falls back to the previous epoch and replays the WAL.
+	fault.CrashPoint("runner.checkpoint")
 	trainerBlob, err := r.t.Snapshot()
 	if err != nil {
 		return 0, fmt.Errorf("fl: snapshot trainer: %w", err)

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/device"
 	"repro/internal/fdp"
 	"repro/internal/fedora"
 	"repro/internal/persist"
@@ -129,6 +130,18 @@ type Config struct {
 	Shards int
 	// ShardWorkers bounds the controller-side shard pool (0 = derive).
 	ShardWorkers int
+	// Encrypt seals the controller's off-chip structures with the TEE
+	// engine (fedora.Config.Encrypt). Under fault injection this is what
+	// turns a silent bit-flip into a detected tee.ErrAuthFailed.
+	Encrypt bool
+	// EvictPeriod overrides the main RAW ORAM's eviction period A
+	// (fedora.Config.EvictPeriod; 0 = derive). Chaos tests set 1 so every
+	// access writes a path back and SSD faults actually fire.
+	EvictPeriod int
+	// WrapDevice, when non-nil, wraps every storage device the controller
+	// creates (fedora.Config.WrapDevice) — the fault-injection seam. Use
+	// (*fault.Plan).Wrap to drive it from a fault plan.
+	WrapDevice func(name string, d device.Device) device.Device
 }
 
 func (c *Config) setDefaults() {
@@ -220,6 +233,9 @@ func BuildController(cfg Config) (*fedora.Controller, error) {
 		InitRow:              initRowFunc(cfg.Seed, cfg.Dim),
 		Shards:               cfg.Shards,
 		ShardWorkers:         cfg.ShardWorkers,
+		Encrypt:              cfg.Encrypt,
+		EvictPeriod:          cfg.EvictPeriod,
+		WrapDevice:           cfg.WrapDevice,
 	})
 }
 
@@ -313,6 +329,11 @@ type RoundReport struct {
 	// DroppedClients counts participants that downloaded but never
 	// uploaded this round.
 	DroppedClients int
+	// UnavailableRows counts row requests that landed on a quarantined
+	// shard (degraded-mode serving). Clients treat them like lost rows —
+	// the update could not have been applied anyway — but they are
+	// tallied separately so degraded rounds are visible in reports.
+	UnavailableRows int
 	// MeanLoss is the average local training loss.
 	MeanLoss float64
 	// Workers is the worker-pool size the round trained with.
@@ -342,6 +363,7 @@ type clientOutcome struct {
 	droppedClient  bool
 	trained        int
 	droppedSamples int
+	unavailable    int
 	lossSum        float64
 	lossN          int
 	// rows/deltas are the embedding uploads in ascending row order (a
@@ -427,6 +449,7 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 		}
 		report.TrainedSamples += out.trained
 		report.DroppedSamples += out.droppedSamples
+		report.UnavailableRows += out.unavailable
 		lossSum += out.lossSum
 		lossN += out.lossN
 		if out.trained == 0 {
@@ -508,10 +531,19 @@ func (t *Trainer) trainClient(round RoundHandle, u *dataset.User, req []uint64, 
 		return out
 	}
 	for _, res := range results {
-		if res.OK {
+		switch {
+		case res.Unavailable:
+			// The row's shard is quarantined (degraded mode): treat it
+			// like a lost row — its upload could not be applied anyway —
+			// but count it separately for the round report.
+			out.unavailable++
+			if cfg.Lost == LostDefault {
+				local[res.Row] = t.initRow(res.Row)
+			}
+		case res.OK:
 			local[res.Row] = res.Entry
 			downloaded[res.Row] = append([]float32(nil), res.Entry...)
-		} else if cfg.Lost == LostDefault {
+		case cfg.Lost == LostDefault:
 			// Substitute the initialization value so samples touching
 			// this row still train; its local updates are discarded at
 			// upload (the row is not resident in the buffer ORAM).

@@ -57,6 +57,11 @@ type Config struct {
 	// routed round-robin by (client, position) instead of by row so the
 	// padding spreads deterministically across shards.
 	Dummy uint64
+	// Trigger classifies a shard error as quarantine-worthy (the shard is
+	// isolated and the round degrades) versus fatal (the round fails as
+	// before). Nil means DefaultTrigger: injected device faults and TEE
+	// auth failures quarantine, everything else is fatal.
+	Trigger func(error) bool
 }
 
 // Partition is one shard's pipeline, as supplied by the embedding layer.
@@ -66,6 +71,10 @@ type Partition interface {
 	BeginRound(requests [][]uint64) (PartitionRound, error)
 	Snapshot() ([]byte, error)
 	Restore(b []byte) error
+	// Abort force-closes any open or half-open round state so that a
+	// subsequent Restore (or BeginRound) finds the partition quiesced. It
+	// must be idempotent and must not touch the stored table data.
+	Abort()
 }
 
 // PartitionRound is one shard's in-flight round. Implementations must be
@@ -88,8 +97,12 @@ type Engine struct {
 	cfg   Config
 	parts []Partition
 
-	mu      sync.Mutex
-	inRound bool
+	mu          sync.Mutex
+	inRound     bool
+	quarantined []bool  // per-shard quarantine flags
+	causes      []error // first quarantine-triggering error per shard
+	quarantines uint64  // cumulative quarantine events
+	recoveries  uint64  // cumulative shard recoveries
 }
 
 // NewEngine builds an engine over the given partitions. len(parts) must
@@ -108,7 +121,11 @@ func NewEngine(cfg Config, parts []Partition) (*Engine, error) {
 	if len(parts) != cfg.Shards {
 		return nil, fmt.Errorf("shard: %d partitions supplied for %d shards", len(parts), cfg.Shards)
 	}
-	return &Engine{cfg: cfg, parts: parts}, nil
+	return &Engine{
+		cfg: cfg, parts: parts,
+		quarantined: make([]bool, cfg.Shards),
+		causes:      make([]error, cfg.Shards),
+	}, nil
 }
 
 // Shards reports the partition count.
@@ -276,8 +293,12 @@ type Round struct {
 }
 
 // BeginRound routes the requests and runs every shard's steps ①–③
-// concurrently. On a shard failure the shards that did begin are closed
-// (best effort) and the lowest-indexed error is returned.
+// concurrently. Quarantined shards are skipped; a shard that fails with
+// a quarantine-trigger error (see Config.Trigger) is quarantined and the
+// round proceeds degraded over the survivors, as long as at least one
+// shard is live. On a fatal (non-trigger) failure the shards that did
+// begin are closed (best effort) and the lowest-indexed error is
+// returned.
 func (e *Engine) BeginRound(requests [][]uint64) (*Round, error) {
 	e.mu.Lock()
 	if e.inRound {
@@ -285,6 +306,7 @@ func (e *Engine) BeginRound(requests [][]uint64) (*Round, error) {
 		return nil, ErrRoundInProgress
 	}
 	e.inRound = true
+	quar := append([]bool(nil), e.quarantined...)
 	e.mu.Unlock()
 
 	perShard, err := e.route(requests)
@@ -301,6 +323,9 @@ func (e *Engine) BeginRound(requests [][]uint64) (*Round, error) {
 	errs := make([]error, S)
 	wallStart := time.Now()
 	e.forEach(func(i int) {
+		if quar[i] {
+			return
+		}
 		start := time.Now()
 		sub, err := e.parts[i].BeginRound(perShard[i])
 		r.shardWall[i] = time.Since(start)
@@ -311,6 +336,20 @@ func (e *Engine) BeginRound(requests [][]uint64) (*Round, error) {
 		r.subs[i] = sub
 	})
 	r.beginWall = time.Since(wallStart)
+	live := 0
+	for i := range errs {
+		switch {
+		case errs[i] == nil:
+			if r.subs[i] != nil {
+				live++
+			}
+		case e.trigger(errs[i]):
+			// Degrade: isolate the shard, keep the round alive. Its
+			// half-open state is cleaned up by Finish/Recover via Abort.
+			e.quarantine(i, errs[i])
+			errs[i] = nil
+		}
+	}
 	if err := firstError(errs); err != nil {
 		e.forEach(func(i int) {
 			if r.subs[i] != nil {
@@ -320,11 +359,18 @@ func (e *Engine) BeginRound(requests [][]uint64) (*Round, error) {
 		e.endRound()
 		return nil, err
 	}
+	if live == 0 {
+		e.endRound()
+		return nil, fmt.Errorf("shard: no live shards to begin a round: %w", ErrShardUnavailable)
+	}
 	return r, nil
 }
 
 // ServeEntry serves a client download (step ④), routed to the owning
 // shard. ok is false for rows the shard's ε-FDP mechanism sacrificed.
+// Rows owned by a quarantined shard return ErrShardUnavailable (wrapped
+// with the quarantine cause) so the trainer can skip or resample them; a
+// quarantine-trigger error quarantines the shard mid-round.
 func (r *Round) ServeEntry(row uint64) ([]float32, bool, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -335,11 +381,25 @@ func (r *Round) ServeEntry(row uint64) ([]float32, bool, error) {
 		return nil, false, fmt.Errorf("shard: row %d out of range %d", row, r.e.cfg.NumRows)
 	}
 	s, local := r.e.locate(row)
-	return r.subs[s].ServeEntry(local)
+	sub := r.subs[s]
+	if sub == nil || r.e.isQuarantined(s) {
+		return nil, false, r.e.unavailable(s)
+	}
+	entry, ok, err := sub.ServeEntry(local)
+	if err != nil {
+		if r.e.trigger(err) {
+			r.e.quarantine(s, err)
+		}
+		if r.e.isQuarantined(s) {
+			return nil, false, r.e.unavailable(s)
+		}
+	}
+	return entry, ok, err
 }
 
 // SubmitGradient folds a client gradient into the owning shard's
-// aggregate (step ⑥).
+// aggregate (step ⑥). Gradients for a quarantined shard's rows return
+// ErrShardUnavailable.
 func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (bool, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -350,13 +410,32 @@ func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (bool, 
 		return false, fmt.Errorf("shard: row %d out of range %d", row, r.e.cfg.NumRows)
 	}
 	s, local := r.e.locate(row)
-	return r.subs[s].SubmitGradient(local, grad, nSamples)
+	sub := r.subs[s]
+	if sub == nil || r.e.isQuarantined(s) {
+		return false, r.e.unavailable(s)
+	}
+	delivered, err := sub.SubmitGradient(local, grad, nSamples)
+	if err != nil {
+		if r.e.trigger(err) {
+			r.e.quarantine(s, err)
+		}
+		if r.e.isQuarantined(s) {
+			return false, r.e.unavailable(s)
+		}
+	}
+	return delivered, err
 }
 
-// Finish runs every shard's write-back (step ⑦) concurrently, merges
-// the per-shard statistics (sums for counts and modelled device time,
-// parallel-section wall clock for the wall-time phases, parallel ε
-// composition for the round guarantee) and closes the round.
+// Finish runs every live shard's write-back (step ⑦) concurrently,
+// merges the per-shard statistics (sums for counts and modelled device
+// time, parallel-section wall clock for the wall-time phases, parallel ε
+// composition for the round guarantee) and closes the round. Quarantined
+// shards are skipped and their half-open rounds aborted — this round's
+// updates to those shards are lost, which is the documented blast radius
+// of a quarantine (recovery restores the shard from the newest
+// checkpoint). A quarantine-trigger error during a shard's write-back
+// quarantines it the same way; the round still succeeds over the
+// survivors.
 func (r *Round) Finish() (RoundStats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -367,18 +446,54 @@ func (r *Round) Finish() (RoundStats, error) {
 	stats := make([]RoundStats, S)
 	finishShard := make([]time.Duration, S)
 	errs := make([]error, S)
+	survived := make([]bool, S)
 	wallStart := time.Now()
 	r.e.forEach(func(i int) {
+		if r.subs[i] == nil || r.e.isQuarantined(i) {
+			return
+		}
 		start := time.Now()
 		st, err := r.subs[i].Finish()
 		finishShard[i] = time.Since(start)
-		stats[i], errs[i] = st, err
+		if err != nil {
+			if r.e.trigger(err) {
+				r.e.quarantine(i, err)
+				return
+			}
+			errs[i] = err
+			return
+		}
+		stats[i], survived[i] = st, true
 	})
 	finishWall := time.Since(wallStart)
 	r.done = true
 	r.e.endRound()
+	// Abort the half-open rounds of every quarantined shard so a later
+	// Recover (or snapshot of the survivors) finds them quiesced.
+	quar := r.e.quarantineSnapshot()
+	for i, q := range quar {
+		if q {
+			r.e.parts[i].Abort()
+		}
+	}
 	if err := firstError(errs); err != nil {
 		return RoundStats{}, err
 	}
-	return r.e.merge(stats, r.beginWall, finishWall, r.shardWall, finishShard), nil
+	live := 0
+	for _, ok := range survived {
+		if ok {
+			live++
+		}
+	}
+	if live == 0 {
+		return RoundStats{}, fmt.Errorf("shard: round lost on every shard: %w", ErrShardUnavailable)
+	}
+	m := r.e.merge(stats, r.beginWall, finishWall, r.shardWall, finishShard)
+	for i, q := range quar {
+		if q {
+			m.PerShard[i].Quarantined = true
+			m.QuarantinedShards++
+		}
+	}
+	return m, nil
 }

@@ -22,6 +22,9 @@ type fakeRound struct {
 }
 
 func (r *fakeRound) ServeEntry(row uint64) ([]float32, bool, error) {
+	if err := r.p.opErr("serve"); err != nil {
+		return nil, false, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.served = append(r.served, row)
@@ -29,6 +32,9 @@ func (r *fakeRound) ServeEntry(row uint64) ([]float32, bool, error) {
 }
 
 func (r *fakeRound) SubmitGradient(row uint64, grad []float32, n int) (bool, error) {
+	if err := r.p.opErr("submit"); err != nil {
+		return false, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.submitted = append(r.submitted, row)
@@ -36,6 +42,9 @@ func (r *fakeRound) SubmitGradient(row uint64, grad []float32, n int) (bool, err
 }
 
 func (r *fakeRound) Finish() (RoundStats, error) {
+	if err := r.p.opErr("finish"); err != nil {
+		return RoundStats{}, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.finished = true
@@ -48,10 +57,28 @@ type fakePart struct {
 	stats    RoundStats
 	beginErr error
 
-	mu     sync.Mutex
-	reqs   [][]uint64 // last BeginRound input
-	rounds []*fakeRound
-	state  []byte // snapshot payload
+	mu      sync.Mutex
+	reqs    [][]uint64 // last BeginRound input
+	rounds  []*fakeRound
+	state   []byte           // snapshot payload
+	aborts  int              // Abort() call count
+	failOps map[string]error // scripted per-op round errors ("serve"/"submit"/"finish")
+}
+
+// failOn scripts an error for a round operation; opErr reads it back.
+func (p *fakePart) failOn(op string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failOps == nil {
+		p.failOps = make(map[string]error)
+	}
+	p.failOps[op] = err
+}
+
+func (p *fakePart) opErr(op string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failOps[op]
 }
 
 func (p *fakePart) BeginRound(requests [][]uint64) (PartitionRound, error) {
@@ -64,6 +91,12 @@ func (p *fakePart) BeginRound(requests [][]uint64) (PartitionRound, error) {
 	r := &fakeRound{p: p}
 	p.rounds = append(p.rounds, r)
 	return r, nil
+}
+
+func (p *fakePart) Abort() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aborts++
 }
 
 func (p *fakePart) Snapshot() ([]byte, error) { return p.state, nil }

@@ -46,6 +46,9 @@ type RoundStats struct {
 	UnionWallTime  time.Duration
 	ReadWallTime   time.Duration
 	FinishWallTime time.Duration
+	// QuarantinedShards counts shards that sat out this round (their
+	// PerShard entries are zero and carry Quarantined=true).
+	QuarantinedShards int
 	// PerShard is the per-shard breakdown (nil for a monolithic round).
 	PerShard []ShardStats
 }
@@ -74,6 +77,8 @@ type ShardStats struct {
 	// steps ①–③ and ⑦ (each shard ran concurrently with the others).
 	BeginWall  time.Duration
 	FinishWall time.Duration
+	// Quarantined marks a shard that did not serve this round.
+	Quarantined bool
 }
 
 // merge folds per-shard round statistics into the round view: counts and
