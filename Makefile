@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check crash-test chaos-test experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test experiments table1 clean
 
 all: build test
 
@@ -35,6 +35,14 @@ chaos-test:
 	$(GO) test -race -count=1 -run 'Chaos|Quarantine|Health|Overload|RetryAfter|Shed|Integrity' \
 		./internal/shard/... ./internal/api/... ./internal/client/... ./internal/tee/... ./internal/fedora/...
 	$(GO) test -race -count=1 -run Chaos .
+
+# Storage gate: the file-backed device against the simulator (contents,
+# accounting, snapshots, fsync policies, error paths) plus the
+# cross-backend FL parity and kill-resume tests. Runs fine on tmpfs —
+# O_DIRECT is requested opportunistically and falls back to buffered.
+storage-test:
+	$(GO) test -count=1 -run 'Storage|FileDevice' \
+		./internal/storage/... ./internal/fedora/... ./internal/fl/...
 
 build:
 	$(GO) build ./...

@@ -11,6 +11,7 @@
 //	fedora-bench -ablation-shape   e-FDP shape (Y) sweep
 //	fedora-bench -parallel         FL round wall-clock vs worker count
 //	fedora-bench -shards           FL round wall-clock vs ORAM shard count
+//	fedora-bench -storage-compare  sim vs file-backed storage: latency + determinism
 //	fedora-bench -all              everything above
 //
 // -quick restricts sweeps to the Small/10K point for a fast smoke run.
@@ -28,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fl"
 	"repro/internal/metrics"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -53,6 +55,10 @@ func main() {
 		csvOut = flag.String("csv", "", "also write the Fig 7/8 sweep to this CSV file")
 		brkdwn = flag.Bool("fig8-breakdown", false, "per-phase breakdown of Figure 8")
 		seeds  = flag.Int("seeds", 0, "multi-seed mode: repeat the Small/10K FEDORA(e=1) point N times and report mean ± CI")
+
+		storCmp       = flag.Bool("storage-compare", false, "run the same FL training over the simulator and the file-backed device; verify bit-identical models and report measured real-I/O latencies")
+		storageDir    = flag.String("storage-dir", "", "directory for -storage-compare backing files (default: a fresh temp dir)")
+		storageDirect = flag.Bool("storage-direct", false, "request O_DIRECT on backing files (falls back to buffered where unsupported, e.g. tmpfs)")
 	)
 	flag.Parse()
 
@@ -207,6 +213,12 @@ func main() {
 			fail(err)
 		}
 	}
+	if *storCmp || *all {
+		any = true
+		if err := runStorageCompare(*rounds, *seed, *quick, *storageDir, *storageDirect); err != nil {
+			fail(err)
+		}
+	}
 	if !any {
 		flag.Usage()
 		os.Exit(2)
@@ -341,5 +353,79 @@ func runShardSweep(rounds int, seed int64, quick bool, csvPath string) error {
 		}
 		fmt.Printf("wrote %s\n\n", csvPath)
 	}
+	return nil
+}
+
+// runStorageCompare trains the same FL configuration over both storage
+// backends and verifies the tentpole invariant: the backend changes only
+// durations, never bytes, so sim and file land on the same model
+// fingerprint at equal seed. For the file run it also reports the
+// measured (not modelled) per-op latency percentiles of the real I/O.
+func runStorageCompare(rounds int, seed int64, quick bool, dir string, direct bool) error {
+	cfg := dataset.MovieLensConfig()
+	cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 2000, 400, 60
+	if quick {
+		cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 400, 150, 40
+	}
+	ds := dataset.Generate(cfg)
+	if rounds <= 0 {
+		rounds = 2
+	}
+
+	specs := []storage.Spec{{Kind: storage.KindSim}}
+	fileSpec, err := storage.ParseSpec("file", dir, direct)
+	if err != nil {
+		return err
+	}
+	specs = append(specs, fileSpec)
+
+	fmt.Printf("storage backends (MovieLens-like, %d users, %d rounds)\n\n", cfg.NumUsers, rounds)
+	fmt.Printf("%8s  %12s  %12s  %7s  %18s\n", "backend", "round wall", "oram-read", "AUC", "fingerprint")
+	var (
+		baseFP  uint64
+		baseAUC float64
+		reports []storage.Report
+	)
+	for i, spec := range specs {
+		tr, err := fl.New(fl.Config{
+			Dataset: ds, Dim: 8, Hidden: 16, UsePrivate: true,
+			Epsilon: 1, ClientsPerRound: 50, LocalEpochs: 2,
+			LocalLR: 0.1, Seed: seed, Storage: spec,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := tr.Run(rounds)
+		if err != nil {
+			tr.Close()
+			return err
+		}
+		fp, err := tr.Fingerprint()
+		if err != nil {
+			tr.Close()
+			return err
+		}
+		if i == 0 {
+			baseFP, baseAUC = fp, res.AUC
+		} else if fp != baseFP || res.AUC != baseAUC {
+			tr.Close()
+			return fmt.Errorf("backend changed the model: %s fingerprint %016x (AUC %v) != sim %016x (AUC %v)",
+				spec.Kind, fp, res.AUC, baseFP, baseAUC)
+		}
+		perRound := res.Phases.Total / time.Duration(rounds)
+		readPer := res.Phases.ORAMRead / time.Duration(rounds)
+		fmt.Printf("%8s  %12v  %12v  %.4f  %16x\n",
+			spec.Kind, perRound.Round(time.Microsecond), readPer.Round(time.Microsecond), res.AUC, fp)
+		reports = append(reports, tr.Controller().StorageReports()...)
+		if err := tr.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nmodel bit-identical across backends (fingerprint %016x)\n\n", baseFP)
+	fmt.Println("file backend, measured real-I/O latencies:")
+	for _, rep := range reports {
+		fmt.Print(rep)
+	}
+	fmt.Println()
 	return nil
 }

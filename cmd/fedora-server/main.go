@@ -44,6 +44,7 @@ import (
 	"repro/internal/fedora"
 	"repro/internal/fl"
 	"repro/internal/persist"
+	"repro/internal/storage"
 )
 
 // ctrlSection names the controller snapshot inside checkpoint files.
@@ -72,8 +73,17 @@ func main() {
 		faultPlan   = flag.String("fault-plan", "", "JSON fault-plan file: inject device faults for chaos testing (see internal/fault)")
 		maxInflight = flag.Int("max-inflight", 0, "bound concurrent round operations; excess requests are shed with 503 + Retry-After (0 = unbounded)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "with -checkpoint-dir: checkpoint every N healthy rounds and auto-recover quarantined shards after degraded rounds (0 = shutdown checkpoint only)")
+
+		storageKind   = flag.String("storage", "sim", "main-device storage backend: sim | file (real page-aligned I/O against backing files)")
+		storageDir    = flag.String("storage-dir", "", "directory for -storage=file backing files (default: a fresh temp dir)")
+		storageDirect = flag.Bool("storage-direct", false, "request O_DIRECT on -storage=file backing files (falls back to buffered I/O where unsupported)")
 	)
 	flag.Parse()
+
+	spec, specErr := storage.ParseSpec(*storageKind, *storageDir, *storageDirect)
+	if specErr != nil {
+		log.Fatal(specErr)
+	}
 
 	var plan *fault.Plan
 	if *faultPlan != "" {
@@ -98,6 +108,7 @@ func main() {
 		}
 		dimUsed = flCfg.Dim
 		flCfg.WrapDevice = plan.Wrap
+		flCfg.Storage = spec
 		ctrl, err = fl.BuildController(flCfg)
 	} else {
 		ctrl, err = fedora.New(fedora.Config{
@@ -110,6 +121,7 @@ func main() {
 			Seed:                 *seed,
 			Shards:               *shards,
 			WrapDevice:           plan.Wrap,
+			Storage:              spec,
 		})
 	}
 	if err != nil {
@@ -130,6 +142,10 @@ func main() {
 	fmt.Printf("fedora-server: N=%d dim=%d eps=%g shards=%d — main ORAM %.2f GB (SSD), %.2f GB DRAM\n",
 		ctrl.NumRows(), dimUsed, *eps, ctrl.Shards(),
 		float64(ctrl.MainORAMBytes())/1e9, float64(ctrl.DRAMResidentBytes())/1e9)
+	if spec.Kind == storage.KindFile {
+		fmt.Printf("fedora-server: storage=file dir=%s direct=%v (%d backing file(s))\n",
+			spec.Dir, spec.Direct, ctrl.Shards())
+	}
 	fmt.Printf("listening on %s\n", *listen)
 
 	var opts []api.Option
@@ -176,6 +192,9 @@ func main() {
 		default:
 			fmt.Printf("fedora-server: checkpointed epoch %d to %s\n", epoch, mgr.Dir())
 		}
+	}
+	if err := ctrl.Close(); err != nil {
+		log.Printf("fedora-server: close storage: %v", err)
 	}
 }
 

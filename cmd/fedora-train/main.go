@@ -29,6 +29,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fl"
 	"repro/internal/metrics"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -56,6 +57,10 @@ func main() {
 		remoteTimeout = flag.Duration("remote-timeout", 30*time.Second, "per-attempt HTTP timeout with -remote")
 
 		faultPlan = flag.String("fault-plan", "", "JSON fault-plan file for -single: inject device faults into the in-process controller to reproduce chaos failures locally (see internal/fault)")
+
+		storageKind   = flag.String("storage", "sim", "main-device storage backend for -single: sim (discrete-event simulator) | file (real page-aligned I/O against backing files); results are bit-identical either way")
+		storageDir    = flag.String("storage-dir", "", "directory for -storage=file backing files (default: a fresh temp dir)")
+		storageDirect = flag.Bool("storage-direct", false, "request O_DIRECT on -storage=file backing files (falls back to buffered I/O where unsupported, e.g. tmpfs)")
 	)
 	flag.Parse()
 
@@ -100,7 +105,8 @@ func main() {
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 			remote: *remote, remoteBatch: *remoteBatch,
 			remoteRetries: *remoteRetry, remoteTimeout: *remoteTimeout,
-			faultPlan: *faultPlan,
+			faultPlan:   *faultPlan,
+			storageKind: *storageKind, storageDir: *storageDir, storageDirect: *storageDirect,
 		})
 	default:
 		flag.Usage()
@@ -128,6 +134,10 @@ type singleOptions struct {
 	remoteTimeout time.Duration
 
 	faultPlan string
+
+	storageKind   string
+	storageDir    string
+	storageDirect bool
 }
 
 func runSingle(o singleOptions) {
@@ -135,6 +145,19 @@ func runSingle(o singleOptions) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(2)
+	}
+	spec, err := storage.ParseSpec(o.storageKind, o.storageDir, o.storageDirect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedora-train:", err)
+		os.Exit(2)
+	}
+	if o.remote != "" && spec.Kind != storage.KindSim {
+		fmt.Fprintln(os.Stderr, "fedora-train: -storage selects the in-process controller's backend; with -remote, pass -storage to fedora-server instead")
+		os.Exit(2)
+	}
+	flCfg.Storage = spec
+	if spec.Kind == storage.KindFile {
+		fmt.Printf("storage: file backend in %s (direct=%v)\n", spec.Dir, spec.Direct)
 	}
 	if o.faultPlan != "" {
 		if o.remote != "" {
@@ -180,6 +203,7 @@ func runSingle(o singleOptions) {
 		fmt.Fprintln(os.Stderr, "fedora-train:", err)
 		os.Exit(1)
 	}
+	defer tr.Close()
 	rounds := o.rounds
 	if rounds == 0 {
 		rounds = 100
@@ -250,6 +274,14 @@ func runSingle(o singleOptions) {
 		{Name: "train", D: res.Phases.Train},
 		{Name: "aggregate", D: res.Phases.Aggregate},
 	}), "  "))
+	if ctrl := tr.Controller(); ctrl != nil {
+		if reps := ctrl.StorageReports(); len(reps) > 0 {
+			fmt.Println("storage (measured real-I/O latencies):")
+			for _, rep := range reps {
+				fmt.Print(indent(rep.String(), "  "))
+			}
+		}
+	}
 }
 
 // indent prefixes every non-empty line.

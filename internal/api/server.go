@@ -47,6 +47,7 @@ import (
 	"repro/internal/fedora"
 	"repro/internal/persist"
 	"repro/internal/shard"
+	"repro/internal/storage"
 )
 
 // Server wraps a controller with HTTP handlers.
@@ -442,6 +443,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, l := range lines {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", l.name, l.kind, l.name, l.value)
+	}
+	// Real-I/O telemetry, present only when the controller's main device
+	// is file-backed: measured (not modelled) latency quantiles per device.
+	if reps := s.ctrl.StorageReports(); len(reps) > 0 {
+		fmt.Fprintf(w, "# TYPE fedora_storage_fsyncs_total counter\n")
+		for _, rep := range reps {
+			fmt.Fprintf(w, "fedora_storage_fsyncs_total{device=%q} %d\n", rep.Name, rep.Fsyncs)
+		}
+		fmt.Fprintf(w, "# TYPE fedora_storage_dirty_pages gauge\n")
+		for _, rep := range reps {
+			fmt.Fprintf(w, "fedora_storage_dirty_pages{device=%q} %d\n", rep.Name, rep.DirtyPages)
+		}
+		fmt.Fprintf(w, "# TYPE fedora_storage_direct gauge\n")
+		for _, rep := range reps {
+			direct := 0
+			if rep.Direct {
+				direct = 1
+			}
+			fmt.Fprintf(w, "fedora_storage_direct{device=%q} %d\n", rep.Name, direct)
+		}
+		fmt.Fprintf(w, "# TYPE fedora_storage_op_seconds summary\n")
+		for _, rep := range reps {
+			ops := []struct {
+				op  string
+				sum storage.LatencySummary
+			}{{"read", rep.Read}, {"write", rep.Write}}
+			for _, o := range ops {
+				op, sum := o.op, o.sum
+				fmt.Fprintf(w, "fedora_storage_op_seconds{device=%q,op=%q,quantile=\"0.5\"} %g\n", rep.Name, op, sum.P50.Seconds())
+				fmt.Fprintf(w, "fedora_storage_op_seconds{device=%q,op=%q,quantile=\"0.95\"} %g\n", rep.Name, op, sum.P95.Seconds())
+				fmt.Fprintf(w, "fedora_storage_op_seconds{device=%q,op=%q,quantile=\"0.99\"} %g\n", rep.Name, op, sum.P99.Seconds())
+				fmt.Fprintf(w, "fedora_storage_op_seconds_count{device=%q,op=%q} %d\n", rep.Name, op, sum.Count)
+			}
+		}
 	}
 	s.met.render(w)
 }

@@ -89,6 +89,33 @@ type Device interface {
 	PageSize() int
 }
 
+// Storage is a Device that can serve as the durable home of an ORAM: it
+// additionally exposes its timing/geometry profile, flash-wear
+// accounting, and whole-device Snapshot/Restore for the checkpoint
+// layer. Both the discrete-event simulator (Sim, this package) and the
+// real file-backed device (internal/storage.File) implement it; the
+// fedora controller provisions its main device through this interface so
+// backends are interchangeable. Snapshots use one wire format across
+// implementations — a checkpoint taken over the simulator restores onto
+// a file-backed device and vice versa.
+type Storage interface {
+	Device
+	// Profile returns the device's timing/geometry profile (used for
+	// accounting even when latencies are measured rather than modelled).
+	Profile() Profile
+	// WearBytes is the physical flash bytes consumed by the recorded
+	// logical writes after write amplification (lifetime model input).
+	WearBytes() uint64
+	// Snapshot / Restore serialize the device contents and counters in
+	// the shared device-snapshot wire format.
+	Snapshot() ([]byte, error)
+	Restore(b []byte) error
+	// Close releases any OS resources (backing files). The simulator's
+	// Close is a no-op; using a Storage after Close is an error for
+	// implementations that hold file descriptors.
+	Close() error
+}
+
 // Profile holds the timing/geometry constants of a simulated device.
 type Profile struct {
 	Name string
@@ -194,28 +221,30 @@ func (s *Sim) Capacity() uint64 { return s.capacity }
 // PageSize implements Device.
 func (s *Sim) PageSize() int { return s.profile.PageSize }
 
-// roundUp rounds n up to a multiple of the device page size.
-func (s *Sim) roundUp(n int) int {
-	ps := s.profile.PageSize
+// RoundUp rounds n up to a multiple of the profile's page size.
+func (p Profile) RoundUp(n int) int {
+	ps := p.PageSize
 	if ps <= 1 {
 		return n
 	}
 	return (n + ps - 1) / ps * ps
 }
 
-// opTime models the duration of one access of n (page-rounded) bytes.
+// OpTime models the duration of one access of n (page-rounded) bytes.
 // The fixed command latency is divided by the queue depth: the ORAM
 // issues long streams of independent bucket transfers, which an NVMe
-// device overlaps; the bandwidth term is the serial floor.
-func (s *Sim) opTime(op Op, n int) time.Duration {
+// device overlaps; the bandwidth term is the serial floor. Shared by the
+// simulator's data path and the file-backed device's accounting-only
+// path (Charge/ChargeN have nothing to measure).
+func (p Profile) OpTime(op Op, n int) time.Duration {
 	var lat time.Duration
 	var bw float64
 	if op == OpRead {
-		lat, bw = s.profile.ReadLatency, s.profile.ReadBandwidth
+		lat, bw = p.ReadLatency, p.ReadBandwidth
 	} else {
-		lat, bw = s.profile.WriteLatency, s.profile.WriteBandwidth
+		lat, bw = p.WriteLatency, p.WriteBandwidth
 	}
-	if qd := s.profile.QueueDepth; qd > 1 {
+	if qd := p.QueueDepth; qd > 1 {
 		lat /= time.Duration(qd)
 	}
 	if bw > 0 {
@@ -223,6 +252,12 @@ func (s *Sim) opTime(op Op, n int) time.Duration {
 	}
 	return lat
 }
+
+// roundUp rounds n up to a multiple of the device page size.
+func (s *Sim) roundUp(n int) int { return s.profile.RoundUp(n) }
+
+// opTime models one access of n (page-rounded) bytes; see Profile.OpTime.
+func (s *Sim) opTime(op Op, n int) time.Duration { return s.profile.OpTime(op, n) }
 
 // account updates counters for one access and returns its duration.
 // Callers must hold s.mu.
@@ -375,6 +410,10 @@ func (s *Sim) ResetStats() {
 	defer s.mu.Unlock()
 	s.stats = Stats{}
 }
+
+// Close implements Storage. The simulator holds no OS resources; a
+// closed Sim keeps working (contents live in host memory).
+func (s *Sim) Close() error { return nil }
 
 // ResidentBytes reports how much host memory the sparse store currently
 // uses for materialized pages; useful in tests to confirm sparseness.

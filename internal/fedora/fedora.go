@@ -49,6 +49,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/raworam"
 	"repro/internal/shard"
+	"repro/internal/storage"
 	"repro/internal/tee"
 )
 
@@ -145,6 +146,17 @@ type Config struct {
 	// results: each shard's RNG stream is derived from Seed and the shard
 	// index alone.
 	ShardWorkers int
+	// Storage selects how the main-ORAM device is realized: the
+	// discrete-event simulator (zero value) or a real file-backed device
+	// doing page-aligned I/O against Storage.Dir (storage.KindFile) —
+	// see internal/storage. Sharded controllers open one backing file
+	// per shard. The DRAM-side device (buffer ORAM, position map, VTree,
+	// stash) always stays simulated: it models memory, not a disk.
+	// Like ShardWorkers, Storage is an operational knob excluded from
+	// ConfigDigest — both backends store bit-identical contents and
+	// share one snapshot format, so checkpoints move freely between a
+	// simulated and a file-backed run of the same config.
+	Storage storage.Spec
 	// WrapDevice, when non-nil, interposes on every device the controller
 	// provisions before the ORAMs are built over it — the fault-injection
 	// seam (internal/fault's Plan.Wrap has this signature). Names are
@@ -205,8 +217,8 @@ type Controller struct {
 	cfg Config
 	mu  sync.Mutex // guards round state and the ORAM pipeline below
 
-	ssd  *device.Sim // main ORAM home (SSD profile, or DRAM profile for BackendDRAM)
-	dram *device.Sim // buffer ORAM, VTree, stash, position map
+	ssd  device.Storage // main ORAM home (SSD profile, or DRAM profile for BackendDRAM); simulator- or file-backed per cfg.Storage
+	dram *device.Sim    // buffer ORAM, VTree, stash, position map (always simulated)
 
 	raw  *raworam.ORAM  // BackendFedora / BackendDRAM
 	path *pathoram.ORAM // BackendPathORAMPlus
@@ -317,9 +329,13 @@ func New(cfg Config) (*Controller, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.ssd = device.NewSim(mainProfile, trial.RequiredBytes())
+		c.ssd, err = storage.Open("ssd", mainProfile, trial.RequiredBytes(), cfg.Storage)
+		if err != nil {
+			return nil, fmt.Errorf("fedora: main device: %w", err)
+		}
 		c.raw, err = raworam.New(rawCfg, c.wrapDevice("ssd", c.ssd), dramDev)
 		if err != nil {
+			c.ssd.Close()
 			return nil, err
 		}
 	case BackendPathORAMPlus:
@@ -345,9 +361,13 @@ func New(cfg Config) (*Controller, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.ssd = device.NewSim(mainProfile, trial.RequiredBytes())
+		c.ssd, err = storage.Open("ssd", mainProfile, trial.RequiredBytes(), cfg.Storage)
+		if err != nil {
+			return nil, fmt.Errorf("fedora: main device: %w", err)
+		}
 		c.path, err = pathoram.New(pCfg, c.wrapDevice("ssd", c.ssd))
 		if err != nil {
+			c.ssd.Close()
 			return nil, err
 		}
 	default:
@@ -363,6 +383,7 @@ func New(cfg Config) (*Controller, error) {
 		Phantom:      cfg.Phantom,
 	}, dramDev)
 	if err != nil {
+		c.ssd.Close()
 		return nil, err
 	}
 	c.buf = buf
@@ -482,10 +503,12 @@ func (c *Controller) DRAMResidentBytes() uint64 {
 	return total
 }
 
-// SSDDevice / DRAMDevice expose the simulated devices for stats capture.
-// A sharded controller has one device pair per shard; these return shard
-// 0's — use SSDStats / DRAMStats for the aggregate counters.
-func (c *Controller) SSDDevice() *device.Sim {
+// SSDDevice / DRAMDevice expose the underlying devices for stats
+// capture. A sharded controller has one device pair per shard; these
+// return shard 0's — use SSDStats / DRAMStats for the aggregate
+// counters. The main device is a device.Storage: simulator- or file-
+// backed depending on Config.Storage.
+func (c *Controller) SSDDevice() device.Storage {
 	if c.eng != nil {
 		return c.subs[0].ssd
 	}
@@ -521,6 +544,64 @@ func (c *Controller) DRAMStats() device.Stats {
 		return total
 	}
 	return c.dram.Stats()
+}
+
+// Close releases the controller's devices — with the file backend, the
+// per-shard backing files. The controller must be quiesced; using it
+// after Close fails on the first device access. Safe to call on a
+// simulator-backed controller (the simulator's Close is a no-op) and
+// idempotent either way.
+func (c *Controller) Close() error {
+	if c.eng != nil {
+		var firstErr error
+		for _, s := range c.subs {
+			if err := s.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	err := c.ssd.Close()
+	if derr := c.dram.Close(); derr != nil && err == nil {
+		err = derr
+	}
+	return err
+}
+
+// StorageReports returns the real-I/O telemetry of every file-backed
+// device the controller provisioned (per-op latency percentiles, fsync
+// counts, O_DIRECT state), one entry per shard when sharded. Empty on a
+// fully simulated controller — the simulator has modelled time, not
+// measured latencies.
+func (c *Controller) StorageReports() []storage.Report {
+	if c.eng != nil {
+		var out []storage.Report
+		for _, s := range c.subs {
+			out = append(out, s.StorageReports()...)
+		}
+		return out
+	}
+	if f, ok := c.ssd.(*storage.File); ok {
+		return []storage.Report{f.Report()}
+	}
+	return nil
+}
+
+// SyncStorage flushes every file-backed device to disk (a durability
+// barrier for checkpoint boundaries); a no-op on simulated devices.
+func (c *Controller) SyncStorage() error {
+	if c.eng != nil {
+		for _, s := range c.subs {
+			if err := s.SyncStorage(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if f, ok := c.ssd.(*storage.File); ok {
+		return f.Sync()
+	}
+	return nil
 }
 
 // Shards reports the shard count (1 when monolithic).

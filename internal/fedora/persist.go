@@ -55,8 +55,10 @@ func (c *Controller) ConfigDigest() uint64 {
 	e.U8(uint8(cfg.Selection))
 	e.U32(uint32(cfg.EvictPeriod))
 	e.Bool(cfg.SortedUnion)
-	// ShardWorkers is deliberately excluded: the worker count is a purely
-	// operational knob that never affects state.
+	// ShardWorkers and Storage are deliberately excluded: the worker count
+	// and the storage backend are purely operational knobs that never
+	// affect state — a checkpoint taken over the simulator restores onto
+	// a file-backed controller and vice versa.
 	e.U32(uint32(cfg.Shards))
 	h := fnv.New64a()
 	h.Write(e.Finish())

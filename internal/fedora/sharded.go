@@ -25,6 +25,9 @@ func newSharded(cfg Config) (*Controller, error) {
 		// Independent, deterministic RNG stream per shard: results are
 		// bit-identical at any worker count.
 		sub.Seed = shard.Seed(cfg.Seed, i)
+		// One backing file per shard under the file backend; the prefix
+		// also qualifies the device name ("shard3/ssd") in storage reports.
+		sub.Storage.Prefix = fmt.Sprintf("shard%d", i)
 		if cfg.InitRow != nil {
 			base := shard.Base(cfg.NumRows, n, i)
 			init := cfg.InitRow

@@ -1,0 +1,206 @@
+package fedora
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/fdp"
+	"repro/internal/storage"
+)
+
+// fileSpec builds a file-backend spec rooted in a test temp dir.
+func fileSpec(t *testing.T) storage.Spec {
+	t.Helper()
+	return storage.Spec{Kind: storage.KindFile, Dir: t.TempDir()}
+}
+
+// compareAllRows fails if any embedding row differs between a and b.
+func compareAllRows(t *testing.T, a, b *Controller, rows uint64) {
+	t.Helper()
+	for row := uint64(0); row < rows; row++ {
+		ra, err := a.PeekRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.PeekRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d diverged across backends: %v vs %v", row, ra, rb)
+			}
+		}
+	}
+}
+
+// TestStorageBackendParity runs identical round workloads on a
+// simulator-backed and a file-backed controller and requires the entire
+// table, the round counters, and the accounted SSD traffic to match —
+// the backend may only change durations, never bytes.
+func TestStorageBackendParity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"monolithic", 1},
+		{"sharded", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Epsilon: fdp.EpsilonInfinity, Seed: 31, Shards: tc.shards}
+			sim := newController(t, cfg)
+			cfg.Storage = fileSpec(t)
+			file := newController(t, cfg)
+			defer file.Close()
+
+			workload := [][][]uint64{
+				{{3, 7}, {7, 11, 19}},
+				{{3, 500}, {600, 901}},
+				{{7, 19, 800}, {11, 500}},
+			}
+			for _, reqs := range workload {
+				runRound(t, sim, reqs)
+				runRound(t, file, reqs)
+			}
+
+			if sim.Round() != file.Round() {
+				t.Fatalf("rounds %d != %d", sim.Round(), file.Round())
+			}
+			compareAllRows(t, sim, file, 1024)
+			if ss, fs := sim.SSDStats(), file.SSDStats(); ss != fs {
+				t.Fatalf("accounted SSD traffic diverged: sim %+v, file %+v", ss, fs)
+			}
+		})
+	}
+}
+
+// TestStorageCrossBackendRestore is checkpoint portability: a snapshot
+// taken over the simulator restores onto a file-backed controller (and
+// back), and both continuations land on the same table.
+func TestStorageCrossBackendRestore(t *testing.T) {
+	cfg := Config{Epsilon: fdp.EpsilonInfinity, Seed: 31}
+	sim := newController(t, cfg)
+	runRound(t, sim, [][]uint64{{3, 7}, {7, 11, 19}})
+	runRound(t, sim, [][]uint64{{3, 500}, {600}})
+
+	snap, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgFile := cfg
+	cfgFile.Storage = fileSpec(t)
+	file := newController(t, cfgFile)
+	defer file.Close()
+	if err := file.Restore(snap); err != nil {
+		t.Fatalf("sim snapshot onto file backend: %v", err)
+	}
+	if file.Round() != 2 {
+		t.Fatalf("restored round = %d, want 2", file.Round())
+	}
+
+	continuation := [][][]uint64{{{7, 19, 800}, {3}}, {{11}, {500, 600, 901}}}
+	for _, reqs := range continuation {
+		runRound(t, sim, reqs)
+		runRound(t, file, reqs)
+	}
+	compareAllRows(t, sim, file, 1024)
+
+	// And back: the file-backed controller's snapshot restores onto a
+	// fresh simulator-backed one.
+	snap2, err := file.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2 := newController(t, cfg)
+	if err := sim2.Restore(snap2); err != nil {
+		t.Fatalf("file snapshot onto sim backend: %v", err)
+	}
+	compareAllRows(t, file, sim2, 1024)
+}
+
+// TestStorageFaultInjectionFileBackend: the fault injector interposes on
+// device.Device above the storage seam, so it must work unchanged over
+// the file backend — a tripped device surfaces ErrInjected through the
+// round pipeline exactly as it does over the simulator.
+func TestStorageFaultInjectionFileBackend(t *testing.T) {
+	var faulty *device.Faulty
+	cfg := Config{
+		Epsilon: fdp.EpsilonInfinity, Seed: 31,
+		EvictPeriod: 1, // every access writes a path back, so SSD ops fire
+		Storage:     fileSpec(t),
+		WrapDevice: func(name string, d device.Device) device.Device {
+			if name == "ssd" {
+				faulty = device.NewFaulty(d, 10)
+				return faulty
+			}
+			return d
+		},
+	}
+	c := newController(t, cfg)
+	defer c.Close()
+	if faulty == nil {
+		t.Fatal("WrapDevice never saw the ssd device")
+	}
+
+	var roundErr error
+	for i := 0; i < 50 && roundErr == nil; i++ {
+		r, err := c.BeginRound([][]uint64{{3, 7}, {11}})
+		if err != nil {
+			roundErr = err
+			break
+		}
+		for _, row := range []uint64{3, 7, 11} {
+			if _, _, err := r.ServeEntry(row); err != nil {
+				roundErr = err
+				break
+			}
+		}
+		if roundErr == nil {
+			if _, err := r.Finish(); err != nil {
+				roundErr = err
+			}
+		} else {
+			c.AbortRound()
+		}
+	}
+	if roundErr == nil {
+		t.Fatal("tripped device never surfaced an error")
+	}
+	if !errors.Is(roundErr, device.ErrInjected) {
+		t.Fatalf("round error %v does not wrap device.ErrInjected", roundErr)
+	}
+	if !faulty.Tripped() {
+		t.Fatal("fault wrapper reports not tripped despite the error")
+	}
+}
+
+// TestStorageReportsSharded: a sharded file-backed controller reports
+// one backing device per shard, with shard-qualified names.
+func TestStorageReportsSharded(t *testing.T) {
+	cfg := Config{Epsilon: fdp.EpsilonInfinity, Seed: 31, Shards: 3, Storage: fileSpec(t)}
+	c := newController(t, cfg)
+	defer c.Close()
+	runRound(t, c, [][]uint64{{3, 700}, {400, 901}})
+
+	reps := c.StorageReports()
+	if len(reps) != 3 {
+		t.Fatalf("got %d storage reports, want 3 (one per shard)", len(reps))
+	}
+	want := map[string]bool{"shard0/ssd": true, "shard1/ssd": true, "shard2/ssd": true}
+	for _, rep := range reps {
+		if !want[rep.Name] {
+			t.Fatalf("unexpected report name %q", rep.Name)
+		}
+		delete(want, rep.Name)
+		if rep.Backend != "file" {
+			t.Fatalf("report backend %q, want file", rep.Backend)
+		}
+	}
+	// The simulator-backed controller reports nothing.
+	sim := newController(t, Config{Epsilon: fdp.EpsilonInfinity, Seed: 31})
+	if reps := sim.StorageReports(); len(reps) != 0 {
+		t.Fatalf("sim controller reports %d storage devices, want 0", len(reps))
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/recmodel"
 	"repro/internal/secagg"
+	"repro/internal/storage"
 )
 
 // LostPolicy selects how clients handle embedding rows the ε-FDP
@@ -142,6 +143,12 @@ type Config struct {
 	// creates (fedora.Config.WrapDevice) — the fault-injection seam. Use
 	// (*fault.Plan).Wrap to drive it from a fault plan.
 	WrapDevice func(name string, d device.Device) device.Device
+	// Storage selects the backend realizing the controller's main device
+	// (fedora.Config.Storage): the zero value is the discrete-event
+	// simulator; storage.Spec{Kind: storage.KindFile, ...} does real
+	// page-aligned I/O against backing files. Purely operational — the
+	// trained model is bit-identical across backends at equal seed.
+	Storage storage.Spec
 }
 
 func (c *Config) setDefaults() {
@@ -236,6 +243,7 @@ func BuildController(cfg Config) (*fedora.Controller, error) {
 		Encrypt:              cfg.Encrypt,
 		EvictPeriod:          cfg.EvictPeriod,
 		WrapDevice:           cfg.WrapDevice,
+		Storage:              cfg.Storage,
 	})
 }
 
@@ -289,6 +297,16 @@ func buildTrainer(cfg Config, orch Orchestrator) (*Trainer, error) {
 // Controller exposes the underlying FEDORA controller (for stats and
 // durable checkpointing). It is nil when the controller is remote.
 func (t *Trainer) Controller() *fedora.Controller { return t.ctrl }
+
+// Close releases the controller's devices — under the file backend, the
+// backing files. A no-op for remote controllers (the serving process
+// owns their lifetime) and for simulated devices; idempotent.
+func (t *Trainer) Close() error {
+	if t.ctrl == nil {
+		return nil
+	}
+	return t.ctrl.Close()
+}
 
 // PhaseTimings is the host wall-clock breakdown of one FL round. Select,
 // Train and Aggregate are measured by the trainer; Union and ORAMRead

@@ -65,7 +65,9 @@ func (t *Trainer) configDigest() uint64 {
 	e.U64(math.Float64bits(cfg.DPSigma))
 	e.Bool(cfg.UseSecAgg)
 	e.U64(math.Float64bits(cfg.DropoutProb))
-	// Workers/ShardWorkers are excluded: pool sizes never affect state.
+	// Workers/ShardWorkers/Storage are excluded: pool sizes and the
+	// storage backend are operational knobs that never affect state, so
+	// checkpoints move freely between sim- and file-backed runs.
 	e.U32(uint32(cfg.Shards))
 	h := fnv.New64a()
 	h.Write(e.Finish())

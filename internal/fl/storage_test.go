@@ -1,0 +1,129 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/storage"
+)
+
+func fileSpec(t *testing.T) storage.Spec {
+	t.Helper()
+	return storage.Spec{Kind: storage.KindFile, Dir: t.TempDir()}
+}
+
+// trainFingerprint runs `rounds` rounds of durableCfg over the given
+// storage spec and returns the model fingerprint.
+func trainFingerprint(t *testing.T, ds *dataset.Dataset, spec storage.Spec, shards, rounds int) uint64 {
+	t.Helper()
+	cfg := durableCfg(ds)
+	cfg.Storage = spec
+	cfg.Shards = shards
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(t, tr)
+}
+
+// TestStorageBackendFingerprintParity is the tentpole acceptance
+// criterion: at equal seed/workers/shards, training over the file
+// backend produces a bit-identical model to training over the
+// simulator — the storage backend changes durations, never bytes.
+func TestStorageBackendFingerprintParity(t *testing.T) {
+	ds := smallMovieLens()
+	const rounds = 4
+	for _, shards := range []int{1, 3} {
+		want := trainFingerprint(t, ds, storage.Spec{}, shards, rounds)
+		got := trainFingerprint(t, ds, fileSpec(t), shards, rounds)
+		if got != want {
+			t.Fatalf("shards=%d: file-backend fingerprint %016x != sim %016x", shards, got, want)
+		}
+	}
+}
+
+// TestStorageKillResumeFileBackend reruns the headline kill-resume
+// property with the controller's main device on real files: crash
+// (abandon the Runner), rebuild the trainer — which re-zeroes the
+// backing file — and resume from the checkpoint/WAL layer. The final
+// model must match an uninterrupted simulator run, proving the backing
+// file is working state and durability lives entirely in the
+// checkpoint layer.
+func TestStorageKillResumeFileBackend(t *testing.T) {
+	ds := smallMovieLens()
+	const total, every = 6, 2
+	want := baselineFingerprint(t, ds, total, every) // sim-backed, uninterrupted
+
+	newFileTrainer := func() *Trainer {
+		cfg := durableCfg(ds)
+		cfg.Storage = fileSpec(t)
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	dir := t.TempDir()
+
+	// Leg 1: three rounds (crossing the round-2 checkpoint), then crash.
+	r1, err := NewRunner(newFileTrainer(), dir, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r1.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// crash: abandoned without Close; the backing file's contents are
+	// irrelevant from here on.
+
+	// Leg 2: a fresh file-backed trainer starts from a zeroed backing
+	// file; Resume restores the checkpoint and replays the WAL tail.
+	tr2 := newFileTrainer()
+	r2, err := NewRunner(tr2, dir, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	rep, err := r2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RestoredRound != 2 || rep.ReplayedRounds != 1 {
+		t.Fatalf("resume = %+v, want checkpoint at round 2 + 1 replayed", rep)
+	}
+	if _, err := r2.Run(total); err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, tr2); got != want {
+		t.Fatalf("file-backend kill-resume fingerprint %016x != uninterrupted sim %016x", got, want)
+	}
+}
+
+// TestStorageDigestIgnoresBackend: the trainer config digest must not
+// include the storage spec, or checkpoints could not move between
+// backends (TestStorageKillResumeFileBackend relies on this — its
+// baseline checkpoints come from a sim-backed run).
+func TestStorageDigestIgnoresBackend(t *testing.T) {
+	ds := smallMovieLens()
+	simTr, err := New(durableCfg(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := durableCfg(ds)
+	cfg.Storage = fileSpec(t)
+	fileTr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fileTr.Close()
+	if simTr.configDigest() != fileTr.configDigest() {
+		t.Fatal("config digest depends on the storage backend; checkpoints would not port")
+	}
+}

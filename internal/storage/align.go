@@ -1,0 +1,13 @@
+package storage
+
+import "unsafe"
+
+// bufAddr returns the address of b's first byte, used to page-align the
+// scratch buffer for O_DIRECT (which requires aligned user memory, not
+// just aligned file offsets).
+func bufAddr(b []byte) uintptr {
+	if len(b) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&b[0]))
+}

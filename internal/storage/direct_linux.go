@@ -1,0 +1,17 @@
+//go:build linux
+
+package storage
+
+import "syscall"
+
+// directSupported reports whether the platform has an O_DIRECT flag at
+// all; individual filesystems may still reject it at open time (tmpfs
+// does), in which case OpenFile falls back to buffered I/O.
+const directSupported = true
+
+// directFlag returns the open(2) flag requesting direct I/O. Under
+// O_DIRECT the kernel bypasses the page cache, which is what makes the
+// measured latencies device latencies; it requires file offsets, I/O
+// lengths and user-buffer addresses aligned to the logical block size —
+// the aligned-span path in file.go guarantees all three at pageAlign.
+func directFlag() int { return syscall.O_DIRECT }

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package storage
+
+// directSupported: no portable O_DIRECT outside Linux (darwin spells it
+// fcntl(F_NOCACHE), windows has FILE_FLAG_NO_BUFFERING — neither maps
+// onto the open-flag path). Requests for direct I/O silently fall back
+// to buffered; Report.Direct exposes what actually happened.
+const directSupported = false
+
+func directFlag() int { return 0 }
