@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test cluster-test experiments table1 clean
 
 all: build test
 
@@ -43,6 +43,16 @@ chaos-test:
 storage-test:
 	$(GO) test -count=1 -run 'Storage|FileDevice' \
 		./internal/storage/... ./internal/fedora/... ./internal/fl/...
+
+# Cluster gate: the distributed shard-placement subsystem — placement
+# validation and round routing, remote-trainer fingerprint parity and
+# byte-identical checkpoint assembly over httptest members, node loss →
+# degraded rounds → join-time shard migration, and the capstone: a real
+# fedora-coordinator + 2 member fedora-server processes serving one
+# row-space with single-process model parity and node-kill degradation.
+# All under the race detector.
+cluster-test:
+	$(GO) test -race -count=1 ./internal/cluster/...
 
 build:
 	$(GO) build ./...

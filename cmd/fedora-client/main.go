@@ -49,12 +49,14 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "subcommands: status | round -requests \"1,2,3;4,5\" | bench -clients N -k K")
+		fmt.Fprintln(os.Stderr, "subcommands: status | cluster | round -requests \"1,2,3;4,5\" | bench -clients N -k K")
 		os.Exit(2)
 	}
 	switch args[0] {
 	case "status":
 		runStatus(ctx, c)
+	case "cluster":
+		runCluster(ctx, c)
 	case "round":
 		fs := flag.NewFlagSet("round", flag.ExitOnError)
 		requests := fs.String("requests", "", "per-client row lists: rows comma-separated, clients semicolon-separated")
@@ -95,6 +97,63 @@ func runStatus(ctx context.Context, c *client.Client) {
 	fmt.Printf("main ORAM bytes:   %d\n", st.MainORAMBytes)
 	fmt.Printf("DRAM bytes:        %d\n", st.DRAMBytes)
 	fmt.Printf("SSD read/written:  %d / %d\n", st.SSDBytesRead, st.SSDBytesWritten)
+
+	// Health comes from /healthz, not /v2/status — without it a server
+	// with quarantined shards prints exactly like a healthy one while
+	// silently serving degraded rounds (every row on a quarantined shard
+	// comes back unavailable).
+	hz, err := c.Healthz(ctx)
+	if err != nil {
+		fmt.Printf("health:            unknown (%v)\n", err)
+		return
+	}
+	quarantined := 0
+	for _, sh := range hz.Shards {
+		if sh.Quarantined {
+			quarantined++
+		}
+	}
+	fmt.Printf("health:            %s", hz.Status)
+	if quarantined > 0 {
+		fmt.Printf(" (%d/%d shards quarantined)", quarantined, len(hz.Shards))
+	}
+	fmt.Println()
+	for _, sh := range hz.Shards {
+		if sh.Quarantined {
+			fmt.Printf("  shard %d (%d rows) quarantined: %s\n", sh.Shard, sh.Rows, sh.Cause)
+		}
+	}
+	if hz.RecoverError != "" {
+		fmt.Printf("recover error:     %s\n", hz.RecoverError)
+	}
+}
+
+// runCluster prints a coordinator's placement map and per-node health.
+func runCluster(ctx context.Context, c *client.Client) {
+	st, err := c.ClusterStatus(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: %d shards over %d rows, round %d, %s\n",
+		st.Shards, st.NumRows, st.Round, st.Status)
+	fmt.Printf("%-4s %-28s %-12s %-16s %-10s %-10s\n",
+		"node", "url", "shards", "rows", "state", "health")
+	for i, n := range st.Nodes {
+		health := n.Health
+		if health == "" {
+			health = "-"
+		}
+		shardRange := fmt.Sprintf("[%d,%d)", n.FirstShard, n.FirstShard+n.ShardCount)
+		rowRange := fmt.Sprintf("[%d,%d)", n.FirstRow, n.FirstRow+n.Rows)
+		fmt.Printf("%-4d %-28s %-12s %-16s %-10s %-10s\n",
+			i, n.URL, shardRange, rowRange, n.State, health)
+		if len(n.Quarantined) > 0 {
+			fmt.Printf("     quarantined shards: %v\n", n.Quarantined)
+		}
+		if n.LastError != "" {
+			fmt.Printf("     last error: %s\n", n.LastError)
+		}
+	}
 }
 
 // parseRequests turns "1,2,3;4,5" into [][]uint64{{1,2,3},{4,5}}.
@@ -142,13 +201,20 @@ func runRound(ctx context.Context, c *client.Client, requests string, deadline t
 	if err != nil {
 		fatal(err)
 	}
-	served := 0
+	served, unavailable := 0, 0
 	for _, e := range entries {
-		if e.OK {
+		switch {
+		case e.OK:
 			served++
+		case e.Unavailable:
+			unavailable++
 		}
 	}
-	fmt.Printf("downloaded %d rows (%d served, %d lost)\n", len(entries), served, len(entries)-served)
+	lost := len(entries) - served - unavailable
+	fmt.Printf("downloaded %d rows (%d served, %d lost)\n", len(entries), served, lost)
+	if unavailable > 0 {
+		fmt.Printf("DEGRADED ROUND: %d row(s) unavailable (owning shard quarantined or node fenced)\n", unavailable)
+	}
 
 	done, err := c.FinishRound(ctx, info.RoundID)
 	if err != nil {

@@ -70,6 +70,9 @@ func main() {
 
 		roundDeadline = flag.Duration("round-deadline", 0, "finish rounds with partial gradients after this long (0 = no deadline)")
 
+		memberFirst = flag.Int("member-first", 0, "with -member-count: first GLOBAL shard this member serves in a fedora-coordinator cluster")
+		memberCount = flag.Int("member-count", 0, "serve only shards [member-first, member-first+member-count) of the GLOBAL -shards partition as a cluster member (0 = serve everything)")
+
 		faultPlan   = flag.String("fault-plan", "", "JSON fault-plan file: inject device faults for chaos testing (see internal/fault)")
 		maxInflight = flag.Int("max-inflight", 0, "bound concurrent round operations; excess requests are shed with 503 + Retry-After (0 = unbounded)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "with -checkpoint-dir: checkpoint every N healthy rounds and auto-recover quarantined shards after degraded rounds (0 = shutdown checkpoint only)")
@@ -96,8 +99,11 @@ func main() {
 			*faultPlan, len(plan.Rules), plan.Seed)
 	}
 
+	// Build the GLOBAL controller config first; member mode then slices
+	// it, so a member process and the whole-table process it mirrors are
+	// built from the exact same parameters.
 	var (
-		ctrl    *fedora.Controller
+		fc      fedora.Config
 		err     error
 		dimUsed = *dim
 	)
@@ -109,9 +115,9 @@ func main() {
 		dimUsed = flCfg.Dim
 		flCfg.WrapDevice = plan.Wrap
 		flCfg.Storage = spec
-		ctrl, err = fl.BuildController(flCfg)
+		fc, err = fl.ControllerConfig(flCfg)
 	} else {
-		ctrl, err = fedora.New(fedora.Config{
+		fc = fedora.Config{
 			NumRows:              *rows,
 			Dim:                  *dim,
 			Epsilon:              *eps,
@@ -122,8 +128,23 @@ func main() {
 			Shards:               *shards,
 			WrapDevice:           plan.Wrap,
 			Storage:              spec,
-		})
+		}
 	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *memberCount > 0 {
+		// Cluster member: serve a contiguous slice of the global shard
+		// partition under a fedora-coordinator. -shards stays the GLOBAL
+		// total; the slice controller owns only its own rows.
+		fc, err = fedora.SliceConfig(fc, *memberFirst, *memberCount)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fedora-server: cluster member serving shards [%d,%d) of %d\n",
+			*memberFirst, *memberFirst+*memberCount, *shards)
+	}
+	ctrl, err := fedora.New(fc)
 	if err != nil {
 		log.Fatal(err)
 	}

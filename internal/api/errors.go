@@ -27,6 +27,7 @@ const (
 	CodeInternal         = "internal"           // 500
 	CodeOverloaded       = "overloaded"         // 503: shed by overload protection (Retry-After set)
 	CodeUnavailable      = "unavailable"        // 503: every shard is quarantined
+	CodeUnsupported      = "unsupported"        // 501: backend lacks the capability (admin routes)
 )
 
 // ErrorBody is the inner object of the v2 error envelope.

@@ -166,6 +166,10 @@ func (s *Server) maybeRecover() {
 	}
 	// Degraded (or worse): replay the quarantined shards' sections from
 	// the newest checkpoint. The survivors keep their current state.
+	rec, ok := s.ctrl.(Recoverer)
+	if !ok {
+		return
+	}
 	cp, _, err := s.recoverMgr.LoadLatest()
 	if err != nil {
 		s.recoverErr = err.Error()
@@ -176,7 +180,7 @@ func (s *Server) maybeRecover() {
 		s.recoverErr = fmt.Sprintf("checkpoint epoch %d has no %q section", cp.Epoch, recoverSection)
 		return
 	}
-	if _, err := s.ctrl.RecoverQuarantined(blob); err != nil {
+	if _, err := rec.RecoverQuarantined(blob); err != nil {
 		if errors.Is(err, fedora.ErrRoundOpen) {
 			// A new round raced in; the next finish retries recovery.
 			return
@@ -190,7 +194,11 @@ func (s *Server) maybeRecover() {
 // checkpointLocked snapshots the controller as the next epoch and
 // prunes old epochs. Caller holds s.recoverMu.
 func (s *Server) checkpointLocked() error {
-	blob, err := s.ctrl.Snapshot()
+	snap, ok := s.ctrl.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("api: controller does not support snapshots")
+	}
+	blob, err := snap.Snapshot()
 	if err != nil {
 		return err
 	}

@@ -52,7 +52,7 @@ import (
 
 // Server wraps a controller with HTTP handlers.
 type Server struct {
-	ctrl            *fedora.Controller
+	ctrl            Controller
 	met             *httpMetrics
 	defaultDeadline time.Duration
 
@@ -88,8 +88,15 @@ func WithDefaultDeadline(d time.Duration) Option {
 	return func(s *Server) { s.defaultDeadline = d }
 }
 
-// NewServer wraps ctrl.
+// NewServer wraps an in-process fedora controller.
 func NewServer(ctrl *fedora.Controller, opts ...Option) *Server {
+	return NewServerFor(fedoraController{ctrl}, opts...)
+}
+
+// NewServerFor wraps any Controller implementation — an in-process
+// fedora controller (use NewServer) or a cluster coordinator fronting
+// member processes.
+func NewServerFor(ctrl Controller, opts ...Option) *Server {
 	s := &Server{
 		ctrl:   ctrl,
 		met:    newHTTPMetrics(),
@@ -127,6 +134,10 @@ func (s *Server) Handler() http.Handler {
 		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.limit(s.handleGradientsV2), "v2_gradients"},
 		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.limit(s.handleFinishV2), "v2_finish"},
 		{"GET /v2/rows/{row}", "/v2/rows/{row}", "GET", s.handleRowV2, "v2_row"},
+		{"GET /v2/admin/snapshot", "/v2/admin/snapshot", "GET", s.handleAdminSnapshot, "v2_admin_snapshot"},
+		{"POST /v2/admin/restore", "/v2/admin/restore", "POST", s.handleAdminRestore, "v2_admin_restore"},
+		{"GET /v2/admin/shards/{shard}/snapshot", "/v2/admin/shards/{shard}/snapshot", "GET", s.handleAdminShardSnapshot, "v2_admin_shard_snapshot"},
+		{"POST /v2/admin/shards/{shard}/restore", "/v2/admin/shards/{shard}/restore", "POST", s.handleAdminShardRestore, "v2_admin_shard_restore"},
 	}
 	for _, r := range v2 {
 		mux.HandleFunc(r.pattern, s.met.instrument(r.name, r.handler))
@@ -187,7 +198,7 @@ func (s *Server) statusSnapshot() StatusResponse {
 
 	ssd := s.ctrl.SSDStats()
 	return StatusResponse{
-		Backend:          s.ctrl.Backend().String(),
+		Backend:          s.ctrl.BackendName(),
 		Shards:           s.ctrl.Shards(),
 		NumRows:          s.ctrl.NumRows(),
 		Round:            s.ctrl.Round(),

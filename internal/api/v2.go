@@ -117,8 +117,8 @@ type serverRound struct {
 	// Mutable fields below are guarded by the server mutex. finishMu
 	// additionally serializes the finish transition itself so exactly
 	// one caller (explicit finish, deadline timer, or v1 shim) runs
-	// fedora.Round.Finish.
-	round     *fedora.Round // nil once finished
+	// the round's Finish.
+	round     Round // nil once finished
 	finished  bool
 	expired   bool
 	stats     fedora.RoundStats
@@ -229,8 +229,8 @@ func (s *Server) lookupRound(id string) (*serverRound, *apiError) {
 	return sr, nil
 }
 
-// liveRound returns the fedora round handle, or a round_finished error.
-func (s *Server) liveRound(sr *serverRound) (*fedora.Round, *apiError) {
+// liveRound returns the round handle, or a round_finished error.
+func (s *Server) liveRound(sr *serverRound) (Round, *apiError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sr.finished || sr.round == nil {
@@ -516,6 +516,10 @@ func (s *Server) handleRowV2(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, err := s.ctrl.PeekRow(row)
 	if err != nil {
+		if errors.Is(err, fedora.ErrShardUnavailable) {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%s", err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", err.Error())
 		return
 	}

@@ -80,6 +80,11 @@ type Stats struct {
 	// overload shedding or total unavailability. Shed attempts are
 	// retried, waiting out the server's Retry-After when it sent one.
 	Shed uint64
+	// BytesSent / BytesReceived count request and response body bytes
+	// across every attempt (JSON and raw admin blobs alike) — the wire
+	// cost a bytes/round experiment measures.
+	BytesSent     uint64
+	BytesReceived uint64
 }
 
 // APIError is a decoded v2 error envelope (or a plain non-2xx reply).
@@ -124,10 +129,12 @@ type Client struct {
 	idPrefix string
 	idSeq    atomic.Uint64
 
-	requests atomic.Uint64
-	retries  atomic.Uint64
-	failures atomic.Uint64
-	shed     atomic.Uint64
+	requests  atomic.Uint64
+	retries   atomic.Uint64
+	failures  atomic.Uint64
+	shed      atomic.Uint64
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
 }
 
 // New builds a Client.
@@ -174,10 +181,12 @@ func New(cfg Config) (*Client, error) {
 // Stats returns a snapshot of the cumulative counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Requests: c.requests.Load(),
-		Retries:  c.retries.Load(),
-		Failures: c.failures.Load(),
-		Shed:     c.shed.Load(),
+		Requests:      c.requests.Load(),
+		Retries:       c.retries.Load(),
+		Failures:      c.failures.Load(),
+		Shed:          c.shed.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		BytesReceived: c.bytesRecv.Load(),
 	}
 }
 
@@ -221,45 +230,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-// attempt performs a single HTTP round trip.
+// attempt performs a single HTTP round trip with a JSON body/reply.
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
-	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("client: build request: %w", err)
-	}
+	contentType := ""
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		contentType = "application/json"
 	}
-	c.requests.Add(1)
-	resp, err := c.http.Do(req)
+	data, status, hdr, err := c.rawAttempt(ctx, method, path, body, contentType)
 	if err != nil {
-		return &transportError{err}
+		return err
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return &transportError{err}
-	}
-	if resp.StatusCode >= 300 {
-		apiErr := &APIError{Status: resp.StatusCode}
-		var env api.ErrorEnvelope
-		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
-			apiErr.Code, apiErr.Message = env.Error.Code, env.Error.Message
-		} else {
-			apiErr.Message = strings.TrimSpace(string(data))
-		}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
-		if resp.StatusCode == http.StatusTooManyRequests ||
-			resp.StatusCode == http.StatusServiceUnavailable {
-			c.shed.Add(1)
-		}
-		return apiErr
+	if status >= 300 {
+		return c.statusError(status, hdr, data)
 	}
 	if out == nil {
 		return nil
@@ -268,6 +250,56 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return fmt.Errorf("client: decode %s %s: %w", method, path, err)
 	}
 	return nil
+}
+
+// rawAttempt is the transport core shared by the JSON calls, the raw
+// admin blob transfers and the health probe: one HTTP round trip, body
+// fully read, byte counters updated. The returned error covers only
+// transport failures — callers classify non-2xx statuses themselves.
+func (c *Client) rawAttempt(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, int, http.Header, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("client: build request: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	c.requests.Add(1)
+	c.bytesSent.Add(uint64(len(body)))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, nil, &transportError{err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, nil, &transportError{err}
+	}
+	c.bytesRecv.Add(uint64(len(data)))
+	return data, resp.StatusCode, resp.Header, nil
+}
+
+// statusError builds the APIError for a non-2xx reply (envelope when
+// present, raw text otherwise) and counts shed pushback.
+func (c *Client) statusError(status int, hdr http.Header, data []byte) *APIError {
+	apiErr := &APIError{Status: status}
+	var env api.ErrorEnvelope
+	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		apiErr.Code, apiErr.Message = env.Error.Code, env.Error.Message
+	} else {
+		apiErr.Message = strings.TrimSpace(string(data))
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		c.shed.Add(1)
+	}
+	return apiErr
 }
 
 // backoff sleeps before re-attempt number attempt (≥1), honoring ctx.

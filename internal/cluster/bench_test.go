@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/fedora"
+)
+
+// BenchmarkClusterRound16x64 measures full FL rounds (16 clients × 64
+// rows each) driven through a coordinator over HTTP, comparing the same
+// 2-shard row-space served by one node against two. Reported metrics:
+// rounds/sec and coordinator-side wire bytes per round (request +
+// response bodies, both directions summed). Feeds the EXPERIMENTS.md
+// cluster entry:
+//
+//	go test -bench ClusterRound -benchtime 20x ./internal/cluster/
+func BenchmarkClusterRound16x64(b *testing.B) {
+	for _, nodes := range []int{1, 2} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			benchClusterRound(b, nodes)
+		})
+	}
+}
+
+func benchClusterRound(b *testing.B, nodes int) {
+	const (
+		numRows    = 65536
+		dim        = 16
+		numClients = 16
+		rowsPer    = 64
+	)
+	global := fedora.Config{
+		NumRows: numRows, Dim: dim, Epsilon: 1,
+		MaxClientsPerRound: numClients, MaxFeaturesPerClient: rowsPer,
+		LearningRate: 1, Seed: 1, Shards: 2,
+	}
+	var specs []NodeSpec
+	perNode := global.Shards / nodes
+	for i := 0; i < nodes; i++ {
+		first, count := i*perNode, perNode
+		sub, err := fedora.SliceConfig(global, first, count)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl, err := fedora.New(sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(api.NewServer(ctrl).Handler())
+		b.Cleanup(srv.Close)
+		specs = append(specs, NodeSpec{URL: srv.URL, First: first, Count: count})
+	}
+	co, err := New(Config{Fedora: global, Nodes: specs, Client: testClientConfig()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	co.RegisterRoutes(mux)
+	mux.Handle("/", api.NewServerFor(co).Handler())
+	front := httptest.NewServer(mux)
+	b.Cleanup(front.Close)
+
+	ccfg := testClientConfig()
+	ccfg.BaseURL = front.URL
+	ccfg.BatchSize = rowsPer
+	cli, err := client.New(ccfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	grad := make([]float32, dim)
+	for i := range grad {
+		grad[i] = 0.25
+	}
+
+	before := cli.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs := make([][]uint64, numClients)
+		for ci := range reqs {
+			rows := make([]uint64, rowsPer)
+			for j := range rows {
+				rows[j] = uint64(rng.Int63n(numRows))
+			}
+			reqs[ci] = rows
+		}
+		info, err := cli.BeginRound(ctx, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rows := range reqs {
+			if _, err := cli.Entries(ctx, info.RoundID, rows); err != nil {
+				b.Fatal(err)
+			}
+			grads := make([]api.GradientRequest, len(rows))
+			for j, row := range rows {
+				grads[j] = api.GradientRequest{Row: row, Grad: grad, Samples: 1}
+			}
+			if _, err := cli.SubmitGradients(ctx, info.RoundID, grads); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := cli.FinishRound(ctx, info.RoundID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := cli.Stats()
+	wire := after.BytesSent + after.BytesReceived - before.BytesSent - before.BytesReceived
+	b.ReportMetric(float64(wire)/float64(b.N), "bytes/round")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+}

@@ -1,0 +1,491 @@
+// Package cluster implements the distributed shard placement layer: a
+// coordinator that serves ONE global row-space by fanning FL rounds out
+// to member fedora-server processes, each hosting a contiguous shard
+// slice of the global sharded config.
+//
+// The coordinator implements api.Controller (plus the Snapshotter,
+// Recoverer and Aborter capabilities), so the existing api.Server
+// fronts it unchanged — a remote trainer pointed at the coordinator
+// speaks the same v2 protocol it would speak to a single process, and
+// produces a bit-identical model fingerprint at any node count. The
+// parity argument stacks three invariants:
+//
+//   - routing is replicated exactly: real rows by the balanced
+//     contiguous split (shard.ShardOf), dummy padding by global
+//     (client, position) round-robin — the same pure functions the
+//     single-process engine uses;
+//   - each member, built with fedora.SliceConfig, is state-identical
+//     to the same slice of a single-process run (the balanced-partition
+//     composition lemma documented there), so handing it the per-shard
+//     request lists the engine would have produced evolves the same
+//     ORAM state;
+//   - everything that determines the model — selection, round seeds,
+//     merge order — lives on the trainer side, exactly as in the
+//     remote-trainer deployment of PR 4.
+//
+// Failure handling extends PR 5's shard quarantine to node loss: a
+// member that fails a probe or a round operation is FENCED — its shards
+// behave like quarantined shards (rows unavailable, rounds degrade over
+// the survivors) — and recovery is shard migration: per-shard
+// checkpoint sections are replayed onto the fenced node once reachable
+// again, or onto a replacement process that registers via
+// /cluster/join.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/device"
+	"repro/internal/fedora"
+	"repro/internal/shard"
+	"repro/internal/storage"
+)
+
+// NodeSpec declares one member's placement: the server URL and the
+// contiguous GLOBAL shard slice [First, First+Count) it serves. The
+// member process must have been started with the matching slice
+// (fedora-server -member-first/-member-count over the same global
+// config) or round traffic is rejected by its own row-range checks.
+type NodeSpec struct {
+	URL   string
+	First int
+	Count int
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Fedora is the GLOBAL controller config (ShardBase 0). The
+	// coordinator never builds this controller — members build slices of
+	// it — but uses it for routing geometry, the effective ε, and the
+	// config digest stamped on assembled checkpoints.
+	Fedora fedora.Config
+	// Nodes lists the members in slice order; together they must cover
+	// [0, Shards) exactly, with no gaps or overlaps.
+	Nodes []NodeSpec
+	// Client is the SDK template for member connections (BaseURL is
+	// overridden per node). Keep MaxRetries/backoff small: the retry
+	// budget is also the node-failure detection latency.
+	Client client.Config
+	// Checkpoint, when set, supplies the newest assembled cluster
+	// snapshot (the blob Coordinator.Snapshot returned) for join-time
+	// migration: a replacement node registering via /cluster/join gets
+	// its shards' sections replayed from it. Without it, joins are
+	// registered but recovery waits for the serving layer's
+	// auto-recovery pass.
+	Checkpoint func() ([]byte, error)
+	// ProbeInterval is the background health-probe period for
+	// StartProbes (0 = 5s).
+	ProbeInterval time.Duration
+}
+
+// member is one node's runtime state. Mutable fields are guarded by the
+// coordinator mutex; the SDK client is safe for concurrent use.
+type member struct {
+	spec    NodeSpec
+	cli     *client.Client
+	rowBase uint64 // first global row of the slice
+	rows    uint64 // rows the slice owns
+
+	fenced  bool
+	lastErr string
+	// health is the member's last successfully fetched /healthz report
+	// (zero value until the first probe).
+	health   api.HealthzResponse
+	hasProbe bool
+}
+
+// Coordinator fans rounds out across the members. It implements
+// api.Controller, api.Snapshotter, api.Recoverer and api.Aborter; serve
+// it with api.NewServerFor.
+type Coordinator struct {
+	cfg     Config
+	norm    fedora.Config // defaults-applied global config
+	shards  int           // S ≥ 1
+	numRows uint64
+	digest  uint64
+	effEps  float64
+	nodeOf  []int // global shard index → member index
+	members []*member
+
+	mu          sync.Mutex
+	round       uint64
+	inRound     bool
+	quarantines uint64 // node fence events
+	recoveries  uint64 // node unfence events
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// New validates the placement and builds the coordinator. Every slice
+// is re-derived through fedora.SliceConfig, so the same rules apply as
+// when starting the members themselves (contiguity, bounds, and the
+// HideCount one-shard-per-member restriction).
+func New(cfg Config) (*Coordinator, error) {
+	// SliceConfig over the whole range applies setDefaults+validate and
+	// returns the normalized global config — the one whose digest equals
+	// a single-process controller's ConfigDigest.
+	shards := cfg.Fedora.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	norm, err := fedora.SliceConfig(cfg.Fedora, 0, shards)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: at least one node required")
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		norm:    norm,
+		shards:  shards,
+		numRows: norm.NumRows,
+		digest:  norm.Digest(),
+		effEps:  norm.EffectiveEpsilon(),
+		nodeOf:  make([]int, shards),
+	}
+	next := 0
+	for n, spec := range cfg.Nodes {
+		if spec.URL == "" {
+			return nil, fmt.Errorf("cluster: node %d: URL required", n)
+		}
+		if spec.First != next {
+			return nil, fmt.Errorf("cluster: node %d serves shards [%d,%d), expected the slice to start at %d (placements must tile [0,%d) in order)",
+				n, spec.First, spec.First+spec.Count, next, shards)
+		}
+		if _, err := fedora.SliceConfig(cfg.Fedora, spec.First, spec.Count); err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+		m, err := c.newMember(spec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+		c.members = append(c.members, m)
+		for s := spec.First; s < spec.First+spec.Count; s++ {
+			c.nodeOf[s] = n
+		}
+		next += spec.Count
+	}
+	if next != shards {
+		return nil, fmt.Errorf("cluster: placements cover shards [0,%d) of %d", next, shards)
+	}
+	return c, nil
+}
+
+// newMember builds a member's runtime state (SDK client + row range).
+func (c *Coordinator) newMember(spec NodeSpec) (*member, error) {
+	cc := c.cfg.Client
+	cc.BaseURL = strings.TrimRight(spec.URL, "/")
+	cli, err := client.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	rowBase := shard.Base(c.numRows, c.shards, spec.First)
+	rowEnd := c.numRows
+	if spec.First+spec.Count < c.shards {
+		rowEnd = shard.Base(c.numRows, c.shards, spec.First+spec.Count)
+	}
+	return &member{spec: spec, cli: cli, rowBase: rowBase, rows: rowEnd - rowBase}, nil
+}
+
+// fence isolates node n. Idempotent; the first call records the cause.
+func (c *Coordinator) fence(n int, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.members[n]
+	if m.fenced {
+		return
+	}
+	m.fenced = true
+	m.lastErr = cause.Error()
+	c.quarantines++
+}
+
+// unfence returns node n to service after a successful migration.
+func (c *Coordinator) unfence(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.members[n]
+	if !m.fenced {
+		return
+	}
+	m.fenced = false
+	m.lastErr = ""
+	c.recoveries++
+}
+
+// isFenced reads node n's fence flag.
+func (c *Coordinator) isFenced(n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.members[n].fenced
+}
+
+// endRound clears the in-flight flag.
+func (c *Coordinator) endRound() {
+	c.mu.Lock()
+	c.inRound = false
+	c.mu.Unlock()
+}
+
+// forEachMember runs fn(n) for every member concurrently and waits.
+func (c *Coordinator) forEachMember(fn func(n int)) {
+	var wg sync.WaitGroup
+	for n := range c.members {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			fn(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// ---- api.Controller getters ------------------------------------------
+
+// Round reports how many rounds have begun (mirroring
+// fedora.Controller.Round: the counter advances at begin).
+func (c *Coordinator) Round() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// NumRows reports the GLOBAL embedding-table height.
+func (c *Coordinator) NumRows() uint64 { return c.numRows }
+
+// Shards reports the GLOBAL shard count.
+func (c *Coordinator) Shards() int { return c.shards }
+
+// BackendName labels the backend for status reporting.
+func (c *Coordinator) BackendName() string {
+	return "cluster/" + c.norm.Backend.String()
+}
+
+// EffectiveEpsilon reports the per-value ε of the global config.
+func (c *Coordinator) EffectiveEpsilon() float64 { return c.effEps }
+
+// MainORAMBytes sums the members' main-ORAM footprints (best effort:
+// unreachable members contribute zero).
+func (c *Coordinator) MainORAMBytes() uint64 {
+	var total uint64
+	for st := range c.memberStatuses() {
+		total += st.MainORAMBytes
+	}
+	return total
+}
+
+// DRAMResidentBytes sums the members' DRAM-resident footprints.
+func (c *Coordinator) DRAMResidentBytes() uint64 {
+	var total uint64
+	for st := range c.memberStatuses() {
+		total += st.DRAMBytes
+	}
+	return total
+}
+
+// SSDStats aggregates member SSD byte counters (the status wire shape
+// carries bytes only; op counts and busy time stay per-member).
+func (c *Coordinator) SSDStats() device.Stats {
+	var agg device.Stats
+	for st := range c.memberStatuses() {
+		agg.BytesRead += st.SSDBytesRead
+		agg.BytesWritten += st.SSDBytesWritten
+	}
+	return agg
+}
+
+// DRAMStats is not aggregated across the wire; it reports zero.
+func (c *Coordinator) DRAMStats() device.Stats { return device.Stats{} }
+
+// StorageReports are per-process telemetry; the coordinator has none.
+func (c *Coordinator) StorageReports() []storage.Report { return nil }
+
+// memberStatuses fans a status query out to the live members and yields
+// the successful replies.
+func (c *Coordinator) memberStatuses() <-chan api.StatusResponse {
+	out := make(chan api.StatusResponse, len(c.members))
+	go func() {
+		defer close(out)
+		var wg sync.WaitGroup
+		for n, m := range c.members {
+			if c.isFenced(n) {
+				continue
+			}
+			wg.Add(1)
+			go func(m *member) {
+				defer wg.Done()
+				if st, err := m.cli.Status(context.Background()); err == nil {
+					out <- st
+				}
+			}(m)
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// PeekRow reads one global row through the owning member's evaluation
+// backdoor. Rows on a fenced node return ErrShardUnavailable (wrapped),
+// exactly like rows on a quarantined shard.
+func (c *Coordinator) PeekRow(row uint64) ([]float32, error) {
+	if row >= c.numRows {
+		return nil, fmt.Errorf("cluster: row %d out of range %d", row, c.numRows)
+	}
+	n := c.nodeOf[shard.ShardOf(c.numRows, c.shards, row)]
+	if c.isFenced(n) {
+		return nil, c.unavailable(n)
+	}
+	entry, err := c.members[n].cli.PeekRow(context.Background(), row-c.members[n].rowBase)
+	if err != nil {
+		return nil, err
+	}
+	return entry, nil
+}
+
+// unavailable builds the wrapped ErrShardUnavailable for node n.
+func (c *Coordinator) unavailable(n int) error {
+	c.mu.Lock()
+	m := c.members[n]
+	cause := m.lastErr
+	c.mu.Unlock()
+	if cause != "" {
+		return fmt.Errorf("cluster: node %d (%s): %w: %s", n, m.spec.URL, fedora.ErrShardUnavailable, cause)
+	}
+	return fmt.Errorf("cluster: node %d (%s): %w", n, m.spec.URL, fedora.ErrShardUnavailable)
+}
+
+// Health assembles the GLOBAL shard-health report: every live member is
+// probed (fencing it on transport failure), fenced members report all
+// their shards quarantined, and live members pass their own per-shard
+// quarantine detail through by global index. The same report shape the
+// single-process engine produces, so /healthz and the auto-recovery
+// machinery work unchanged on a coordinator.
+func (c *Coordinator) Health() shard.HealthReport {
+	c.probeAll()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := shard.HealthReport{Shards: make([]shard.ShardHealth, c.shards)}
+	down := 0
+	for g := 0; g < c.shards; g++ {
+		m := c.members[c.nodeOf[g]]
+		sh := shard.ShardHealth{Shard: g, Rows: shard.Rows(c.numRows, c.shards, g)}
+		if m.fenced {
+			sh.Quarantined = true
+			sh.Cause = m.lastErr
+		} else if m.hasProbe {
+			for _, msh := range m.health.Shards {
+				if msh.Shard == g {
+					sh.Quarantined = msh.Quarantined
+					sh.Cause = msh.Cause
+					break
+				}
+			}
+		}
+		if sh.Quarantined {
+			down++
+		}
+		rep.Shards[g] = sh
+	}
+	switch down {
+	case 0:
+		rep.Status = shard.StatusHealthy
+	case c.shards:
+		rep.Status = shard.StatusUnavailable
+	default:
+		rep.Status = shard.StatusDegraded
+	}
+	// Node-level events, plus the members' own shard-level events.
+	rep.Quarantines = c.quarantines
+	rep.Recoveries = c.recoveries
+	for _, m := range c.members {
+		if m.hasProbe && !m.fenced {
+			rep.Quarantines += m.health.Quarantines
+			rep.Recoveries += m.health.Recoveries
+		}
+	}
+	return rep
+}
+
+// probeAll probes every live member's /healthz, caching the report and
+// fencing nodes whose probe fails at the transport level. A member
+// answering 503 (all its shards quarantined) is reachable — it stays
+// live and its quarantine detail flows into the global report.
+func (c *Coordinator) probeAll() {
+	c.forEachMember(func(n int) {
+		if c.isFenced(n) {
+			return
+		}
+		m := c.members[n]
+		hz, err := m.cli.Healthz(context.Background())
+		if err != nil {
+			c.fence(n, err)
+			return
+		}
+		c.mu.Lock()
+		m.health = hz
+		m.hasProbe = true
+		c.mu.Unlock()
+	})
+}
+
+// StartProbes launches the background health-probe loop. Stop it with
+// StopProbes (or let process exit take it).
+func (c *Coordinator) StartProbes() {
+	c.mu.Lock()
+	if c.probeStop != nil {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.probeStop, c.probeDone = stop, done
+	c.mu.Unlock()
+	interval := c.cfg.ProbeInterval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// StopProbes stops the background probe loop (idempotent).
+func (c *Coordinator) StopProbes() {
+	c.mu.Lock()
+	stop, done := c.probeStop, c.probeDone
+	c.probeStop, c.probeDone = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// AbortRound force-closes the coordinator's round bookkeeping (the
+// api.Aborter capability the admin-restore path uses). Members'
+// orphaned rounds are cleaned up when sections are replayed onto them —
+// the admin restore endpoints abort server-side first.
+func (c *Coordinator) AbortRound() {
+	c.mu.Lock()
+	c.inRound = false
+	c.mu.Unlock()
+}

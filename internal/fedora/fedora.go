@@ -146,6 +146,18 @@ type Config struct {
 	// results: each shard's RNG stream is derived from Seed and the shard
 	// index alone.
 	ShardWorkers int
+	// ShardBase is the GLOBAL index of this controller's first shard — 0
+	// for a standalone controller, the slice start for a cluster member
+	// built by SliceConfig. It offsets the per-shard seed derivation,
+	// storage prefixes, fault-plan device names, checkpoint section names
+	// and health shard indices, so a controller serving shards
+	// [ShardBase, ShardBase+Shards) of a larger decomposition is
+	// state-identical, shard for shard, to the same slice of a
+	// single-process run. Like ShardWorkers it is excluded from the
+	// config digest: slice identity is pinned by the engine snapshot's
+	// base field instead (and, for one-shard members, by the
+	// shard-derived Seed).
+	ShardBase int
 	// Storage selects how the main-ORAM device is realized: the
 	// discrete-event simulator (zero value) or a real file-backed device
 	// doing page-aligned I/O against Storage.Dir (storage.KindFile) —
@@ -199,6 +211,9 @@ func (c *Config) validate() error {
 	}
 	if c.Shards < 0 {
 		return errors.New("fedora: Shards must be non-negative")
+	}
+	if c.ShardBase < 0 {
+		return errors.New("fedora: ShardBase must be non-negative")
 	}
 	if c.Shards > 1 && uint64(c.Shards) > c.NumRows {
 		return fmt.Errorf("fedora: %d shards exceed the %d embedding rows", c.Shards, c.NumRows)
@@ -391,10 +406,7 @@ func New(cfg Config) (*Controller, error) {
 	// ε-FDP mechanism. ε = 0 means perfect FDP: the paper achieves it
 	// with the Delta shape (always k = K). Group privacy divides ε by the
 	// padded per-client feature count when hiding the count itself.
-	c.effEps = cfg.Epsilon
-	if cfg.HideCount {
-		c.effEps = fdp.GroupEpsilon(cfg.Epsilon, cfg.MaxFeaturesPerClient)
-	}
+	c.effEps = cfg.EffectiveEpsilon()
 	shape := cfg.Shape
 	if cfg.Epsilon == 0 {
 		shape = fdp.Delta{}
@@ -424,7 +436,7 @@ func (c *Controller) Health() shard.HealthReport {
 	}
 	return shard.HealthReport{
 		Status: shard.StatusHealthy,
-		Shards: []shard.ShardHealth{{Shard: 0, Rows: c.cfg.NumRows}},
+		Shards: []shard.ShardHealth{{Shard: c.cfg.ShardBase, Rows: c.cfg.NumRows}},
 	}
 }
 
@@ -432,16 +444,22 @@ func (c *Controller) Health() shard.HealthReport {
 // leaving the pipeline quiesced but the in-memory ORAM state dirty; the
 // caller is expected to Restore a trusted snapshot before serving again
 // (the shard engine's quarantine/recover path does exactly that). It is
-// idempotent and safe with no round open. Sharded controllers abort
-// through their sub-controllers, not the parent.
+// idempotent and safe with no round open. A sharded controller also
+// force-quiesces its engine and every sub-controller — the orphaned
+// round a coordinator fence leaves behind would otherwise block
+// Snapshot/Restore forever.
 func (c *Controller) AbortRound() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.cur != nil {
 		c.cur.done = true // stragglers see ErrRoundFinished, not dirty state
 		c.cur = nil
 	}
 	c.inRound = false
+	eng := c.eng
+	c.mu.Unlock()
+	if eng != nil {
+		eng.Abort()
+	}
 }
 
 // bucketSlotsFor derives Z so the stored bucket fits bucketBytes.

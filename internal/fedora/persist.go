@@ -35,8 +35,13 @@ var ErrRoundOpen = errors.New("fedora: cannot snapshot mid-round")
 // snapshot only restores into a controller with an identical digest —
 // geometry, privacy parameters, and seeds must all match for replay to
 // be meaningful.
-func (c *Controller) ConfigDigest() uint64 {
-	cfg := c.cfg
+func (c *Controller) ConfigDigest() uint64 { return c.cfg.Digest() }
+
+// Digest fingerprints the semantically relevant Config fields without
+// building a controller. The cluster coordinator uses it to stamp and
+// verify assembled checkpoints for the GLOBAL config while only member
+// controllers (built from slices of it) actually exist.
+func (cfg Config) Digest() uint64 {
 	var e persist.Encoder
 	e.U8(uint8(cfg.Backend))
 	e.U64(cfg.NumRows)
@@ -55,10 +60,13 @@ func (c *Controller) ConfigDigest() uint64 {
 	e.U8(uint8(cfg.Selection))
 	e.U32(uint32(cfg.EvictPeriod))
 	e.Bool(cfg.SortedUnion)
-	// ShardWorkers and Storage are deliberately excluded: the worker count
-	// and the storage backend are purely operational knobs that never
-	// affect state — a checkpoint taken over the simulator restores onto
-	// a file-backed controller and vice versa.
+	// ShardWorkers, ShardBase and Storage are deliberately excluded: the
+	// worker count and the storage backend are purely operational knobs
+	// that never affect state — a checkpoint taken over the simulator
+	// restores onto a file-backed controller and vice versa — and slice
+	// placement is pinned by the engine snapshot's base field (plus the
+	// shard-derived Seed for one-shard members), so per-shard sections
+	// stay portable between a single-process run and any member.
 	e.U32(uint32(cfg.Shards))
 	h := fnv.New64a()
 	h.Write(e.Finish())

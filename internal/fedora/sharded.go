@@ -18,16 +18,23 @@ func newSharded(cfg Config) (*Controller, error) {
 	c.subs = make([]*Controller, n)
 	parts := make([]shard.Partition, n)
 	for i := 0; i < n; i++ {
+		// g is the shard's GLOBAL index: a standalone sharded controller
+		// has ShardBase 0 and g == i; a cluster member serving the slice
+		// [ShardBase, ShardBase+Shards) derives seeds, prefixes and
+		// device names from g so its shards are state-identical to the
+		// same shards of a single-process run.
+		g := cfg.ShardBase + i
 		sub := cfg
 		sub.Shards = 0
 		sub.ShardWorkers = 0
+		sub.ShardBase = g
 		sub.NumRows = shard.Rows(cfg.NumRows, n, i)
 		// Independent, deterministic RNG stream per shard: results are
 		// bit-identical at any worker count.
-		sub.Seed = shard.Seed(cfg.Seed, i)
+		sub.Seed = shard.Seed(cfg.Seed, g)
 		// One backing file per shard under the file backend; the prefix
 		// also qualifies the device name ("shard3/ssd") in storage reports.
-		sub.Storage.Prefix = fmt.Sprintf("shard%d", i)
+		sub.Storage.Prefix = fmt.Sprintf("shard%d", g)
 		if cfg.InitRow != nil {
 			base := shard.Base(cfg.NumRows, n, i)
 			init := cfg.InitRow
@@ -36,14 +43,14 @@ func newSharded(cfg Config) (*Controller, error) {
 		if cfg.WrapDevice != nil {
 			// Qualify device names per shard so a fault plan can target
 			// "shard1/ssd" (one shard's SSD) or "shard*/ssd" (all of them).
-			wrap, idx := cfg.WrapDevice, i
+			wrap, idx := cfg.WrapDevice, g
 			sub.WrapDevice = func(name string, d device.Device) device.Device {
 				return wrap(fmt.Sprintf("shard%d/%s", idx, name), d)
 			}
 		}
 		s, err := New(sub)
 		if err != nil {
-			return nil, fmt.Errorf("fedora: shard %d: %w", i, err)
+			return nil, fmt.Errorf("fedora: shard %d: %w", g, err)
 		}
 		c.subs[i] = s
 		parts[i] = (*subPartition)(s)
@@ -53,6 +60,7 @@ func newSharded(cfg Config) (*Controller, error) {
 		NumRows: cfg.NumRows,
 		Workers: cfg.ShardWorkers,
 		Dummy:   DummyRequest,
+		Base:    cfg.ShardBase,
 	}, parts)
 	if err != nil {
 		return nil, err

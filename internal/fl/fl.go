@@ -215,17 +215,19 @@ func initRowFunc(seed int64, dim int) func(row uint64) []float32 {
 	}
 }
 
-// BuildController constructs the FEDORA controller fl.New would pair
-// with cfg. Exported so a serving process (cmd/fedora-server) can host
-// the controller while a remote trainer drives it over the wire: a
-// remote run is bit-identical to a local one exactly when both sides
-// built their halves from the same Config.
-func BuildController(cfg Config) (*fedora.Controller, error) {
+// ControllerConfig maps an fl.Config to the GLOBAL fedora.Config
+// fl.New would build its controller from. Exported alongside
+// BuildController for deployments that need the config itself rather
+// than a built controller: a cluster coordinator routes against the
+// global config while only member processes instantiate (slices of)
+// it, and a member process slices this config with fedora.SliceConfig
+// before building.
+func ControllerConfig(cfg Config) (fedora.Config, error) {
 	cfg.setDefaults()
 	if cfg.Dataset == nil {
-		return nil, errors.New("fl: Dataset required")
+		return fedora.Config{}, errors.New("fl: Dataset required")
 	}
-	return fedora.New(fedora.Config{
+	return fedora.Config{
 		Backend:              cfg.Backend,
 		NumRows:              cfg.Dataset.NumItems,
 		Dim:                  cfg.Dim,
@@ -244,7 +246,20 @@ func BuildController(cfg Config) (*fedora.Controller, error) {
 		EvictPeriod:          cfg.EvictPeriod,
 		WrapDevice:           cfg.WrapDevice,
 		Storage:              cfg.Storage,
-	})
+	}, nil
+}
+
+// BuildController constructs the FEDORA controller fl.New would pair
+// with cfg. Exported so a serving process (cmd/fedora-server) can host
+// the controller while a remote trainer drives it over the wire: a
+// remote run is bit-identical to a local one exactly when both sides
+// built their halves from the same Config.
+func BuildController(cfg Config) (*fedora.Controller, error) {
+	fc, err := ControllerConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fedora.New(fc)
 }
 
 // New builds a trainer and its in-process controller.

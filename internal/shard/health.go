@@ -77,9 +77,9 @@ func (e *Engine) unavailable(s int) error {
 	cause := e.causes[s]
 	e.mu.Unlock()
 	if cause != nil {
-		return fmt.Errorf("shard %d: %w: %w", s, ErrShardUnavailable, cause)
+		return fmt.Errorf("shard %d: %w: %w", e.cfg.Base+s, ErrShardUnavailable, cause)
 	}
-	return fmt.Errorf("shard %d: %w", s, ErrShardUnavailable)
+	return fmt.Errorf("shard %d: %w", e.cfg.Base+s, ErrShardUnavailable)
 }
 
 // HealthStatus is the engine-level health rollup.
@@ -123,7 +123,7 @@ func (e *Engine) Health() HealthReport {
 	down := 0
 	for i := range rep.Shards {
 		rep.Shards[i] = ShardHealth{
-			Shard:       i,
+			Shard:       e.cfg.Base + i,
 			Rows:        Rows(e.cfg.NumRows, e.cfg.Shards, i),
 			Quarantined: e.quarantined[i],
 		}
@@ -181,30 +181,31 @@ func (e *Engine) Recover(b []byte) ([]int, error) {
 	version := d.U8()
 	shards := int(d.U32())
 	numRows := d.U64()
+	base := int(d.U32())
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("shard: recover: snapshot meta: %w", err)
 	}
 	if version != engineSnapshotVersion {
 		return nil, fmt.Errorf("shard: recover: unsupported engine snapshot version %d", version)
 	}
-	if shards != e.cfg.Shards || numRows != e.cfg.NumRows {
-		return nil, fmt.Errorf("shard: recover: snapshot geometry (%d shards, %d rows) does not match engine (%d shards, %d rows)",
-			shards, numRows, e.cfg.Shards, e.cfg.NumRows)
+	if shards != e.cfg.Shards || numRows != e.cfg.NumRows || base != e.cfg.Base {
+		return nil, fmt.Errorf("shard: recover: snapshot geometry (%d shards, %d rows, base %d) does not match engine (%d shards, %d rows, base %d)",
+			shards, numRows, base, e.cfg.Shards, e.cfg.NumRows, e.cfg.Base)
 	}
 	var recovered []int
 	for _, i := range idx {
-		blob, ok := cp.Get(SectionName(i))
+		blob, ok := cp.Get(SectionName(e.cfg.Base + i))
 		if !ok {
-			return recovered, fmt.Errorf("shard: recover: snapshot has no %q section", SectionName(i))
+			return recovered, fmt.Errorf("shard: recover: snapshot has no %q section", SectionName(e.cfg.Base+i))
 		}
 		e.parts[i].Abort()
 		if err := e.parts[i].Restore(blob); err != nil {
-			return recovered, fmt.Errorf("shard %d: recover: %w", i, err)
+			return recovered, fmt.Errorf("shard %d: recover: %w", e.cfg.Base+i, err)
 		}
 		e.quarantined[i] = false
 		e.causes[i] = nil
 		e.recoveries++
-		recovered = append(recovered, i)
+		recovered = append(recovered, e.cfg.Base+i)
 	}
 	return recovered, nil
 }

@@ -14,9 +14,13 @@ import (
 // geometry. Restoring a snapshot taken at a different shard count is
 // rejected: the per-shard ORAM trees, position maps and RNG streams are
 // only meaningful under the exact partition they were written with.
+// Sections are named by GLOBAL shard index (Config.Base + local index)
+// so a cluster member's sections are interchangeable with the matching
+// sections of a single-process engine snapshot.
 
-// engineSnapshotVersion stamps the meta section.
-const engineSnapshotVersion = 1
+// engineSnapshotVersion stamps the meta section. Version 2 added the
+// Base field for slice engines (cluster members).
+const engineSnapshotVersion = 2
 
 // metaSection / SectionName name the container sections.
 const metaSection = "shard/meta"
@@ -41,13 +45,14 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	meta.U8(engineSnapshotVersion)
 	meta.U32(uint32(e.cfg.Shards))
 	meta.U64(e.cfg.NumRows)
+	meta.U32(uint32(e.cfg.Base))
 	cp.Put(metaSection, meta.Finish())
 	for i, p := range e.parts {
 		blob, err := p.Snapshot()
 		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+			return nil, fmt.Errorf("shard %d: %w", e.cfg.Base+i, err)
 		}
-		cp.Put(SectionName(i), blob)
+		cp.Put(SectionName(e.cfg.Base+i), blob)
 	}
 	var buf bytes.Buffer
 	if err := cp.Encode(&buf); err != nil {
@@ -79,6 +84,7 @@ func (e *Engine) Restore(b []byte) error {
 	version := d.U8()
 	shards := int(d.U32())
 	numRows := d.U64()
+	base := int(d.U32())
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("shard: engine snapshot meta: %w", err)
 	}
@@ -91,14 +97,73 @@ func (e *Engine) Restore(b []byte) error {
 	if numRows != e.cfg.NumRows {
 		return fmt.Errorf("shard: snapshot covers %d rows, engine is configured with %d", numRows, e.cfg.NumRows)
 	}
+	if base != e.cfg.Base {
+		return fmt.Errorf("shard: snapshot covers shard slice [%d,%d), engine serves [%d,%d)",
+			base, base+shards, e.cfg.Base, e.cfg.Base+e.cfg.Shards)
+	}
 	for i, p := range e.parts {
-		blob, ok := cp.Get(SectionName(i))
+		blob, ok := cp.Get(SectionName(e.cfg.Base + i))
 		if !ok {
-			return fmt.Errorf("shard: engine snapshot has no %q section", SectionName(i))
+			return fmt.Errorf("shard: engine snapshot has no %q section", SectionName(e.cfg.Base+i))
 		}
 		if err := p.Restore(blob); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", e.cfg.Base+i, err)
 		}
 	}
+	return nil
+}
+
+// SnapshotShard serializes one partition, addressed by GLOBAL shard
+// index. The blob is exactly the section SnapshotShard's shard would
+// occupy in a full engine snapshot, so it can be replayed by
+// RestoreShard on any engine (or slice engine) that owns the shard.
+func (e *Engine) SnapshotShard(global int) ([]byte, error) {
+	local := global - e.cfg.Base
+	if local < 0 || local >= e.cfg.Shards {
+		return nil, fmt.Errorf("shard: shard %d outside engine slice [%d,%d)",
+			global, e.cfg.Base, e.cfg.Base+e.cfg.Shards)
+	}
+	e.mu.Lock()
+	if e.inRound {
+		e.mu.Unlock()
+		return nil, ErrRoundOpen
+	}
+	e.mu.Unlock()
+	blob, err := e.parts[local].Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", global, err)
+	}
+	return blob, nil
+}
+
+// RestoreShard replays one shard's section, addressed by GLOBAL shard
+// index, onto a quiesced engine. The partition's half-open round state
+// (if any) is aborted first; if the shard was quarantined it is
+// returned to service and counted as a recovery. This is the migration
+// primitive: export a section from wherever the shard last lived and
+// replay it onto the engine that owns the shard now.
+func (e *Engine) RestoreShard(global int, blob []byte) error {
+	local := global - e.cfg.Base
+	if local < 0 || local >= e.cfg.Shards {
+		return fmt.Errorf("shard: shard %d outside engine slice [%d,%d)",
+			global, e.cfg.Base, e.cfg.Base+e.cfg.Shards)
+	}
+	e.mu.Lock()
+	if e.inRound {
+		e.mu.Unlock()
+		return ErrRoundOpen
+	}
+	e.mu.Unlock()
+	e.parts[local].Abort()
+	if err := e.parts[local].Restore(blob); err != nil {
+		return fmt.Errorf("shard %d: %w", global, err)
+	}
+	e.mu.Lock()
+	if e.quarantined[local] {
+		e.quarantined[local] = false
+		e.causes[local] = nil
+		e.recoveries++
+	}
+	e.mu.Unlock()
 	return nil
 }

@@ -62,6 +62,13 @@ type Config struct {
 	// before). Nil means DefaultTrigger: injected device faults and TEE
 	// auth failures quarantine, everything else is fatal.
 	Trigger func(error) bool
+	// Base is the GLOBAL index of this engine's first shard. A standalone
+	// engine leaves it 0; a cluster member hosting a contiguous slice
+	// [Base, Base+Shards) of a larger decomposition sets it so checkpoint
+	// sections and health reports are named by global shard index —
+	// making per-shard sections portable between a single-process engine
+	// and any member that owns the shard.
+	Base int
 }
 
 // Partition is one shard's pipeline, as supplied by the embedding layer.
@@ -120,6 +127,9 @@ func NewEngine(cfg Config, parts []Partition) (*Engine, error) {
 	}
 	if len(parts) != cfg.Shards {
 		return nil, fmt.Errorf("shard: %d partitions supplied for %d shards", len(parts), cfg.Shards)
+	}
+	if cfg.Base < 0 {
+		return nil, fmt.Errorf("shard: Base %d must be non-negative", cfg.Base)
 	}
 	return &Engine{
 		cfg: cfg, parts: parts,
@@ -275,6 +285,21 @@ func (e *Engine) endRound() {
 	e.mu.Lock()
 	e.inRound = false
 	e.mu.Unlock()
+}
+
+// Abort force-quiesces the engine: any in-flight round is abandoned and
+// every partition's half-open round state is discarded. It exists for
+// the orphaned-round case a coordinator fence creates — the member's
+// round will never see Finish, so Snapshot/Restore would report
+// ErrRoundOpen forever without a forced close. Stored table data is not
+// touched. Callers must ensure no round operations are still in flight.
+func (e *Engine) Abort() {
+	e.mu.Lock()
+	e.inRound = false
+	e.mu.Unlock()
+	for _, p := range e.parts {
+		p.Abort()
+	}
 }
 
 // Round is an in-flight sharded round: one PartitionRound per shard plus

@@ -109,7 +109,7 @@ func (e *Engine) merge(stats []RoundStats, beginWall, finishWall time.Duration, 
 			acct.Observe(st.RoundEpsilon)
 		}
 		m.PerShard[i] = ShardStats{
-			Shard: i, Rows: Rows(e.cfg.NumRows, e.cfg.Shards, i),
+			Shard: e.cfg.Base + i, Rows: Rows(e.cfg.NumRows, e.cfg.Shards, i),
 			K: st.K, KUnion: st.KUnion, KSampled: st.KSampled,
 			Dummy: st.Dummy, Lost: st.Lost, Chunks: st.Chunks,
 			RoundEpsilon: st.RoundEpsilon,
