@@ -2,18 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test cluster-test experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test cluster-test wire-test experiments table1 clean
 
 all: build test
 
 # CI gate: static checks + the race detector over the concurrent layers
 # (the FL worker pool, the fedora round pipeline, the sharded ORAM
-# engine, the HTTP API server, and the retrying HTTP client SDK).
+# engine, the HTTP API server, the retrying HTTP client SDK, and the
+# wire upload plane).
 check:
 	$(GO) vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) test -race ./internal/fl/... ./internal/fedora/... ./internal/shard/... ./internal/api/... ./internal/client/...
+	$(GO) test -race ./internal/fl/... ./internal/fedora/... ./internal/shard/... ./internal/api/... ./internal/client/... ./internal/wire/...
 
 # Durability gate: kill-resume fingerprint identity, corrupt-checkpoint
 # fallback, torn-WAL replay, every Snapshot/Restore round trip, and a
@@ -43,6 +44,18 @@ chaos-test:
 storage-test:
 	$(GO) test -count=1 -run 'Storage|FileDevice' \
 		./internal/storage/... ./internal/fedora/... ./internal/fl/...
+
+# Wire gate: the gradient upload plane — codec round trips, pairwise
+# masking + dropout unmasking, cross-codec model parity (local,
+# in-process trainer, remote HTTP, cluster fan-out), the upload-codec
+# server policy, and a short pass of the payload fuzzers. All under the
+# race detector.
+wire-test:
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/secagg/...
+	$(GO) test -race -count=1 -run 'Wire|UploadCodec' \
+		./internal/fl/... ./internal/api/... ./internal/client/... ./internal/cluster/...
+	$(GO) test -run=Fuzz -fuzz=FuzzAggregatorParse -fuzztime=10s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz=FuzzSparseRoundTrip -fuzztime=10s ./internal/wire/
 
 # Cluster gate: the distributed shard-placement subsystem — placement
 # validation and round routing, remote-trainer fingerprint parity and

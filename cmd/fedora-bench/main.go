@@ -12,6 +12,7 @@
 //	fedora-bench -parallel         FL round wall-clock vs worker count
 //	fedora-bench -shards           FL round wall-clock vs ORAM shard count
 //	fedora-bench -storage-compare  sim vs file-backed storage: latency + determinism
+//	fedora-bench -wire             upload bytes/round per wire codec (8×32, 16×64)
 //	fedora-bench -all              everything above
 //
 // -quick restricts sweeps to the Small/10K point for a fast smoke run.
@@ -30,6 +31,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/metrics"
 	"repro/internal/storage"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -55,6 +57,8 @@ func main() {
 		csvOut = flag.String("csv", "", "also write the Fig 7/8 sweep to this CSV file")
 		brkdwn = flag.Bool("fig8-breakdown", false, "per-phase breakdown of Figure 8")
 		seeds  = flag.Int("seeds", 0, "multi-seed mode: repeat the Small/10K FEDORA(e=1) point N times and report mean ± CI")
+
+		wireB = flag.Bool("wire", false, "compare upload bytes/round across the wire codecs (plaintext | masked | masked-sparse | subspace) at the 8×32 and 16×64 grids, verifying bit-identical models along the way")
 
 		storCmp       = flag.Bool("storage-compare", false, "run the same FL training over the simulator and the file-backed device; verify bit-identical models and report measured real-I/O latencies")
 		storageDir    = flag.String("storage-dir", "", "directory for -storage-compare backing files (default: a fresh temp dir)")
@@ -213,6 +217,17 @@ func main() {
 			fail(err)
 		}
 	}
+	if *wireB || *all {
+		any = true
+		// The -csv path is owned by earlier sweeps when those run too.
+		csvPath := *csvOut
+		if needSweep || *shardS {
+			csvPath = ""
+		}
+		if err := runWireSweep(*rounds, *seed, *quick, csvPath); err != nil {
+			fail(err)
+		}
+	}
 	if *storCmp || *all {
 		any = true
 		if err := runStorageCompare(*rounds, *seed, *quick, *storageDir, *storageDirect); err != nil {
@@ -347,6 +362,108 @@ func runShardSweep(rounds int, seed int64, quick bool, csvPath string) error {
 			unionPer.Microseconds(), speedup, res.AUC)
 	}
 	fmt.Println()
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", csvPath)
+	}
+	return nil
+}
+
+// runWireSweep measures upload bytes/round for every wire codec at two
+// embedding geometries — dim×k = 8×32 and 16×64 (k = rows each client
+// may request). It doubles as an exactness check: plaintext, masked and
+// masked-sparse must land on the same model fingerprint (they encode
+// the same fixed-point sums), and at 16×64 a sparse codec must beat the
+// full-table masked baseline by ≥5× on bytes — the upload plane's
+// acceptance criterion.
+func runWireSweep(rounds int, seed int64, quick bool, csvPath string) error {
+	if rounds <= 0 {
+		rounds = 2
+	}
+	grids := []struct {
+		dim, hidden, k int
+	}{
+		{8, 16, 32},
+		{16, 32, 64},
+	}
+	codecs := wire.Codecs()
+
+	fmt.Printf("wire upload plane: bytes/round per codec (%d rounds, 50 clients/round)\n\n", rounds)
+	var csv strings.Builder
+	csv.WriteString("grid,codec,bytes_per_round,vs_masked,auc,fingerprint\n")
+	for _, g := range grids {
+		cfg := dataset.MovieLensConfig()
+		cfg.NumItems, cfg.NumUsers, cfg.SamplesPerUser = 2000, 400, g.k*3/2
+		if quick {
+			cfg.NumUsers = 150
+		}
+		ds := dataset.Generate(cfg)
+		label := fmt.Sprintf("%dx%d", g.dim, g.k)
+
+		fmt.Printf("grid %s (dim %d, ≤%d rows/client, %d items):\n", label, g.dim, g.k, cfg.NumItems)
+		fmt.Printf("  %-14s %14s %11s %8s  %-16s\n", "codec", "bytes/round", "vs masked", "AUC", "fingerprint")
+		bytesPer := map[wire.Codec]uint64{}
+		fps := map[wire.Codec]uint64{}
+		type row struct {
+			codec wire.Codec
+			auc   float64
+		}
+		var rows []row
+		for _, codec := range codecs {
+			tr, err := fl.New(fl.Config{
+				Dataset: ds, Dim: g.dim, Hidden: g.hidden, UsePrivate: true,
+				Epsilon: 1, ClientsPerRound: 50, MaxFeaturesPerClient: g.k,
+				LocalEpochs: 2, LocalLR: 0.1, Seed: seed,
+				UploadCodec: string(codec),
+			})
+			if err != nil {
+				return err
+			}
+			res, err := tr.Run(rounds)
+			if err != nil {
+				return err
+			}
+			fp, err := tr.Fingerprint()
+			if err != nil {
+				return err
+			}
+			bytesPer[codec] = res.WireBytes / uint64(rounds)
+			fps[codec] = fp
+			rows = append(rows, row{codec, res.AUC})
+		}
+		// Exactness: the three exact-sum codecs are bit-identical;
+		// subspace is exact only within its selected coordinates.
+		for _, codec := range []wire.Codec{wire.CodecMasked, wire.CodecMaskedSparse} {
+			if fps[codec] != fps[wire.CodecPlaintext] {
+				return fmt.Errorf("grid %s: %s fingerprint %016x != plaintext %016x",
+					label, codec, fps[codec], fps[wire.CodecPlaintext])
+			}
+		}
+		for _, r := range rows {
+			ratio := float64(bytesPer[wire.CodecMasked]) / float64(bytesPer[r.codec])
+			fmt.Printf("  %-14s %14d %10.1fx %8.4f  %016x\n",
+				string(r.codec), bytesPer[r.codec], ratio, r.auc, fps[r.codec])
+			fmt.Fprintf(&csv, "%s,%s,%d,%.1f,%.4f,%016x\n",
+				label, r.codec, bytesPer[r.codec], ratio, r.auc, fps[r.codec])
+		}
+		fmt.Println()
+
+		// Acceptance: at 16×64 a sparse codec must cut upload bytes ≥5×
+		// relative to the full-table masked baseline.
+		if g.dim == 16 {
+			best := bytesPer[wire.CodecMaskedSparse]
+			if b := bytesPer[wire.CodecSubspace]; b < best {
+				best = b
+			}
+			ratio := float64(bytesPer[wire.CodecMasked]) / float64(best)
+			if ratio < 5 {
+				return fmt.Errorf("grid %s: best sparse codec only %.1fx below masked (want ≥5x)", label, ratio)
+			}
+			fmt.Printf("  16x64 acceptance: sparse codec is %.1fx below the masked full-table baseline (≥5x required)\n\n", ratio)
+		}
+	}
 	if csvPath != "" {
 		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
 			return err

@@ -9,7 +9,9 @@
 // The bench subcommand runs one FL round twice — over the deprecated
 // per-row v1 API and over the batched v2 API — and reports the HTTP
 // request counts and wall time of each, demonstrating the O(K) → O(K/
-// batch) request reduction of the batched protocol.
+// batch) request reduction of the batched protocol. It then replays the
+// same round once per wire upload codec (see internal/wire) and reports
+// the gradient-upload bytes each codec puts on the wire.
 package main
 
 import (
@@ -18,12 +20,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/client"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -323,4 +327,102 @@ func runBench(ctx context.Context, c *client.Client, server string, clients, k i
 	fmt.Printf("%-22s %12d %14v\n", "v1 (per-row)", v1Requests, v1Elapsed.Round(time.Millisecond))
 	fmt.Printf("%-22s %12d %14v\n", "v2 (batched)", v2Requests, v2Elapsed.Round(time.Millisecond))
 	fmt.Printf("request reduction: %.1f×\n", float64(v1Requests)/float64(v2Requests))
+
+	// --- wire upload plane: drive the same round once per codec and
+	// report what the gradient upload leg costs on the wire.
+	runWireBench(ctx, c, st, reqs, len(row0), seed)
+}
+
+// runWireBench runs one round per wire codec over the bench's request
+// set (zero deltas, one sample per row) and reports the gradient-upload
+// bytes each codec puts on the wire. The masked codec uploads the FULL
+// table per client, so it is skipped when the round's payloads would
+// exceed 64 MB — point the bench at a smaller table (e.g. -fl-quick) to
+// include it.
+func runWireBench(ctx context.Context, c *client.Client, st api.StatusResponse, reqs [][]uint64, dim int, seed int64) {
+	clients := len(reqs)
+	// Per-client row sets must be strictly ascending and duplicate-free
+	// for the upload plane; the union is the sparse codecs' domain.
+	rows := make([][]uint64, clients)
+	union := []uint64(nil)
+	seen := map[uint64]bool{}
+	for i, rq := range reqs {
+		dedup := map[uint64]bool{}
+		for _, r := range rq {
+			dedup[r] = true
+			seen[r] = true
+		}
+		rows[i] = make([]uint64, 0, len(dedup))
+		for r := range dedup {
+			rows[i] = append(rows[i], r)
+		}
+		sort.Slice(rows[i], func(a, b int) bool { return rows[i][a] < rows[i][b] })
+	}
+	for r := range seen {
+		union = append(union, r)
+	}
+	sort.Slice(union, func(a, b int) bool { return union[a] < union[b] })
+
+	fmt.Printf("\nwire upload plane (gradient leg, %d clients, zero deltas):\n", clients)
+	fmt.Printf("%-22s %14s %14s\n", "codec", "upload bytes", "per client")
+	for _, codec := range wire.Codecs() {
+		if codec == wire.CodecMasked {
+			if full := st.NumRows * uint64(dim+1) * 4 * uint64(clients); full > 64<<20 {
+				fmt.Printf("%-22s %14s (full-table payloads would be %d MB)\n",
+					string(codec), "skipped", full>>20)
+				continue
+			}
+		}
+		bytes, err := runWireBenchRound(ctx, c, st.NumRows, dim, codec, rows, union, seed)
+		if err != nil {
+			fatal(fmt.Errorf("wire bench %s: %w", codec, err))
+		}
+		fmt.Printf("%-22s %14d %14d\n", string(codec), bytes, bytes/uint64(clients))
+	}
+}
+
+// runWireBenchRound drives one full upload-plane round: begin, encode
+// and upload every client's payload, run the (dropout-free) unmasking
+// round that applies the aggregate, and finish.
+func runWireBenchRound(ctx context.Context, c *client.Client, numRows uint64, dim int, codec wire.Codec, rows [][]uint64, union []uint64, seed int64) (uint64, error) {
+	info, err := c.BeginRound(ctx, rows)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := wire.NewPlan(wire.Params{
+		Codec:      codec,
+		NumRows:    numRows,
+		Dim:        dim,
+		Round:      info.Round,
+		Roster:     len(rows),
+		SessionKey: wire.DeriveSessionKey(seed, info.Round),
+	}, union)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for i, rs := range rows {
+		deltas := make([][]float32, len(rs))
+		for j := range deltas {
+			deltas[j] = make([]float32, dim)
+		}
+		payload, _, err := plan.Encode(i, rs, deltas, 1)
+		if err != nil {
+			return 0, err
+		}
+		batchID := fmt.Sprintf("wire-bench-r%d-c%d", info.Round, i)
+		if err := c.SubmitWireUpload(ctx, info.RoundID, batchID, payload); err != nil {
+			return 0, err
+		}
+		total += uint64(len(payload))
+	}
+	// No dropouts: zero reveals, but the unmask round still applies the
+	// reconstructed per-row sums into the server's round.
+	if _, err := c.Unmask(ctx, info.RoundID, nil); err != nil {
+		return 0, err
+	}
+	if _, err := c.FinishRound(ctx, info.RoundID); err != nil {
+		return 0, err
+	}
+	return total, nil
 }

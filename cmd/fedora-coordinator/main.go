@@ -42,6 +42,7 @@ import (
 	"repro/internal/fedora"
 	"repro/internal/fl"
 	"repro/internal/persist"
+	"repro/internal/wire"
 )
 
 // ctrlSection names the controller snapshot inside checkpoint files,
@@ -74,6 +75,7 @@ func main() {
 		ckptEvery     = flag.Int("checkpoint-every", 0, "with -checkpoint-dir: checkpoint every N healthy rounds and auto-migrate after degraded rounds (0 = shutdown checkpoint only)")
 		roundDeadline = flag.Duration("round-deadline", 0, "finish rounds with partial gradients after this long (0 = no deadline)")
 		maxInflight   = flag.Int("max-inflight", 0, "bound concurrent round operations; excess requests are shed with 503 + Retry-After (0 = unbounded)")
+		uploadCodec   = flag.String("upload-codec", "", "upload-plane policy: require this wire codec on gradient uploads (plaintext | masked | masked-sparse | subspace); a masked policy also rejects plain JSON gradients (\"\" = accept anything)")
 		drain         = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain limit")
 	)
 	flag.Parse()
@@ -154,6 +156,14 @@ func main() {
 	}
 	if *maxInflight > 0 {
 		opts = append(opts, api.WithMaxInFlight(*maxInflight))
+	}
+	if *uploadCodec != "" {
+		codec, err := wire.ParseCodec(*uploadCodec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, api.WithUploadCodec(codec))
+		fmt.Printf("fedora-coordinator: upload-plane policy: %s\n", codec)
 	}
 	if *ckptEvery > 0 {
 		if mgr == nil {

@@ -45,6 +45,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/persist"
 	"repro/internal/storage"
+	"repro/internal/wire"
 )
 
 // ctrlSection names the controller snapshot inside checkpoint files.
@@ -69,6 +70,7 @@ func main() {
 		flQuick   = flag.Bool("fl-quick", false, "trimmed dataset with -fl-dataset")
 
 		roundDeadline = flag.Duration("round-deadline", 0, "finish rounds with partial gradients after this long (0 = no deadline)")
+		uploadCodec   = flag.String("upload-codec", "", "upload-plane policy: require this wire codec on gradient uploads (plaintext | masked | masked-sparse | subspace); a masked policy also rejects plain JSON gradients (\"\" = accept anything)")
 
 		memberFirst = flag.Int("member-first", 0, "with -member-count: first GLOBAL shard this member serves in a fedora-coordinator cluster")
 		memberCount = flag.Int("member-count", 0, "serve only shards [member-first, member-first+member-count) of the GLOBAL -shards partition as a cluster member (0 = serve everything)")
@@ -172,6 +174,14 @@ func main() {
 	var opts []api.Option
 	if *roundDeadline > 0 {
 		opts = append(opts, api.WithDefaultDeadline(*roundDeadline))
+	}
+	if *uploadCodec != "" {
+		codec, err := wire.ParseCodec(*uploadCodec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, api.WithUploadCodec(codec))
+		fmt.Printf("fedora-server: upload-plane policy: %s\n", codec)
 	}
 	if *maxInflight > 0 {
 		opts = append(opts, api.WithMaxInFlight(*maxInflight))

@@ -47,6 +47,9 @@ func main() {
 		workers = flag.Int("workers", 0, "client-training worker pool size (0 = GOMAXPROCS); results are seed-deterministic at any value")
 		shards  = flag.Int("shards", 1, "partition the embedding table across this many parallel per-shard ORAMs (1 = monolithic); results are seed-deterministic at any value")
 
+		uploadCodec = flag.String("upload-codec", "", "gradient upload codec: plaintext | masked | masked-sparse | subspace (\"\" = legacy float path); all wire codecs are bit-identical to each other")
+		subspaceDim = flag.Int("subspace-dim", 0, "coordinates updated per row with -upload-codec=subspace (0 = dim/4)")
+
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory for -single (enables crash recovery)")
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint period in rounds (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume -single from -checkpoint-dir (restores the newest valid checkpoint and replays the round WAL)")
@@ -105,6 +108,7 @@ func main() {
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 			remote: *remote, remoteBatch: *remoteBatch,
 			remoteRetries: *remoteRetry, remoteTimeout: *remoteTimeout,
+			uploadCodec: *uploadCodec, subspaceDim: *subspaceDim,
 			faultPlan:   *faultPlan,
 			storageKind: *storageKind, storageDir: *storageDir, storageDirect: *storageDirect,
 		})
@@ -133,6 +137,9 @@ type singleOptions struct {
 	remoteRetries int
 	remoteTimeout time.Duration
 
+	uploadCodec string
+	subspaceDim int
+
 	faultPlan string
 
 	storageKind   string
@@ -156,6 +163,8 @@ func runSingle(o singleOptions) {
 		os.Exit(2)
 	}
 	flCfg.Storage = spec
+	flCfg.UploadCodec = o.uploadCodec
+	flCfg.SubspaceDim = o.subspaceDim
 	if spec.Kind == storage.KindFile {
 		fmt.Printf("storage: file backend in %s (direct=%v)\n", spec.Dir, spec.Direct)
 	}
@@ -266,6 +275,14 @@ func runSingle(o singleOptions) {
 	fmt.Printf("dummy accesses:   %.2f%% of optimum\n", 100*res.DummyFrac)
 	fmt.Printf("lost accesses:    %.2f%% of optimum\n", 100*res.LostFrac)
 	fmt.Printf("wall time:        %v\n", res.Elapsed.Round(1e6))
+	if o.uploadCodec != "" {
+		perRound := uint64(0)
+		if res.Rounds > 0 {
+			perRound = res.WireBytes / uint64(res.Rounds)
+		}
+		fmt.Printf("upload plane:     codec=%s %d bytes total (%d bytes/round), %d saturations\n",
+			o.uploadCodec, res.WireBytes, perRound, res.Saturations)
+	}
 	fmt.Printf("phase breakdown (wall clock, %d rounds):\n", res.Rounds)
 	fmt.Print(indent(metrics.RenderPhases([]metrics.Phase{
 		{Name: "select", D: res.Phases.Select},

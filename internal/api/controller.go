@@ -19,6 +19,7 @@ type Controller interface {
 	BeginRound(requests [][]uint64) (Round, error)
 	Round() uint64
 	NumRows() uint64
+	Dim() int
 	Shards() int
 	BackendName() string
 	EffectiveEpsilon() float64
@@ -38,6 +39,10 @@ type Round interface {
 	SubmitGradient(row uint64, grad []float32, nSamples int) (bool, error)
 	ServeEntries(rows []uint64) ([]fedora.EntryResult, error)
 	SubmitGradients(grads []fedora.RowGradient) ([]bool, error)
+	// SubmitAggregates applies already-summed per-row updates — the
+	// output of the wire upload plane's unmasking step (see wire.go) or
+	// a coordinator's fan-out of the same.
+	SubmitAggregates(aggs []fedora.RowAggregate) ([]bool, error)
 	Finish() (fedora.RoundStats, error)
 }
 

@@ -48,6 +48,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/wire"
 )
 
 // Server wraps a controller with HTTP handlers.
@@ -55,6 +56,13 @@ type Server struct {
 	ctrl            Controller
 	met             *httpMetrics
 	defaultDeadline time.Duration
+
+	// Wire upload plane (wire.go): codec policy plus lifetime counters
+	// surfaced on /metrics.
+	uploadPolicy wire.Codec
+	wireBytes    atomic.Uint64
+	wireSats     atomic.Uint64
+	wireUploads  map[wire.Codec]*atomic.Uint64
 
 	// Overload protection (WithMaxInFlight): a semaphore bounding
 	// concurrent round operations; nil = unlimited.
@@ -98,10 +106,14 @@ func NewServer(ctrl *fedora.Controller, opts ...Option) *Server {
 // member processes.
 func NewServerFor(ctrl Controller, opts ...Option) *Server {
 	s := &Server{
-		ctrl:   ctrl,
-		met:    newHTTPMetrics(),
-		rounds: make(map[string]*serverRound),
-		byKey:  make(map[string]string),
+		ctrl:        ctrl,
+		met:         newHTTPMetrics(),
+		rounds:      make(map[string]*serverRound),
+		byKey:       make(map[string]string),
+		wireUploads: make(map[wire.Codec]*atomic.Uint64),
+	}
+	for _, c := range wire.Codecs() {
+		s.wireUploads[c] = new(atomic.Uint64)
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -132,6 +144,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /v2/rounds/{id}", "/v2/rounds/{id}", "GET", s.handleRoundInfoV2, "v2_round_info"},
 		{"POST /v2/rounds/{id}/entries", "/v2/rounds/{id}/entries", "POST", s.limit(s.handleEntriesV2), "v2_entries"},
 		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.limit(s.handleGradientsV2), "v2_gradients"},
+		{"POST /v2/rounds/{id}/unmask", "/v2/rounds/{id}/unmask", "POST", s.limit(s.handleUnmaskV2), "v2_unmask"},
 		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.limit(s.handleFinishV2), "v2_finish"},
 		{"GET /v2/rows/{row}", "/v2/rows/{row}", "GET", s.handleRowV2, "v2_row"},
 		{"GET /v2/admin/snapshot", "/v2/admin/snapshot", "GET", s.handleAdminSnapshot, "v2_admin_snapshot"},
@@ -170,12 +183,15 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 // StatusResponse reports controller configuration and device traffic.
 // SSD byte counters aggregate across all shards when sharded.
 type StatusResponse struct {
-	Backend          string `json:"backend"`
-	Shards           int    `json:"shards"`
-	NumRows          uint64 `json:"num_rows"`
-	Round            uint64 `json:"round"`
-	RoundInProgress  bool   `json:"round_in_progress"`
-	CurrentRoundID   string `json:"current_round_id,omitempty"`
+	Backend         string `json:"backend"`
+	Shards          int    `json:"shards"`
+	NumRows         uint64 `json:"num_rows"`
+	Round           uint64 `json:"round"`
+	RoundInProgress bool   `json:"round_in_progress"`
+	CurrentRoundID  string `json:"current_round_id,omitempty"`
+	// UploadCodec advertises the server's upload-plane policy ("" =
+	// any codec accepted, including legacy JSON gradients).
+	UploadCodec      string `json:"upload_codec,omitempty"`
 	EffectiveEpsilon string `json:"effective_epsilon"`
 	MainORAMBytes    uint64 `json:"main_oram_bytes"`
 	DRAMBytes        uint64 `json:"dram_bytes"`
@@ -204,6 +220,7 @@ func (s *Server) statusSnapshot() StatusResponse {
 		Round:            s.ctrl.Round(),
 		RoundInProgress:  inProgress,
 		CurrentRoundID:   curID,
+		UploadCodec:      string(s.uploadPolicy),
 		EffectiveEpsilon: strconv.FormatFloat(s.ctrl.EffectiveEpsilon(), 'g', -1, 64),
 		MainORAMBytes:    s.ctrl.MainORAMBytes(),
 		DRAMBytes:        s.ctrl.DRAMResidentBytes(),
@@ -237,6 +254,10 @@ type RoundStatsJSON struct {
 	UnionWallNS  int64 `json:"union_wall_ns"`
 	ReadWallNS   int64 `json:"read_wall_ns"`
 	FinishWallNS int64 `json:"finish_wall_ns"`
+	// Wire upload plane accounting (zero when the legacy JSON gradient
+	// path was used).
+	WireBytes   uint64 `json:"wire_bytes,omitempty"`
+	Saturations int    `json:"saturations,omitempty"`
 }
 
 func statsJSON(st fedora.RoundStats) RoundStatsJSON {
@@ -249,6 +270,8 @@ func statsJSON(st fedora.RoundStats) RoundStatsJSON {
 		UnionWallNS:   st.UnionWallTime.Nanoseconds(),
 		ReadWallNS:    st.ReadWallTime.Nanoseconds(),
 		FinishWallNS:  st.FinishWallTime.Nanoseconds(),
+		WireBytes:     st.WireBytes,
+		Saturations:   st.Saturations,
 	}
 }
 
@@ -268,6 +291,8 @@ func (j RoundStatsJSON) Stats() (fedora.RoundStats, error) {
 		UnionWallTime:  time.Duration(j.UnionWallNS),
 		ReadWallTime:   time.Duration(j.ReadWallNS),
 		FinishWallTime: time.Duration(j.FinishWallNS),
+		WireBytes:      j.WireBytes,
+		Saturations:    j.Saturations,
 	}, nil
 }
 
@@ -451,9 +476,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"fedora_dram_bytes_written_total", "counter", strconv.FormatUint(dram.BytesWritten, 10)},
 		{"fedora_ssd_busy_seconds_total", "counter", strconv.FormatFloat(ssd.BusyTime.Seconds(), 'g', -1, 64)},
 		{"fedora_requests_shed_total", "counter", strconv.FormatUint(s.shed.Load(), 10)},
+		{"fedora_wire_bytes_total", "counter", strconv.FormatUint(s.wireBytes.Load(), 10)},
+		{"fedora_wire_saturations_total", "counter", strconv.FormatUint(s.wireSats.Load(), 10)},
 	}
 	for _, l := range lines {
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", l.name, l.kind, l.name, l.value)
+	}
+	fmt.Fprintf(w, "# TYPE fedora_wire_uploads_total counter\n")
+	for _, c := range wire.Codecs() {
+		fmt.Fprintf(w, "fedora_wire_uploads_total{codec=%q} %d\n", string(c), s.wireUploads[c].Load())
 	}
 	// Real-I/O telemetry, present only when the controller's main device
 	// is file-backed: measured (not modelled) latency quantiles per device.

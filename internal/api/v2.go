@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/fedora"
+	"repro/internal/wire"
 )
 
 // The v2 protocol replaces v1's single ambient "current" round with
@@ -73,6 +75,10 @@ type GradientBatchRequest struct {
 	// response for duplicates.
 	BatchID   string            `json:"batch_id,omitempty"`
 	Gradients []GradientRequest `json:"gradients"`
+	// Aggregates carries already-summed row updates instead of raw
+	// gradients (a coordinator fanning a wire round's unmasked output
+	// to members). A batch is either gradients or aggregates, not both.
+	Aggregates []AggregateRequest `json:"aggregates,omitempty"`
 }
 
 // GradientBatchResponse acknowledges a gradient batch.
@@ -124,6 +130,18 @@ type serverRound struct {
 	stats     fedora.RoundStats
 	finishErr string
 	batches   map[string]*batchEntry
+
+	// Wire upload plane (wire.go). wireAgg is created lazily on the
+	// first binary upload; wireBytes/wireSats are recorded at unmask and
+	// folded into the round stats at finish. unmaskMu serializes the
+	// unmask-and-apply transition; a completed unmask replays its
+	// recorded response to retries.
+	wireAgg    *wire.Aggregator
+	wireBytes  uint64
+	wireSats   int
+	unmaskMu   sync.Mutex
+	unmaskDone bool
+	unmaskResp UnmaskResponse
 }
 
 // ---- round lifecycle core (shared by v1 shim and v2) -----------------
@@ -262,6 +280,10 @@ func (s *Server) finishRound(sr *serverRound, expired bool) (fedora.RoundStats, 
 	sr.finished = true
 	sr.expired = expired
 	sr.round = nil
+	// Fold the wire upload plane's accounting into the round's stats so
+	// a remote trainer sees bytes/saturations in the finish reply.
+	st.WireBytes += sr.wireBytes
+	st.Saturations += sr.wireSats
 	sr.stats = st
 	if err != nil && !errors.Is(err, fedora.ErrRoundFinished) {
 		sr.finishErr = err.Error()
@@ -408,9 +430,26 @@ func (s *Server) handleGradientsV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
 		return
 	}
+	// Content negotiation: an application/x-fedora-wire body is an
+	// opaque wire-plane payload (masked/compressed upload), everything
+	// else is the JSON gradient batch.
+	if strings.HasPrefix(r.Header.Get("Content-Type"), WireContentType) {
+		s.handleWireUpload(w, r, sr)
+		return
+	}
 	var req GradientBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad json: %s", err.Error())
+		return
+	}
+	if len(req.Aggregates) > 0 && len(req.Gradients) > 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"a batch carries gradients or aggregates, not both")
+		return
+	}
+	if len(req.Aggregates) == 0 && s.uploadPolicy.Masked() {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"server policy %q requires wire uploads; plaintext gradients rejected", s.uploadPolicy)
 		return
 	}
 	for i, g := range req.Gradients {
@@ -455,6 +494,15 @@ func (s *Server) handleGradientsV2(w http.ResponseWriter, r *http.Request) {
 			be.errStatus, be.errCode, be.errMsg = status, code, msg
 		}
 		writeError(w, status, code, "%s", msg)
+	}
+
+	if len(req.Aggregates) > 0 {
+		s.submitAggregatesJSON(w, sr, req, fail, func(resp GradientBatchResponse) {
+			if be != nil {
+				be.resp = resp
+			}
+		})
+		return
 	}
 
 	round, aerr := s.liveRound(sr)

@@ -214,6 +214,36 @@ func (b *Buffer) Aggregate(id uint64, grad []float32, nSamples int) (time.Durati
 	})
 }
 
+// AggregateRaw folds an already-aggregated multi-client contribution
+// for entry id into the sum half: sum is the pre-weighted gradient sum
+// Σ_c n_c·Δθ_c and count is Σ_c n_c. Unlike Aggregate it bypasses the
+// aggregator's Pre — the upload plane (internal/wire) pre-weights each
+// client's words before masking, so applying Pre again would double-
+// weight. Non-loaded entries burn an indistinguishable access and
+// return ErrNotLoaded, exactly like Aggregate.
+func (b *Buffer) AggregateRaw(id uint64, sum []float32, count float32) (time.Duration, error) {
+	if len(sum) != b.dim {
+		return 0, fmt.Errorf("bufferoram: sum dim %d != %d", len(sum), b.dim)
+	}
+	slot, ok := b.slotOf[id]
+	if !ok {
+		d, err := b.LoadDummy()
+		if err != nil {
+			return d, err
+		}
+		return d, ErrNotLoaded
+	}
+	return b.oram.Update(uint64(slot), func(data []byte) {
+		f := decodeF32s(data)
+		acc := f[b.dim : 2*b.dim]
+		for i := range acc {
+			acc[i] += sum[i]
+		}
+		f[2*b.dim] += count
+		encodeF32s(data, f)
+	})
+}
+
 // Unload applies the post-aggregation update and returns the new entry
 // value for write-back to the main ORAM (step ⑦). The slot is recycled.
 func (b *Buffer) Unload(id uint64) ([]float32, time.Duration, error) {

@@ -22,6 +22,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/wire"
 )
 
 // Config tunes a Client. The zero value of every field has a sensible
@@ -437,6 +439,106 @@ func (c *Client) SubmitGradients(ctx context.Context, roundID string, grads []ap
 		results = append(results, resp.Results...)
 	}
 	return results, nil
+}
+
+// SubmitAggregates uploads already-summed row updates (the unmasked
+// output of a wire round — the coordinator's member fan-out path),
+// chunked like gradients with a fresh batch_id per chunk.
+func (c *Client) SubmitAggregates(ctx context.Context, roundID string, aggs []api.AggregateRequest) ([]bool, error) {
+	if len(aggs) == 0 {
+		return nil, nil
+	}
+	results := make([]bool, 0, len(aggs))
+	for start := 0; start < len(aggs); start += c.cfg.BatchSize {
+		end := min(start+c.cfg.BatchSize, len(aggs))
+		var resp api.GradientBatchResponse
+		err := c.do(ctx, http.MethodPost, "/v2/rounds/"+roundID+"/gradients",
+			api.GradientBatchRequest{BatchID: c.nextID(), Aggregates: aggs[start:end]}, &resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != end-start {
+			return nil, fmt.Errorf("client: aggregate batch returned %d of %d results",
+				len(resp.Results), end-start)
+		}
+		results = append(results, resp.Results...)
+	}
+	return results, nil
+}
+
+// SubmitWireUpload posts one opaque wire-plane payload (Content-Type
+// application/x-fedora-wire). batchID keys server-side retry dedup;
+// callers MUST pass a batch id stable across retries of the same
+// payload (the fl wire plane derives it from round and client index).
+func (c *Client) SubmitWireUpload(ctx context.Context, roundID, batchID string, payload []byte) error {
+	path := "/v2/rounds/" + roundID + "/gradients"
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := c.backoff(ctx, attempt, retryAfterOf(lastErr)); err != nil {
+				c.failures.Add(1)
+				return fmt.Errorf("client: POST %s: %w (last error: %v)", path, err, lastErr)
+			}
+		}
+		lastErr = c.wireAttempt(ctx, path, batchID, payload)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !retryable(lastErr) || attempt >= c.cfg.MaxRetries {
+			c.failures.Add(1)
+			return fmt.Errorf("client: POST %s failed after %d attempt(s): %w",
+				path, attempt+1, lastErr)
+		}
+	}
+}
+
+// wireAttempt is one binary-upload round trip (rawAttempt cannot carry
+// the batch-id header).
+func (c *Client) wireAttempt(ctx context.Context, path, batchID string, payload []byte) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", api.WireContentType)
+	if batchID != "" {
+		req.Header.Set(api.WireBatchIDHeader, batchID)
+	}
+	c.requests.Add(1)
+	c.bytesSent.Add(uint64(len(payload)))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return &transportError{err}
+	}
+	c.bytesRecv.Add(uint64(len(data)))
+	if resp.StatusCode >= 300 {
+		return c.statusError(resp.StatusCode, resp.Header, data)
+	}
+	return nil
+}
+
+// Unmask runs the round's unmasking step, revealing the orphaned pair
+// seeds of every (survivor, dropout) pair. Idempotent server-side, so
+// retries are safe.
+func (c *Client) Unmask(ctx context.Context, roundID string, reveals []wire.Reveal) (api.UnmaskResponse, error) {
+	req := api.UnmaskRequest{Reveals: make([]api.RevealJSON, len(reveals))}
+	for i, rv := range reveals {
+		req.Reveals[i] = api.RevealJSON{
+			Survivor: rv.Survivor,
+			Dropout:  rv.Dropout,
+			Seed:     base64.StdEncoding.EncodeToString(rv.Seed[:]),
+		}
+	}
+	var out api.UnmaskResponse
+	err := c.do(ctx, http.MethodPost, "/v2/rounds/"+roundID+"/unmask", req, &out)
+	return out, err
 }
 
 // FinishRound completes the round (idempotent server-side) and returns

@@ -9,6 +9,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/fedora"
 	"repro/internal/fl"
+	"repro/internal/wire"
 )
 
 // Orchestrator implements fl.Orchestrator over the v2 HTTP API: the
@@ -135,6 +136,29 @@ func (r *remoteRound) SubmitGradients(grads []fedora.RowGradient) ([]bool, error
 		reqs[i] = api.GradientRequest{Row: g.Row, Grad: g.Grad, Samples: g.Samples}
 	}
 	return r.o.c.SubmitGradients(r.o.ctx, r.id, reqs)
+}
+
+// SubmitUpload implements fl.WireRound: one client's opaque wire
+// payload ships to the server, which hosts the aggregator — under a
+// masked codec neither the transport nor the server ever sees the
+// individual update.
+func (r *remoteRound) SubmitUpload(batchID string, payload []byte) error {
+	return r.o.c.SubmitWireUpload(r.o.ctx, r.id, batchID, payload)
+}
+
+// UnmaskAndApply implements fl.WireRound: the unmasking round runs
+// server-side and the reconstructed sums are applied there.
+func (r *remoteRound) UnmaskAndApply(reveals []wire.Reveal) (fl.WireUnmaskSummary, error) {
+	resp, err := r.o.c.Unmask(r.o.ctx, r.id, reveals)
+	if err != nil {
+		return fl.WireUnmaskSummary{}, err
+	}
+	return fl.WireUnmaskSummary{
+		Rows:        resp.Rows,
+		Delivered:   resp.Delivered,
+		Bytes:       resp.Bytes,
+		Saturations: resp.Saturations,
+	}, nil
 }
 
 func (r *remoteRound) Finish() (fedora.RoundStats, error) {

@@ -262,6 +262,10 @@ func (c *Coordinator) Round() uint64 {
 // NumRows reports the GLOBAL embedding-table height.
 func (c *Coordinator) NumRows() uint64 { return c.numRows }
 
+// Dim reports the embedding dimension of the global config (the wire
+// upload plane sizes its aggregator from it).
+func (c *Coordinator) Dim() int { return c.norm.Dim }
+
 // Shards reports the GLOBAL shard count.
 func (c *Coordinator) Shards() int { return c.shards }
 

@@ -276,6 +276,50 @@ func TestClusterParityFingerprint(t *testing.T) {
 	}
 }
 
+// TestClusterWireParity: the wire upload plane composes with the
+// cluster fan-out — a masked remote run through the coordinator (which
+// hosts the aggregator, unmasks, and fans the sums to the members as
+// aggregate batches) lands on the bit-identical model of an in-process
+// run under the plaintext wire codec, including rounds with dropouts.
+func TestClusterWireParity(t *testing.T) {
+	flCfg := testFLConfig()
+	flCfg.DropoutProb = 0.25
+	global, err := fl.ControllerConfig(flCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localCfg := flCfg
+	localCfg.UploadCodec = "plaintext"
+	local, err := fl.New(localCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Run(testRounds); err != nil {
+		t.Fatal(err)
+	}
+	want, err := local.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m0, _ := startMember(t, global, 0, 1)
+	m1, _ := startMember(t, global, 1, 1)
+	_, csrv := startCoordinator(t, Config{
+		Fedora: global,
+		Nodes: []NodeSpec{
+			{URL: m0.URL, First: 0, Count: 1},
+			{URL: m1.URL, First: 1, Count: 1},
+		},
+	})
+	wireCfg := flCfg
+	wireCfg.UploadCodec = "masked"
+	got := runRemote(t, wireCfg, csrv.URL)
+	if got != want {
+		t.Fatalf("fingerprint mismatch: cluster masked %016x, local plaintext %016x", got, want)
+	}
+}
+
 // TestClusterSnapshotMatchesSingleProcess: the coordinator's assembled
 // checkpoint is byte-identical to the snapshot of a single-process
 // sharded controller that served the same round sequence — the property

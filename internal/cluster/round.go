@@ -293,6 +293,62 @@ func (r *Round) SubmitGradients(grads []fedora.RowGradient) ([]bool, error) {
 	return delivered, nil
 }
 
+// SubmitAggregates fans already-summed row updates out to the owning
+// members — the coordinator-side application step of a wire upload
+// round. The coordinator hosts the wire aggregator (in its api.Server
+// wrapper) and only ever handles masked payloads and the final sums;
+// members receive the sums as a gradient batch carrying Aggregates,
+// translated to member-local row indices like every other fan-out.
+// Rows on lost members report delivered=false, mirroring quarantined
+// shards.
+func (r *Round) SubmitAggregates(aggs []fedora.RowAggregate) ([]bool, error) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return nil, fedora.ErrRoundFinished
+	}
+	r.mu.Unlock()
+
+	delivered := make([]bool, len(aggs))
+	idxByNode := make([][]int, len(r.c.members))
+	for i, a := range aggs {
+		if a.Row >= r.c.numRows {
+			return nil, fmt.Errorf("cluster: row %d out of range %d", a.Row, r.c.numRows)
+		}
+		n := r.c.nodeOf[shard.ShardOf(r.c.numRows, r.c.shards, a.Row)]
+		idxByNode[n] = append(idxByNode[n], i)
+	}
+	var wg sync.WaitGroup
+	for n, idxs := range idxByNode {
+		if len(idxs) == 0 || !r.live(n) {
+			continue
+		}
+		wg.Add(1)
+		go func(n int, idxs []int) {
+			defer wg.Done()
+			m := r.c.members[n]
+			local := make([]api.AggregateRequest, len(idxs))
+			for k, i := range idxs {
+				local[k] = api.AggregateRequest{
+					Row:   aggs[i].Row - m.rowBase,
+					Sum:   aggs[i].Sum,
+					Count: aggs[i].Count,
+				}
+			}
+			ok, err := m.cli.SubmitAggregates(context.Background(), r.roundID(n), local)
+			if err != nil {
+				r.drop(n, fmt.Errorf("submit aggregates round %d: %w", r.seq, err))
+				return
+			}
+			for k, i := range idxs {
+				delivered[i] = ok[k]
+			}
+		}(n, idxs)
+	}
+	wg.Wait()
+	return delivered, nil
+}
+
 // SubmitGradient is the singular form; a gradient for a lost member's
 // row reports (false, nil), matching the engine's degraded-mode
 // contract.

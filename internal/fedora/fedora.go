@@ -483,6 +483,10 @@ func (c *Controller) Backend() Backend { return c.cfg.Backend }
 // before they reach the round pipeline).
 func (c *Controller) NumRows() uint64 { return c.cfg.NumRows }
 
+// Dim reports the embedding dimension (words per row on the upload
+// plane; serving layers validate gradient shapes against it).
+func (c *Controller) Dim() int { return c.cfg.Dim }
+
 // EffectiveEpsilon is the per-value ε after group privacy.
 func (c *Controller) EffectiveEpsilon() float64 { return c.effEps }
 

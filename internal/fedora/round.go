@@ -325,6 +325,37 @@ func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delive
 	return true, nil
 }
 
+// SubmitAggregate folds an already-aggregated multi-client contribution
+// for a row into the round's buffer: sum is Σ_c n_c·Δθ_c and count is
+// Σ_c n_c over the contributing clients. This is the upload plane's
+// entry point (internal/wire): the per-client FedAvg pre-weighting
+// happened client-side before masking, so the buffer's aggregator Pre
+// is bypassed — only the Post division by the total count runs at
+// Finish. delivered is false when the row was not resident.
+func (r *Round) SubmitAggregate(row uint64, sum []float32, count float32) (delivered bool, err error) {
+	if r.er != nil {
+		delivered, err = r.er.SubmitAggregate(row, sum, count)
+		if errors.Is(err, shard.ErrRoundFinished) {
+			err = ErrRoundFinished
+		}
+		return delivered, err
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if r.done {
+		return false, ErrRoundFinished
+	}
+	d, err := r.c.buf.AggregateRaw(row, sum, count)
+	r.stats.AggregateTime += d
+	if errors.Is(err, bufferoram.ErrNotLoaded) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // Finish applies aggregated updates back to the main ORAM (step ⑦) and
 // closes the round.
 func (r *Round) Finish() (RoundStats, error) {
@@ -484,6 +515,39 @@ func (r *Round) SubmitGradients(grads []RowGradient) ([]bool, error) {
 		if errors.Is(err, ErrShardUnavailable) {
 			// The shard quarantined mid-round; this gradient is lost, the
 			// rest of the batch still folds.
+			delivered[i] = false
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		delivered[i] = ok
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return delivered, nil
+}
+
+// RowAggregate is one row's combined contribution in a batched
+// aggregate upload: the unmasked per-row output of the wire plane.
+type RowAggregate struct {
+	Row   uint64
+	Sum   []float32
+	Count float32
+}
+
+// SubmitAggregates folds a batch of per-row aggregates (the unmasked
+// output of the upload plane) into the round, returning per-item
+// delivery in input order. Rows within one batch must be distinct —
+// the wire aggregator emits each row at most once, in ascending order.
+func (r *Round) SubmitAggregates(aggs []RowAggregate) ([]bool, error) {
+	delivered := make([]bool, len(aggs))
+	err := r.fanOut(len(aggs), func(i int) error {
+		a := aggs[i]
+		ok, err := r.SubmitAggregate(a.Row, a.Sum, a.Count)
+		if errors.Is(err, ErrShardUnavailable) {
 			delivered[i] = false
 			return nil
 		}

@@ -188,6 +188,8 @@ func (r *Runner) Run(totalRounds int) (Result, error) {
 			return res, fmt.Errorf("round %d failed: %w", r.t.Rounds(), err)
 		}
 		res.Phases = res.Phases.Add(rep.Timings)
+		res.WireBytes += rep.WireBytes
+		res.Saturations += rep.Saturations
 	}
 	res.Rounds = r.t.Rounds()
 	res.Elapsed = time.Since(start)

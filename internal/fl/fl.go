@@ -46,6 +46,7 @@ import (
 	"repro/internal/recmodel"
 	"repro/internal/secagg"
 	"repro/internal/storage"
+	"repro/internal/wire"
 )
 
 // LostPolicy selects how clients handle embedding rows the ε-FDP
@@ -115,8 +116,20 @@ type Config struct {
 	// DropoutProb is the probability a selected client downloads its rows
 	// but never uploads (network loss, device churn). FEDORA tolerates
 	// this natively: n_t adjusts and untouched entries keep their values
-	// (Sec 4.3).
+	// (Sec 4.3). Under a masked UploadCodec a drop happens AFTER mask
+	// commitment, so it additionally exercises the unmasking round.
 	DropoutProb float64
+	// UploadCodec routes embedding-gradient uploads through the wire
+	// upload plane (internal/wire): "plaintext", "masked",
+	// "masked-sparse" or "subspace". Empty (or "legacy") keeps the
+	// original float gradient path. All wire codecs quantize through the
+	// secagg fixed point, so plaintext/masked/masked-sparse runs are
+	// bit-identical to EACH OTHER (and across local/remote and any
+	// worker/shard count) but not to the legacy float path.
+	UploadCodec string
+	// SubspaceDim is d′ for the subspace codec: how many of the Dim
+	// coordinates each row updates per round (0 = Dim/4, minimum 1).
+	SubspaceDim int
 	// Workers bounds the worker pool that fans per-client downloads and
 	// local SGD out across goroutines (0 = runtime.GOMAXPROCS(0); 1 =
 	// fully sequential). Clients are independent until aggregation
@@ -294,6 +307,9 @@ func buildTrainer(cfg Config, orch Orchestrator) (*Trainer, error) {
 	if cfg.Dataset == nil {
 		return nil, errors.New("fl: Dataset required")
 	}
+	if _, err := wire.ParseCodec(cfg.UploadCodec); err != nil {
+		return nil, err
+	}
 	src := persist.NewSource(cfg.Seed + 1)
 	return &Trainer{
 		cfg:  cfg,
@@ -440,6 +456,20 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 		return report, err
 	}
 
+	// Upload plane: when a wire codec is selected, embedding gradients
+	// travel through internal/wire instead of the legacy float path. The
+	// plan is fixed now — the roster (everyone who reaches download) has
+	// committed to this round's masks; clients lost after this point are
+	// dropouts handled by the unmasking round.
+	codec, _ := wire.ParseCodec(cfg.UploadCodec) // validated at build time
+	var plane *wirePlane
+	if codec != wire.CodecLegacy {
+		plane, err = t.newWirePlane(round, codec, len(users), reqs)
+		if err != nil {
+			return report, err
+		}
+	}
+
 	// Per-client local training over the bounded worker pool. Workers
 	// only read shared state (global model, dataset) and call the
 	// concurrency-safe Round entry points; all mutation happens in the
@@ -469,6 +499,7 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 	// identical to the sequential implementation this replaced).
 	aggStart := time.Now()
 	var mlpUploads []mlpUpload
+	var dropouts []int
 	var lossSum float64
 	var lossN int
 	for i := range outcomes {
@@ -478,6 +509,7 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 		}
 		if out.droppedClient {
 			report.DroppedClients++
+			dropouts = append(dropouts, i)
 			continue
 		}
 		report.TrainedSamples += out.trained
@@ -485,14 +517,24 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 		report.UnavailableRows += out.unavailable
 		lossSum += out.lossSum
 		lossN += out.lossN
+		// Upload plane: every surviving roster member uploads — including
+		// trained==0 clients, whose empty payloads keep their masks in the
+		// cancellation — in client order (the order is irrelevant to the
+		// integer word sums, but keeps the transcript deterministic).
+		if plane != nil {
+			if err := plane.upload(i, out.rows, out.deltas, out.trained); err != nil {
+				return report, err
+			}
+		}
 		if out.trained == 0 {
 			continue // user contributed nothing (all samples dropped)
 		}
-		// One batched upload per client: rows are distinct and already in
-		// ascending order, and batches apply in client order, so the
-		// aggregation keeps its fixed, worker-count-independent sequence —
-		// while a remote round pays O(rows/batch) requests, not O(rows).
-		if len(out.rows) > 0 {
+		// Legacy float path — one batched upload per client: rows are
+		// distinct and already in ascending order, and batches apply in
+		// client order, so the aggregation keeps its fixed, worker-count-
+		// independent sequence — while a remote round pays O(rows/batch)
+		// requests, not O(rows).
+		if plane == nil && len(out.rows) > 0 {
 			grads := make([]fedora.RowGradient, len(out.rows))
 			for j, row := range out.rows {
 				grads[j] = fedora.RowGradient{Row: row, Grad: out.deltas[j], Samples: out.trained}
@@ -504,11 +546,26 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 		mlpUploads = append(mlpUploads, mlpUpload{delta: out.mlpDelta, n: out.trained})
 	}
 
+	// Unmasking round + aggregate apply, before Finish closes the round.
+	var planeSummary WireUnmaskSummary
+	if plane != nil {
+		planeSummary, err = plane.finish(dropouts)
+		if err != nil {
+			return report, err
+		}
+	}
+
 	st, err := round.Finish()
 	if err != nil {
 		return report, err
 	}
 	report.RoundStats = st
+	if plane != nil {
+		// Trainer-side accounting overrides whatever the serving process
+		// reported so local and remote round reports match exactly.
+		report.WireBytes = planeSummary.Bytes
+		report.Saturations = planeSummary.Saturations
+	}
 	report.Timings.Union = st.UnionWallTime
 	report.Timings.ORAMRead = st.ReadWallTime
 	if lossN > 0 {
@@ -518,9 +575,11 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 	// FedAvg the MLP deltas, optionally through DP clipping/noise and
 	// secure aggregation.
 	if len(mlpUploads) > 0 {
-		if err := t.applyMLPUpdates(mlpUploads); err != nil {
+		msats, err := t.applyMLPUpdates(mlpUploads)
+		if err != nil {
 			return report, err
 		}
+		report.Saturations += msats
 	}
 	report.Timings.Aggregate = time.Since(aggStart)
 	report.Timings.Total = time.Since(selStart)
@@ -672,7 +731,9 @@ type mlpUpload struct {
 // applyMLPUpdates folds the clients' dense-model deltas into the global
 // MLP: per-client weighting by n_c, optional DP-FedAvg clip+noise, and
 // optional SecAgg masking (the server then only ever sees the sum).
-func (t *Trainer) applyMLPUpdates(uploads []mlpUpload) error {
+// Returns the number of fixed-point saturations the masking clipped —
+// non-zero means the secagg Scale is misconfigured for these deltas.
+func (t *Trainer) applyMLPUpdates(uploads []mlpUpload) (int, error) {
 	cfg := t.cfg
 	var nTot float32
 	for _, up := range uploads {
@@ -696,24 +757,26 @@ func (t *Trainer) applyMLPUpdates(uploads []mlpUpload) error {
 
 	// Sum — through SecAgg when enabled, so no individual v is visible.
 	var sum []float32
+	sats := 0
 	if cfg.UseSecAgg && len(weighted) >= 2 {
 		var key [32]byte
 		key[0], key[1], key[2] = byte(t.cfg.Seed), byte(t.orch.Round()), 0x5A
 		sess, err := secagg.NewSession(key, len(weighted), length)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		masked := map[int][]uint32{}
 		for i, v := range weighted {
-			up, err := sess.Mask(i, v)
+			up, s, err := sess.MaskCounting(i, v)
 			if err != nil {
-				return err
+				return 0, err
 			}
+			sats += s
 			masked[i] = up
 		}
 		sum, err = sess.Aggregate(masked, nil)
 		if err != nil {
-			return err
+			return 0, err
 		}
 	} else {
 		sum = make([]float32, length)
@@ -736,7 +799,7 @@ func (t *Trainer) applyMLPUpdates(uploads []mlpUpload) error {
 	for j := range gp {
 		gp[j] -= cfg.ServerLR * sum[j]
 	}
-	return t.global.MLP.SetParams(gp)
+	return sats, t.global.MLP.SetParams(gp)
 }
 
 // clipL2 scales v to L2 norm at most c.
@@ -826,6 +889,11 @@ type Result struct {
 	Workers int
 	// Phases accumulates the per-round wall-clock phase breakdown.
 	Phases PhaseTimings
+	// WireBytes totals the upload-plane payload bytes across all rounds
+	// (zero under the legacy float path).
+	WireBytes uint64
+	// Saturations totals the fixed-point clips across all rounds.
+	Saturations int
 }
 
 // Run trains for the given number of rounds and evaluates. When a round
@@ -847,6 +915,8 @@ func (t *Trainer) Run(rounds int) (Result, error) {
 			return res, fmt.Errorf("round %d failed after %d completed: %w", r, r, err)
 		}
 		res.Phases = res.Phases.Add(rep.Timings)
+		res.WireBytes += rep.WireBytes
+		res.Saturations += rep.Saturations
 	}
 	res.Rounds = rounds
 	res.Elapsed = time.Since(start)

@@ -1,6 +1,9 @@
 package fl
 
-import "repro/internal/fedora"
+import (
+	"repro/internal/fedora"
+	"repro/internal/wire"
+)
 
 // The trainer's view of the FEDORA controller is abstracted behind two
 // small interfaces so the SAME local-SGD loop can run against an
@@ -24,6 +27,42 @@ type RoundHandle interface {
 	SubmitGradient(row uint64, grad []float32, samples int) (delivered bool, err error)
 	SubmitGradients(grads []fedora.RowGradient) ([]bool, error)
 	Finish() (fedora.RoundStats, error)
+}
+
+// WireUnmaskSummary reports what the server applied after the
+// unmasking round: how many aggregate rows the wire plane produced,
+// how many were delivered into the buffer ORAM (rows on quarantined
+// shards are dropped), the payload bytes received, and the fixed-point
+// saturation count across all uploads.
+type WireUnmaskSummary struct {
+	Rows        int
+	Delivered   int
+	Bytes       uint64
+	Saturations int
+}
+
+// WireRound is the OPTIONAL upload-plane surface of a RoundHandle,
+// discovered by type assertion when Config.UploadCodec selects a wire
+// codec. A remote round implements it by shipping the opaque payloads
+// to the server (which hosts the wire.Aggregator and applies the
+// unmasked sums itself — it never sees an individual update under a
+// masked codec); rounds that do not implement it fall back to the
+// trainer-side plane (encode → aggregate → SubmitAggregates locally),
+// which produces bit-identical models because the math is the same.
+type WireRound interface {
+	// SubmitUpload delivers one client's encoded payload. batchID keys
+	// retry deduplication, like the gradient batch ids.
+	SubmitUpload(batchID string, payload []byte) error
+	// UnmaskAndApply runs the unmasking round: the reveals cover the
+	// orphaned pair seeds of every (survivor, dropout) pair, the server
+	// reconstructs the survivors' sum and folds it into its round.
+	UnmaskAndApply(reveals []wire.Reveal) (WireUnmaskSummary, error)
+}
+
+// aggregateSubmitter is how the trainer-side plane applies unmasked
+// sums to a local round; *fedora.Round implements it.
+type aggregateSubmitter interface {
+	SubmitAggregates(aggs []fedora.RowAggregate) ([]bool, error)
 }
 
 // Orchestrator abstracts where the FEDORA controller lives. Round

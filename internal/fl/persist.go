@@ -69,6 +69,10 @@ func (t *Trainer) configDigest() uint64 {
 	// storage backend are operational knobs that never affect state, so
 	// checkpoints move freely between sim- and file-backed runs.
 	e.U32(uint32(cfg.Shards))
+	// The upload codec changes the aggregation arithmetic (fixed-point
+	// quantization), so checkpoints must not cross codec boundaries.
+	e.Bytes([]byte(cfg.UploadCodec))
+	e.U32(uint32(cfg.SubspaceDim))
 	h := fnv.New64a()
 	h.Write(e.Finish())
 	return h.Sum64()

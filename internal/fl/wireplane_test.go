@@ -1,0 +1,129 @@
+package fl
+
+import (
+	"testing"
+)
+
+// TestWirePlaneCrossCodecParity is the upload plane's acceptance
+// property at the trainer level: plaintext, masked and masked-sparse
+// codecs produce BIT-IDENTICAL models (they reconstruct the same
+// fixed-point word sums), at any worker/shard combination, including
+// rounds with dropouts after mask commitment (exercising the unmasking
+// round end to end).
+func TestWirePlaneCrossCodecParity(t *testing.T) {
+	type variant struct {
+		codec   string
+		workers int
+	}
+	// Shard count changes the per-shard ε-FDP sampling (and therefore
+	// which rows are lost), so fingerprints only compare at EQUAL shard
+	// count — within a shard group, codec and worker count must not
+	// matter.
+	for _, shards := range []int{0, 2} {
+		variants := []variant{
+			{"plaintext", 1},
+			{"masked", 1},
+			{"masked-sparse", 1},
+			{"masked", 4},
+			{"masked-sparse", 3},
+			{"plaintext", 2},
+		}
+		var ref []float32
+		var refBytes uint64
+		for _, v := range variants {
+			tr := newTrainer(t, Config{
+				Epsilon: 1, UsePrivate: true, Seed: 23,
+				ClientsPerRound: 12, LocalEpochs: 1,
+				DropoutProb: 0.25, // dropouts exercise unmask under masked codecs
+				UploadCodec: v.codec, Workers: v.workers, Shards: shards,
+			})
+			var gotBytes uint64
+			var dropped int
+			for r := 0; r < 4; r++ {
+				rep, err := tr.RunRound()
+				if err != nil {
+					t.Fatalf("%+v shards=%d round %d: %v", v, shards, r, err)
+				}
+				if rep.WireBytes == 0 {
+					t.Fatalf("%+v shards=%d round %d: WireBytes not accounted", v, shards, r)
+				}
+				gotBytes += rep.WireBytes
+				dropped += rep.DroppedClients
+				if rep.Saturations != 0 {
+					t.Fatalf("%+v shards=%d round %d: unexpected saturations %d", v, shards, r, rep.Saturations)
+				}
+			}
+			if dropped == 0 {
+				t.Fatalf("%+v shards=%d: no dropouts over 4 rounds at DropoutProb 0.25", v, shards)
+			}
+			fp := modelFingerprint(t, tr)
+			if ref == nil {
+				ref, refBytes = fp, gotBytes
+				continue
+			}
+			if len(fp) != len(ref) {
+				t.Fatalf("%+v shards=%d: fingerprint length %d != %d", v, shards, len(fp), len(ref))
+			}
+			for i := range fp {
+				if fp[i] != ref[i] {
+					t.Fatalf("%+v shards=%d diverges from plaintext@1worker at %d: %v vs %v", v, shards, i, fp[i], ref[i])
+				}
+			}
+			// Byte accounting is codec-dependent but deterministic per codec.
+			if v.codec == "plaintext" && gotBytes != refBytes {
+				t.Fatalf("%+v shards=%d: %d wire bytes, want deterministic %d", v, shards, gotBytes, refBytes)
+			}
+		}
+	}
+}
+
+// TestWirePlaneSubspaceTrains: the lossy-in-trajectory subspace codec
+// still trains (each round updates only d′ of Dim coordinates per row)
+// and is itself deterministic across worker counts.
+func TestWirePlaneSubspaceTrains(t *testing.T) {
+	run := func(workers int) []float32 {
+		tr := newTrainer(t, Config{
+			Epsilon: 1, UsePrivate: true, Seed: 31,
+			ClientsPerRound: 10, UploadCodec: "subspace", SubspaceDim: 2,
+			Workers: workers,
+		})
+		for r := 0; r < 3; r++ {
+			rep, err := tr.RunRound()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.WireBytes == 0 {
+				t.Fatal("WireBytes not accounted")
+			}
+		}
+		return modelFingerprint(t, tr)
+	}
+	a, b := run(1), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("subspace diverges across worker counts at %d", i)
+		}
+	}
+}
+
+// TestWirePlaneRejectsUnknownCodec: codec validation happens at build.
+func TestWirePlaneRejectsUnknownCodec(t *testing.T) {
+	cfg := Config{Dataset: smallMovieLens(), UploadCodec: "gzip"}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted unknown upload codec")
+	}
+}
+
+// TestWirePlaneDigestBindsCodec: checkpoints must not restore across
+// codec boundaries (the aggregation arithmetic differs).
+func TestWirePlaneDigestBindsCodec(t *testing.T) {
+	a := newTrainer(t, Config{Epsilon: 1, Seed: 5, UploadCodec: "masked"})
+	b := newTrainer(t, Config{Epsilon: 1, Seed: 5, UploadCodec: "plaintext"})
+	c := newTrainer(t, Config{Epsilon: 1, Seed: 5, UploadCodec: "masked"})
+	if a.configDigest() == b.configDigest() {
+		t.Fatal("config digest ignores the upload codec")
+	}
+	if a.configDigest() != c.configDigest() {
+		t.Fatal("config digest not deterministic")
+	}
+}

@@ -39,16 +39,50 @@ const Scale = 1 << 16
 // MaxAbs is the largest representable magnitude.
 const MaxAbs = float64(math.MaxInt32) / Scale
 
+// ErrOutOfRange reports a value whose fixed-point encoding saturated.
+// Saturation breaks the exact-sum invariant silently (the sum of
+// saturated encodings is not the encoding of the sum), so callers that
+// care use EncodeChecked or EncodeCounting and surface the counter —
+// a non-zero count means the fixed-point Scale is misconfigured for the
+// gradient magnitudes in play.
+var ErrOutOfRange = errors.New("secagg: value exceeds fixed-point range")
+
 // Encode converts a float to fixed point (saturating).
 func Encode(x float32) uint32 {
+	v, _ := encode(x)
+	return v
+}
+
+// EncodeChecked converts a float to fixed point, returning ErrOutOfRange
+// instead of silently clipping when the value saturates.
+func EncodeChecked(x float32) (uint32, error) {
+	v, sat := encode(x)
+	if sat {
+		return v, fmt.Errorf("%w: |%g| > %g", ErrOutOfRange, x, MaxAbs)
+	}
+	return v, nil
+}
+
+// EncodeCounting converts a float to fixed point, incrementing *sats
+// when the value saturated. The encoding still clips (so aggregation
+// proceeds); the counter makes the clipping observable.
+func EncodeCounting(x float32, sats *int) uint32 {
+	v, sat := encode(x)
+	if sat {
+		*sats++
+	}
+	return v
+}
+
+func encode(x float32) (uint32, bool) {
 	v := float64(x) * Scale
 	if v > math.MaxInt32 {
-		v = math.MaxInt32
+		return 0x7FFFFFFF, true
 	}
 	if v < math.MinInt32 {
-		v = math.MinInt32
+		return 0x80000000, true
 	}
-	return uint32(int32(v))
+	return uint32(int32(v)), false
 }
 
 // Decode converts fixed point back to float.
@@ -56,9 +90,11 @@ func Decode(v uint32) float32 {
 	return float32(int32(v)) / Scale
 }
 
-// pairSeed derives the shared seed for the (i, j) client pair from a
-// session key. Symmetric in (i, j).
-func pairSeed(sessionKey [32]byte, i, j int) [32]byte {
+// PairSeed derives the shared seed for the (i, j) client pair from a
+// session key. Symmetric in (i, j). Exported for the wire upload plane
+// (internal/wire), which reveals exactly these seeds in the dropout-
+// unmasking round.
+func PairSeed(sessionKey [32]byte, i, j int) [32]byte {
 	if i > j {
 		i, j = j, i
 	}
@@ -69,9 +105,14 @@ func pairSeed(sessionKey [32]byte, i, j int) [32]byte {
 	return sha256.Sum256(buf[:])
 }
 
-// prg expands a seed into length uint32 mask words (SHA-256 in counter
-// mode; stdlib-only and deterministic).
-func prg(seed [32]byte, length int) []uint32 {
+// pairSeed is the unexported alias the Session methods use.
+func pairSeed(sessionKey [32]byte, i, j int) [32]byte { return PairSeed(sessionKey, i, j) }
+
+// PRG expands a seed into length uint32 mask words (SHA-256 in counter
+// mode; stdlib-only and deterministic). Exported for the wire upload
+// plane, which masks word vectors of arbitrary layout with the same
+// stream the Session uses.
+func PRG(seed [32]byte, length int) []uint32 {
 	out := make([]uint32, length)
 	var block [36]byte
 	copy(block[:32], seed[:])
@@ -83,6 +124,49 @@ func prg(seed [32]byte, length int) []uint32 {
 		}
 	}
 	return out
+}
+
+// prg is the unexported alias the Session methods use.
+func prg(seed [32]byte, length int) []uint32 { return PRG(seed, length) }
+
+// AddPairwiseMasks folds client i's pairwise masks into words in place:
+// +PRG(s_ij) for every roster partner j > i, −PRG(s_ij) for j < i. Over
+// a full roster the masks cancel word-for-word; MaskWords(Words(x)) is
+// exactly what Session.Mask produces, factored out so the wire plane
+// can mask word vectors with its own layout.
+func AddPairwiseMasks(words []uint32, sessionKey [32]byte, i, roster int) {
+	for j := 0; j < roster; j++ {
+		if j == i {
+			continue
+		}
+		mask := PRG(PairSeed(sessionKey, i, j), len(words))
+		if j > i {
+			for w := range words {
+				words[w] += mask[w]
+			}
+		} else {
+			for w := range words {
+				words[w] -= mask[w]
+			}
+		}
+	}
+}
+
+// SubtractOrphanMask removes the orphaned (survivor, dropout) pair mask
+// from an aggregated word sum, given the revealed pair seed: survivor
+// added +mask if dropout > survivor, −mask otherwise, so the correction
+// applies the opposite sign.
+func SubtractOrphanMask(sum []uint32, pairSeed [32]byte, survivor, dropout int) {
+	mask := PRG(pairSeed, len(sum))
+	if dropout > survivor {
+		for w := range sum {
+			sum[w] -= mask[w]
+		}
+	} else {
+		for w := range sum {
+			sum[w] += mask[w]
+		}
+	}
 }
 
 // Session is one aggregation round among a fixed roster of clients.
@@ -107,32 +191,28 @@ func NewSession(sessionKey [32]byte, n, length int) (*Session, error) {
 // Mask produces client i's upload: the fixed-point encoding of x plus
 // the pairwise masks. len(x) must equal the session length.
 func (s *Session) Mask(i int, x []float32) ([]uint32, error) {
+	out, _, err := s.MaskCounting(i, x)
+	return out, err
+}
+
+// MaskCounting is Mask with saturation accounting: it additionally
+// reports how many coordinates of x exceeded the fixed-point range and
+// were clipped. A non-zero count means the aggregate is silently wrong
+// at the clipped coordinates — surface it (see ErrOutOfRange).
+func (s *Session) MaskCounting(i int, x []float32) ([]uint32, int, error) {
 	if i < 0 || i >= s.n {
-		return nil, fmt.Errorf("secagg: client %d out of roster %d", i, s.n)
+		return nil, 0, fmt.Errorf("secagg: client %d out of roster %d", i, s.n)
 	}
 	if len(x) != s.length {
-		return nil, fmt.Errorf("secagg: vector length %d != %d", len(x), s.length)
+		return nil, 0, fmt.Errorf("secagg: vector length %d != %d", len(x), s.length)
 	}
 	out := make([]uint32, s.length)
+	sats := 0
 	for w, xi := range x {
-		out[w] = Encode(xi)
+		out[w] = EncodeCounting(xi, &sats)
 	}
-	for j := 0; j < s.n; j++ {
-		if j == i {
-			continue
-		}
-		mask := prg(pairSeed(s.sessionKey, i, j), s.length)
-		if j > i {
-			for w := range out {
-				out[w] += mask[w]
-			}
-		} else {
-			for w := range out {
-				out[w] -= mask[w]
-			}
-		}
-	}
-	return out, nil
+	AddPairwiseMasks(out, s.sessionKey, i, s.n)
+	return out, sats, nil
 }
 
 // Aggregate sums the uploads of the surviving clients and unmasks the

@@ -89,6 +89,7 @@ type Partition interface {
 type PartitionRound interface {
 	ServeEntry(row uint64) (entry []float32, ok bool, err error)
 	SubmitGradient(row uint64, grad []float32, nSamples int) (delivered bool, err error)
+	SubmitAggregate(row uint64, sum []float32, count float32) (delivered bool, err error)
 	Finish() (RoundStats, error)
 }
 
@@ -440,6 +441,36 @@ func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (bool, 
 		return false, r.e.unavailable(s)
 	}
 	delivered, err := sub.SubmitGradient(local, grad, nSamples)
+	if err != nil {
+		if r.e.trigger(err) {
+			r.e.quarantine(s, err)
+		}
+		if r.e.isQuarantined(s) {
+			return false, r.e.unavailable(s)
+		}
+	}
+	return delivered, err
+}
+
+// SubmitAggregate folds an already-aggregated multi-client sum (the
+// upload plane's unmasked per-row output: Σ n_c·Δθ and Σ n_c) into the
+// owning shard, bypassing the aggregator's per-client pre-weighting.
+// Rows of a quarantined shard return ErrShardUnavailable.
+func (r *Round) SubmitAggregate(row uint64, sum []float32, count float32) (bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.done {
+		return false, ErrRoundFinished
+	}
+	if row >= r.e.cfg.NumRows {
+		return false, fmt.Errorf("shard: row %d out of range %d", row, r.e.cfg.NumRows)
+	}
+	s, local := r.e.locate(row)
+	sub := r.subs[s]
+	if sub == nil || r.e.isQuarantined(s) {
+		return false, r.e.unavailable(s)
+	}
+	delivered, err := sub.SubmitAggregate(local, sum, count)
 	if err != nil {
 		if r.e.trigger(err) {
 			r.e.quarantine(s, err)

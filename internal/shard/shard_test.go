@@ -41,6 +41,16 @@ func (r *fakeRound) SubmitGradient(row uint64, grad []float32, n int) (bool, err
 	return true, nil
 }
 
+func (r *fakeRound) SubmitAggregate(row uint64, sum []float32, count float32) (bool, error) {
+	if err := r.p.opErr("submit"); err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.submitted = append(r.submitted, row)
+	return true, nil
+}
+
 func (r *fakeRound) Finish() (RoundStats, error) {
 	if err := r.p.opErr("finish"); err != nil {
 		return RoundStats{}, err

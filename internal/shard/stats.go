@@ -46,6 +46,15 @@ type RoundStats struct {
 	UnionWallTime  time.Duration
 	ReadWallTime   time.Duration
 	FinishWallTime time.Duration
+	// WireBytes is the upload-plane payload volume folded into this
+	// round (0 when the legacy float gradient path was used). Set by the
+	// fl/api layers from the wire aggregator, not by the ORAM pipeline.
+	WireBytes uint64
+	// Saturations counts fixed-point encodings that clipped on the
+	// upload plane this round. Non-zero means the secagg Scale is
+	// misconfigured for the gradient magnitudes in play and the masked
+	// sums are silently wrong at the clipped coordinates.
+	Saturations int
 	// QuarantinedShards counts shards that sat out this round (their
 	// PerShard entries are zero and carry Quarantined=true).
 	QuarantinedShards int
@@ -97,6 +106,8 @@ func (e *Engine) merge(stats []RoundStats, beginWall, finishWall time.Duration, 
 		m.Lost += st.Lost
 		m.CrossChunkDup += st.CrossChunkDup
 		m.Chunks += st.Chunks
+		m.WireBytes += st.WireBytes
+		m.Saturations += st.Saturations
 		m.UnionTime += st.UnionTime
 		m.ReadTime += st.ReadTime
 		m.ServeTime += st.ServeTime
