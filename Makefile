@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test cluster-test wire-test experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test cluster-test wire-test prefetch-test experiments table1 clean
 
 all: build test
 
@@ -56,6 +56,18 @@ wire-test:
 		./internal/fl/... ./internal/api/... ./internal/client/... ./internal/cluster/...
 	$(GO) test -run=Fuzz -fuzz=FuzzAggregatorParse -fuzztime=10s ./internal/wire/
 	$(GO) test -run=Fuzz -fuzz=FuzzSparseRoundTrip -fuzztime=10s ./internal/wire/
+
+# Prefetch gate: the lookahead pipeline — two-phase stage/begin contract,
+# bit-identical fingerprints prefetch on/off (in-process, over HTTP, and
+# through the cluster coordinator), snapshot portability across modes,
+# kill-resume through a mid-stage boundary, quarantine of a shard with an
+# in-flight prefetch, and the stage endpoint's idempotency/409 semantics.
+# All under the race detector (the fetcher/serve streaming is the most
+# concurrent code in the repo).
+prefetch-test:
+	$(GO) test -race -count=1 -run 'Prefetch|Stage' \
+		./internal/fedora/... ./internal/fl/... ./internal/api/... \
+		./internal/client/... ./internal/cluster/...
 
 # Cluster gate: the distributed shard-placement subsystem — placement
 # validation and round routing, remote-trainer fingerprint parity and

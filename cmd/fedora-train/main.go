@@ -34,18 +34,19 @@ import (
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "run the full Table 1 accuracy study")
-		pooling = flag.Bool("ablation-pooling", false, "mean vs attention pooling ablation")
-		single  = flag.Bool("single", false, "run one configuration")
-		dsName  = flag.String("dataset", "movielens", "dataset for -single: movielens | taobao")
-		epsStr  = flag.Float64("eps", math.Inf(1), "epsilon for -single (+Inf = no FDP)")
-		mode    = flag.String("mode", "hide-val", "mode for -single: pub | hide-val | hide-num")
-		rounds  = flag.Int("rounds", 0, "FL rounds (0 = default per study)")
-		quick   = flag.Bool("quick", false, "trimmed datasets and round counts")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		csvOut  = flag.String("csv", "", "also write Table 1 to this CSV file")
-		workers = flag.Int("workers", 0, "client-training worker pool size (0 = GOMAXPROCS); results are seed-deterministic at any value")
-		shards  = flag.Int("shards", 1, "partition the embedding table across this many parallel per-shard ORAMs (1 = monolithic); results are seed-deterministic at any value")
+		table1   = flag.Bool("table1", false, "run the full Table 1 accuracy study")
+		pooling  = flag.Bool("ablation-pooling", false, "mean vs attention pooling ablation")
+		single   = flag.Bool("single", false, "run one configuration")
+		dsName   = flag.String("dataset", "movielens", "dataset for -single: movielens | taobao")
+		epsStr   = flag.Float64("eps", math.Inf(1), "epsilon for -single (+Inf = no FDP)")
+		mode     = flag.String("mode", "hide-val", "mode for -single: pub | hide-val | hide-num")
+		rounds   = flag.Int("rounds", 0, "FL rounds (0 = default per study)")
+		quick    = flag.Bool("quick", false, "trimmed datasets and round counts")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		csvOut   = flag.String("csv", "", "also write Table 1 to this CSV file")
+		workers  = flag.Int("workers", 0, "client-training worker pool size (0 = GOMAXPROCS); results are seed-deterministic at any value")
+		shards   = flag.Int("shards", 1, "partition the embedding table across this many parallel per-shard ORAMs (1 = monolithic); results are seed-deterministic at any value")
+		prefetch = flag.Bool("prefetch", false, "lookahead pipeline: stage round R+1 while R trains, streaming its ORAM reads on a background fetcher and deferring write-back; bit-identical to a sync run")
 
 		uploadCodec = flag.String("upload-codec", "", "gradient upload codec: plaintext | masked | masked-sparse | subspace (\"\" = legacy float path); all wire codecs are bit-identical to each other")
 		subspaceDim = flag.Int("subspace-dim", 0, "coordinates updated per row with -upload-codec=subspace (0 = dim/4)")
@@ -105,7 +106,8 @@ func main() {
 		runSingle(singleOptions{
 			dsName: *dsName, eps: *epsStr, mode: *mode, rounds: *rounds,
 			quick: *quick, seed: *seed, workers: *workers, shards: *shards,
-			ckptDir: *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
+			prefetch: *prefetch,
+			ckptDir:  *ckptDir, ckptEvery: *ckptEvery, resume: *resume,
 			remote: *remote, remoteBatch: *remoteBatch,
 			remoteRetries: *remoteRetry, remoteTimeout: *remoteTimeout,
 			uploadCodec: *uploadCodec, subspaceDim: *subspaceDim,
@@ -119,14 +121,15 @@ func main() {
 }
 
 type singleOptions struct {
-	dsName  string
-	eps     float64
-	mode    string
-	rounds  int
-	quick   bool
-	seed    int64
-	workers int
-	shards  int
+	dsName   string
+	eps      float64
+	mode     string
+	rounds   int
+	quick    bool
+	seed     int64
+	workers  int
+	shards   int
+	prefetch bool
 
 	ckptDir   string
 	ckptEvery int
@@ -165,6 +168,7 @@ func runSingle(o singleOptions) {
 	flCfg.Storage = spec
 	flCfg.UploadCodec = o.uploadCodec
 	flCfg.SubspaceDim = o.subspaceDim
+	flCfg.Prefetch = o.prefetch
 	if spec.Kind == storage.KindFile {
 		fmt.Printf("storage: file backend in %s (direct=%v)\n", spec.Dir, spec.Direct)
 	}
@@ -284,13 +288,25 @@ func runSingle(o singleOptions) {
 			o.uploadCodec, res.WireBytes, perRound, res.Saturations)
 	}
 	fmt.Printf("phase breakdown (wall clock, %d rounds):\n", res.Rounds)
-	fmt.Print(indent(metrics.RenderPhases([]metrics.Phase{
+	phases := []metrics.Phase{
 		{Name: "select", D: res.Phases.Select},
 		{Name: "union", D: res.Phases.Union},
 		{Name: "oram-read", D: res.Phases.ORAMRead},
 		{Name: "train", D: res.Phases.Train},
 		{Name: "aggregate", D: res.Phases.Aggregate},
-	}), "  "))
+	}
+	if o.prefetch {
+		// Background phases, overlapped with train: oram-read above is
+		// blocking read time only under the pipeline.
+		phases = append(phases,
+			metrics.Phase{Name: "prefetch", D: res.Phases.Prefetch},
+			metrics.Phase{Name: "evict", D: res.Phases.Evict})
+	}
+	fmt.Print(indent(metrics.RenderPhases(phases), "  "))
+	if ctrl := tr.Controller(); ctrl != nil && o.prefetch {
+		rep := ctrl.PrefetchReport()
+		fmt.Printf("prefetch: %d staged rows served, %d staged but never served\n", rep.Hits, rep.Wasted)
+	}
 	if ctrl := tr.Controller(); ctrl != nil {
 		if reps := ctrl.StorageReports(); len(reps) > 0 {
 			fmt.Println("storage (measured real-I/O latencies):")

@@ -17,6 +17,12 @@ import (
 // same way regardless of the backend.
 type Controller interface {
 	BeginRound(requests [][]uint64) (Round, error)
+	// StageRound posts the NEXT round's request lists ahead of its
+	// BeginRound — the two-phase contract that lets a prefetch-enabled
+	// controller overlap its ORAM reads with the caller's compute. On a
+	// controller without Config.Prefetch the stage is merely remembered;
+	// either way the adopting BeginRound must present the same lists.
+	StageRound(requests [][]uint64) error
 	Round() uint64
 	NumRows() uint64
 	Dim() int
@@ -74,6 +80,13 @@ type ShardPorter interface {
 // path uses to clear a round a coordinator fence orphaned.
 type Aborter interface {
 	AbortRound()
+}
+
+// PrefetchReporter is the optional lookahead-observability capability:
+// lifetime staged-row hit/waste counters plus the current staging-buffer
+// depth, surfaced on /metrics. *fedora.Controller implements it.
+type PrefetchReporter interface {
+	PrefetchReport() fedora.PrefetchReport
 }
 
 // fedoraController adapts *fedora.Controller to Controller: BeginRound

@@ -144,6 +144,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /v2/rounds/{id}", "/v2/rounds/{id}", "GET", s.handleRoundInfoV2, "v2_round_info"},
 		{"POST /v2/rounds/{id}/entries", "/v2/rounds/{id}/entries", "POST", s.limit(s.handleEntriesV2), "v2_entries"},
 		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.limit(s.handleGradientsV2), "v2_gradients"},
+		{"POST /v2/rounds/{id}/stage", "/v2/rounds/{id}/stage", "POST", s.limit(s.handleStageV2), "v2_stage"},
 		{"POST /v2/rounds/{id}/unmask", "/v2/rounds/{id}/unmask", "POST", s.limit(s.handleUnmaskV2), "v2_unmask"},
 		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.limit(s.handleFinishV2), "v2_finish"},
 		{"GET /v2/rows/{row}", "/v2/rows/{row}", "GET", s.handleRowV2, "v2_row"},
@@ -250,10 +251,20 @@ type RoundStatsJSON struct {
 	RoundEpsilon  string `json:"round_epsilon"`
 	TotalOverhead string `json:"total_overhead"`
 	// Wall-clock phase durations in nanoseconds (what a remote trainer
-	// reports in its per-round timing breakdown).
+	// reports in its per-round timing breakdown). With Prefetched set,
+	// ReadWallNS counts only BLOCKING read time; the fetch itself ran
+	// concurrently for PrefetchWallNS, and EvictWallNS drained the
+	// previous round's deferred write-backs (see fedora.RoundStats).
 	UnionWallNS  int64 `json:"union_wall_ns"`
 	ReadWallNS   int64 `json:"read_wall_ns"`
 	FinishWallNS int64 `json:"finish_wall_ns"`
+	// Lookahead prefetch accounting (zero / absent in sync mode).
+	Prefetched     bool   `json:"prefetched,omitempty"`
+	PrefetchWallNS int64  `json:"prefetch_wall_ns,omitempty"`
+	EvictWallNS    int64  `json:"evict_wall_ns,omitempty"`
+	EvictNS        int64  `json:"evict_ns,omitempty"`
+	PrefetchHits   uint64 `json:"prefetch_hits,omitempty"`
+	PrefetchWasted uint64 `json:"prefetch_wasted,omitempty"`
 	// Wire upload plane accounting (zero when the legacy JSON gradient
 	// path was used).
 	WireBytes   uint64 `json:"wire_bytes,omitempty"`
@@ -265,13 +276,19 @@ func statsJSON(st fedora.RoundStats) RoundStatsJSON {
 		K: st.K, KUnion: st.KUnion, KSampled: st.KSampled,
 		Dummy: st.Dummy, Lost: st.Lost,
 		CrossChunkDup: st.CrossChunkDup, Chunks: st.Chunks,
-		RoundEpsilon:  strconv.FormatFloat(st.RoundEpsilon, 'g', -1, 64),
-		TotalOverhead: st.Total().String(),
-		UnionWallNS:   st.UnionWallTime.Nanoseconds(),
-		ReadWallNS:    st.ReadWallTime.Nanoseconds(),
-		FinishWallNS:  st.FinishWallTime.Nanoseconds(),
-		WireBytes:     st.WireBytes,
-		Saturations:   st.Saturations,
+		RoundEpsilon:   strconv.FormatFloat(st.RoundEpsilon, 'g', -1, 64),
+		TotalOverhead:  st.Total().String(),
+		UnionWallNS:    st.UnionWallTime.Nanoseconds(),
+		ReadWallNS:     st.ReadWallTime.Nanoseconds(),
+		FinishWallNS:   st.FinishWallTime.Nanoseconds(),
+		Prefetched:     st.Prefetched,
+		PrefetchWallNS: st.PrefetchWallTime.Nanoseconds(),
+		EvictWallNS:    st.EvictWallTime.Nanoseconds(),
+		EvictNS:        st.EvictTime.Nanoseconds(),
+		PrefetchHits:   st.PrefetchHits,
+		PrefetchWasted: st.PrefetchWasted,
+		WireBytes:      st.WireBytes,
+		Saturations:    st.Saturations,
 	}
 }
 
@@ -287,12 +304,18 @@ func (j RoundStatsJSON) Stats() (fedora.RoundStats, error) {
 		K: j.K, KUnion: j.KUnion, KSampled: j.KSampled,
 		Dummy: j.Dummy, Lost: j.Lost,
 		CrossChunkDup: j.CrossChunkDup, Chunks: j.Chunks,
-		RoundEpsilon:   eps,
-		UnionWallTime:  time.Duration(j.UnionWallNS),
-		ReadWallTime:   time.Duration(j.ReadWallNS),
-		FinishWallTime: time.Duration(j.FinishWallNS),
-		WireBytes:      j.WireBytes,
-		Saturations:    j.Saturations,
+		RoundEpsilon:     eps,
+		UnionWallTime:    time.Duration(j.UnionWallNS),
+		ReadWallTime:     time.Duration(j.ReadWallNS),
+		FinishWallTime:   time.Duration(j.FinishWallNS),
+		Prefetched:       j.Prefetched,
+		PrefetchWallTime: time.Duration(j.PrefetchWallNS),
+		EvictWallTime:    time.Duration(j.EvictWallNS),
+		EvictTime:        time.Duration(j.EvictNS),
+		PrefetchHits:     j.PrefetchHits,
+		PrefetchWasted:   j.PrefetchWasted,
+		WireBytes:        j.WireBytes,
+		Saturations:      j.Saturations,
 	}, nil
 }
 
@@ -485,6 +508,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE fedora_wire_uploads_total counter\n")
 	for _, c := range wire.Codecs() {
 		fmt.Fprintf(w, "fedora_wire_uploads_total{codec=%q} %d\n", string(c), s.wireUploads[c].Load())
+	}
+	// Lookahead prefetch observability, present when the backend reports
+	// it (an in-process fedora controller always does; a coordinator sums
+	// members'). Hits/wasted are lifetime staged-row counters; staged_rows
+	// is the current staging-buffer depth (loaded but not yet served).
+	if pr, ok := s.ctrl.(PrefetchReporter); ok {
+		rep := pr.PrefetchReport()
+		fmt.Fprintf(w, "# TYPE fedora_prefetch_hits_total counter\nfedora_prefetch_hits_total %d\n", rep.Hits)
+		fmt.Fprintf(w, "# TYPE fedora_prefetch_wasted_total counter\nfedora_prefetch_wasted_total %d\n", rep.Wasted)
+		fmt.Fprintf(w, "# TYPE fedora_prefetch_staged_rows gauge\nfedora_prefetch_staged_rows %d\n", rep.StagedRows)
 	}
 	// Real-I/O telemetry, present only when the controller's main device
 	// is file-backed: measured (not modelled) latency quantiles per device.

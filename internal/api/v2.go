@@ -21,6 +21,8 @@ import (
 //	GET  /v2/rounds/{id}                round info
 //	POST /v2/rounds/{id}/entries        batched download
 //	POST /v2/rounds/{id}/gradients      batched upload (idempotent via batch_id)
+//	POST /v2/rounds/{id}/stage          stage the NEXT round's requests
+//	                                    (idempotent via stage_key)
 //	POST /v2/rounds/{id}/finish         finish (idempotent)
 //	GET  /v2/rows/{row}                 evaluation backdoor (PeekRow)
 //	GET  /v2/status                     status + current round id
@@ -43,6 +45,33 @@ type BeginV2Request struct {
 	// DeadlineMS, when positive, bounds the round's lifetime; past it
 	// the server finishes the round with partial gradients.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// StageNext, when set, stages the FOLLOWING round's request lists in
+	// the same call — a hint equivalent to an immediate POST .../stage.
+	// Best-effort: a stage failure never fails the begin.
+	StageNext [][]uint64 `json:"stage_next,omitempty"`
+}
+
+// StageV2Request posts the next round's per-client request lists
+// against the latest round — the first leg of the two-phase round
+// lifecycle. On a prefetch-enabled controller the staged round's plan
+// and ORAM reads start as soon as the current round finishes; the next
+// begin MUST present the same lists.
+type StageV2Request struct {
+	Requests [][]uint64 `json:"requests"`
+	// StageKey, when set, deduplicates retries like a gradient batch_id:
+	// the server applies a given stage key at most once per round and
+	// replays the recorded response for duplicates.
+	StageKey string `json:"stage_key,omitempty"`
+}
+
+// StageV2Response acknowledges a stage.
+type StageV2Response struct {
+	// RoundID echoes the round the stage was addressed to (the latest
+	// round; the staged requests are for its successor).
+	RoundID string `json:"round_id"`
+	Staged  bool   `json:"staged"`
+	// Duplicate reports the stage key was already applied.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // RoundInfo describes one round's lifecycle state.
@@ -111,6 +140,17 @@ type batchEntry struct {
 	errMsg    string
 }
 
+// stageEntry records one stage application (or its failure) for replay
+// to retries, exactly like batchEntry does for gradient batches.
+type stageEntry struct {
+	done chan struct{}
+
+	resp      StageV2Response
+	errStatus int // 0 = success
+	errCode   string
+	errMsg    string
+}
+
 // serverRound is the server-side state of one round.
 type serverRound struct {
 	id         string
@@ -130,6 +170,7 @@ type serverRound struct {
 	stats     fedora.RoundStats
 	finishErr string
 	batches   map[string]*batchEntry
+	stages    map[string]*stageEntry
 
 	// Wire upload plane (wire.go). wireAgg is created lazily on the
 	// first binary upload; wireBytes/wireSats are recorded at unmask and
@@ -216,6 +257,7 @@ func (s *Server) beginRound(req BeginV2Request) (*serverRound, bool, *apiError) 
 		key:     req.RoundKey,
 		round:   round,
 		batches: make(map[string]*batchEntry),
+		stages:  make(map[string]*stageEntry),
 	}
 	deadline := s.defaultDeadline
 	if req.DeadlineMS > 0 {
@@ -233,7 +275,21 @@ func (s *Server) beginRound(req BeginV2Request) (*serverRound, bool, *apiError) 
 	s.current = sr
 	s.pruneLocked()
 	s.mu.Unlock()
+
+	// Begin-time stage hint: equivalent to an immediate POST .../stage,
+	// and best-effort by contract — the round itself has already begun.
+	if len(req.StageNext) > 0 {
+		_ = s.ctrl.StageRound(req.StageNext)
+	}
 	return sr, true, nil
+}
+
+// latestRound reports whether sr is the most recently begun round —
+// the only round a stage may be addressed to.
+func (s *Server) latestRound(sr *serverRound) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order) > 0 && s.order[len(s.order)-1] == sr.id
 }
 
 // lookupRound resolves a round id.
@@ -533,6 +589,92 @@ func (s *Server) handleGradientsV2(w http.ResponseWriter, r *http.Request) {
 	}
 	if be != nil {
 		be.resp = resp
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStageV2 posts the NEXT round's request lists against the latest
+// round (open or finished — the trainer stages after finishing round R,
+// before beginning R+1). A stage addressed to a superseded round is a
+// 409 stage_conflict; staged lists that differ from an already-pending
+// stage are a 409 stage_mismatch. stage_key deduplicates retries.
+func (s *Server) handleStageV2(w http.ResponseWriter, r *http.Request) {
+	sr, aerr := s.lookupRound(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	var req StageV2Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad json: %s", err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "no client requests")
+		return
+	}
+	for ci, rows := range req.Requests {
+		for _, row := range rows {
+			if row != fedora.DummyRequest && row >= s.ctrl.NumRows() {
+				writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+					"client %d requests row %d out of range %d", ci, row, s.ctrl.NumRows())
+				return
+			}
+		}
+	}
+	if !s.latestRound(sr) {
+		writeError(w, http.StatusConflict, CodeStageConflict,
+			"round %s was superseded; stage against the latest round", sr.id)
+		return
+	}
+
+	// Dedup: reserve the stage key before applying, so a concurrent retry
+	// waits for the first application instead of re-staging.
+	var se *stageEntry
+	if req.StageKey != "" {
+		s.mu.Lock()
+		if prev, ok := sr.stages[req.StageKey]; ok {
+			s.mu.Unlock()
+			<-prev.done
+			if prev.errStatus != 0 {
+				writeError(w, prev.errStatus, prev.errCode, "%s", prev.errMsg)
+				return
+			}
+			resp := prev.resp
+			resp.Duplicate = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		se = &stageEntry{done: make(chan struct{})}
+		sr.stages[req.StageKey] = se
+		s.mu.Unlock()
+		defer close(se.done)
+	}
+
+	fail := func(status int, code, msg string) {
+		if se != nil {
+			se.errStatus, se.errCode, se.errMsg = status, code, msg
+		}
+		writeError(w, status, code, "%s", msg)
+	}
+
+	// StageRound validates and registers; on a prefetch-enabled
+	// controller the background plan+fetch kicks off as soon as the
+	// current round (if any) finishes. Never under the server mutex.
+	if err := s.ctrl.StageRound(req.Requests); err != nil {
+		switch {
+		case errors.Is(err, fedora.ErrStageMismatch):
+			fail(http.StatusConflict, CodeStageMismatch, err.Error())
+		case errors.Is(err, fedora.ErrShardUnavailable):
+			fail(http.StatusServiceUnavailable, CodeUnavailable, err.Error())
+		default:
+			fail(http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		}
+		return
+	}
+	resp := StageV2Response{RoundID: sr.id, Staged: true}
+	if se != nil {
+		se.resp = resp
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -541,6 +541,20 @@ func (c *Client) Unmask(ctx context.Context, roundID string, reveals []wire.Reve
 	return out, err
 }
 
+// Stage posts the NEXT round's per-client requests against roundID (the
+// latest round, open or finished) — the two-phase lookahead leg. An
+// empty stageKey is filled with a fresh idempotency key, so a retried
+// stage replays the recorded response instead of re-staging.
+func (c *Client) Stage(ctx context.Context, roundID string, requests [][]uint64, stageKey string) (api.StageV2Response, error) {
+	if stageKey == "" {
+		stageKey = c.nextID()
+	}
+	var out api.StageV2Response
+	err := c.do(ctx, http.MethodPost, "/v2/rounds/"+roundID+"/stage",
+		api.StageV2Request{Requests: requests, StageKey: stageKey}, &out)
+	return out, err
+}
+
 // FinishRound completes the round (idempotent server-side) and returns
 // its info with stats.
 func (c *Client) FinishRound(ctx context.Context, roundID string) (api.RoundInfo, error) {

@@ -25,6 +25,7 @@ type Orchestrator struct {
 
 	mu        sync.Mutex
 	lastRound uint64 // round number of the most recent BeginRound
+	lastID    string // server round id of the most recent BeginRound
 	haveRound bool
 }
 
@@ -61,9 +62,27 @@ func (o *Orchestrator) BeginRound(requests [][]uint64) (fl.RoundHandle, error) {
 	}
 	o.mu.Lock()
 	o.lastRound = info.Round
+	o.lastID = info.RoundID
 	o.haveRound = true
 	o.mu.Unlock()
 	return &remoteRound{o: o, id: info.RoundID}, nil
+}
+
+// StageRound implements fl.RoundStager: the next round's request lists
+// post to the stage endpoint of the most recent round, letting a
+// prefetch-enabled server start its ORAM reads before the trainer's
+// BeginRound. Before any round exists there is nothing to stage against;
+// that (like any stage error surfaced to the trainer) just means the
+// next BeginRound runs cold, so the contract stays best-effort.
+func (o *Orchestrator) StageRound(requests [][]uint64) error {
+	o.mu.Lock()
+	id, ok := o.lastID, o.haveRound
+	o.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	_, err := o.c.Stage(o.ctx, id, requests, "")
+	return err
 }
 
 // Round reports the round number the most recent BeginRound opened

@@ -117,8 +117,10 @@ type Coordinator struct {
 	mu          sync.Mutex
 	round       uint64
 	inRound     bool
-	quarantines uint64 // node fence events
-	recoveries  uint64 // node unfence events
+	lastIDs     []string // per-member server round IDs of the latest begin
+	stageSeq    uint64   // StageRound fan-outs issued (idempotency keys)
+	quarantines uint64   // node fence events
+	recoveries  uint64   // node unfence events
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -482,6 +484,46 @@ func (c *Coordinator) StopProbes() {
 		close(stop)
 		<-done
 	}
+}
+
+// StageRound implements the two-phase contract across the cluster: the
+// next round's request lists route through the same per-member split as
+// BeginRound's and post to each live member's latest local round, so
+// prefetch-enabled members start their ORAM reads while the trainer is
+// still training. Staging is best-effort at the node level — a member
+// that cannot stage (fenced, or no local round yet) simply runs its next
+// begin cold, without fencing — but a malformed batch fails validation
+// exactly as it would at BeginRound.
+func (c *Coordinator) StageRound(requests [][]uint64) error {
+	perNode, err := c.route(requests)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stageSeq++
+	seq := c.stageSeq
+	ids := append([]string(nil), c.lastIDs...)
+	c.mu.Unlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	var errMu sync.Mutex
+	var firstErr error
+	c.forEachMember(func(n int) {
+		if c.isFenced(n) || ids[n] == "" {
+			return
+		}
+		_, err := c.members[n].cli.Stage(context.Background(), ids[n],
+			perNode[n], fmt.Sprintf("coord-g%d-n%d", seq, n))
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: stage on node %d: %w", n, err)
+			}
+			errMu.Unlock()
+		}
+	})
+	return firstErr
 }
 
 // AbortRound force-closes the coordinator's round bookkeeping (the

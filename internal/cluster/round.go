@@ -75,6 +75,12 @@ func (c *Coordinator) BeginRound(requests [][]uint64) (api.Round, error) {
 	wg.Wait()
 	r.beginWall = time.Since(r.start)
 
+	// Remember where this round lives on each member: a later StageRound
+	// (the next round staged while this one trains) addresses these IDs.
+	c.mu.Lock()
+	c.lastIDs = append(c.lastIDs[:0], r.ids...)
+	c.mu.Unlock()
+
 	live := 0
 	for _, b := range r.begun {
 		if b {
@@ -428,8 +434,20 @@ func (r *Round) Finish() (fedora.RoundStats, error) {
 		m.ServeTime += st.ServeTime
 		m.AggregateTime += st.AggregateTime
 		m.UpdateTime += st.UpdateTime
+		m.EvictTime += st.EvictTime
+		m.PrefetchHits += st.PrefetchHits
+		m.PrefetchWasted += st.PrefetchWasted
+		if st.Prefetched {
+			m.Prefetched = true
+		}
 		if st.UnionWallTime > m.UnionWallTime {
 			m.UnionWallTime = st.UnionWallTime
+		}
+		if st.PrefetchWallTime > m.PrefetchWallTime {
+			m.PrefetchWallTime = st.PrefetchWallTime
+		}
+		if st.EvictWallTime > m.EvictWallTime {
+			m.EvictWallTime = st.EvictWallTime
 		}
 		if st.Chunks > 0 {
 			acct.Observe(st.RoundEpsilon)
@@ -440,9 +458,21 @@ func (r *Round) Finish() (fedora.RoundStats, error) {
 		return fedora.RoundStats{}, fmt.Errorf("cluster: round lost on every node: %w", fedora.ErrShardUnavailable)
 	}
 	m.RoundEpsilon = acct.RoundEpsilon()
-	m.ReadWallTime = r.beginWall - m.UnionWallTime
-	if m.ReadWallTime < 0 {
-		m.ReadWallTime = 0
+	if m.Prefetched {
+		// Streamed rounds: each member already reports blocking-read wall
+		// only (its reads ran on background fetchers, not inside the begin
+		// fan-out). Members blocked concurrently, so take the max — the
+		// same aggregation the sharded engine applies.
+		for _, st := range stats {
+			if st != nil && st.ReadWallTime > m.ReadWallTime {
+				m.ReadWallTime = st.ReadWallTime
+			}
+		}
+	} else {
+		m.ReadWallTime = r.beginWall - m.UnionWallTime
+		if m.ReadWallTime < 0 {
+			m.ReadWallTime = 0
+		}
 	}
 	m.FinishWallTime = finishWall
 	return m, nil

@@ -135,6 +135,19 @@ type Config struct {
 	// Union entries then come out in ascending-ID rather than first-seen
 	// order, which changes what "SelectFirst" means.
 	SortedUnion bool
+	// Prefetch enables the LAORAM-style lookahead pipeline: BeginRound
+	// hands the main-ORAM reads to a background fetcher (serves block per
+	// row until loaded) and Finish defers the main-ORAM write-backs to
+	// the next round's fetcher, so both overlap with the caller's compute
+	// phase. StageRound lets two-phase callers start the next round's
+	// plan + fetch before BeginRound is even called. The main ORAM
+	// executes the identical op sequence either way, so results are
+	// bit-identical with Prefetch on or off, and the flag is excluded
+	// from ConfigDigest — checkpoints move freely between modes (any
+	// deferred pass is drained at Snapshot time). Not supported for
+	// BackendPathORAMPlus, whose per-access RNG draws happen at fetch
+	// time rather than plan time.
+	Prefetch bool
 	// Shards partitions the embedding table into this many contiguous row
 	// ranges, each with its own main ORAM, buffer ORAM, position map and
 	// ε-FDP sampler, executed concurrently each round (0 or 1 =
@@ -218,6 +231,9 @@ func (c *Config) validate() error {
 	if c.Shards > 1 && uint64(c.Shards) > c.NumRows {
 		return fmt.Errorf("fedora: %d shards exceed the %d embedding rows", c.Shards, c.NumRows)
 	}
+	if c.Prefetch && c.Backend == BackendPathORAMPlus {
+		return errors.New("fedora: Prefetch is not supported on the pathoram+ backend (its per-access RNG draws happen at fetch time, so overlapping them would diverge from the sync schedule)")
+	}
 	return nil
 }
 
@@ -251,6 +267,18 @@ type Controller struct {
 	inRound bool
 	cur     *Round // the open monolithic round, for AbortRound (nil between rounds)
 	acct    fdp.Accountant
+
+	// Lookahead pipeline state (cfg.Prefetch; see prefetch.go). staged is
+	// the posted-but-not-adopted next round (top-level controller only —
+	// sub-controllers are always driven single-phase by the engine);
+	// pending is a finished round's deferred main-ORAM write-back pass,
+	// drained by the next round's fetcher or at a drain point (PeekRow,
+	// Snapshot, Close). prefetchHits/prefetchWasted accumulate per-round
+	// staging outcomes for /metrics.
+	staged         *stagedRound
+	pending        *evictPass
+	prefetchHits   uint64
+	prefetchWasted uint64
 
 	// Sharded mode (cfg.Shards > 1): eng routes rounds across the
 	// sub-controllers in subs, each a full monolithic pipeline over its
@@ -449,11 +477,28 @@ func (c *Controller) Health() shard.HealthReport {
 // round a coordinator fence leaves behind would otherwise block
 // Snapshot/Restore forever.
 func (c *Controller) AbortRound() {
+	// Settle any staged begin first: until its handshake completes, the
+	// background goroutine owns the round state. The wait is short — the
+	// begin goroutine only plans; the heavy I/O runs on the fetcher,
+	// which stops at its next op once the round is marked done below.
+	c.mu.Lock()
+	s := c.staged
+	c.staged = nil
+	c.mu.Unlock()
+	if s != nil && s.started {
+		<-s.done
+		if s.round != nil {
+			c.mu.Lock()
+			s.round.done = true
+			c.mu.Unlock()
+		}
+	}
 	c.mu.Lock()
 	if c.cur != nil {
 		c.cur.done = true // stragglers see ErrRoundFinished, not dirty state
 		c.cur = nil
 	}
+	c.pending = nil // half-applied passes leave the ORAM dirty; Restore follows
 	c.inRound = false
 	eng := c.eng
 	c.mu.Unlock()
@@ -583,7 +628,12 @@ func (c *Controller) Close() error {
 		}
 		return firstErr
 	}
-	err := c.ssd.Close()
+	c.mu.Lock()
+	err := c.drainEvictLocked() // flush any deferred write-back pass
+	c.mu.Unlock()
+	if serr := c.ssd.Close(); serr != nil && err == nil {
+		err = serr
+	}
 	if derr := c.dram.Close(); derr != nil && err == nil {
 		err = derr
 	}
@@ -667,6 +717,11 @@ func (c *Controller) PeekRow(row uint64) ([]float32, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A deferred write-back pass holds finished-round updates the peek
+	// must observe; drain it so evaluation sees the post-round model.
+	if err := c.drainEvictLocked(); err != nil {
+		return nil, err
+	}
 	var (
 		payload []byte
 		err     error

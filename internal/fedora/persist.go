@@ -60,13 +60,16 @@ func (cfg Config) Digest() uint64 {
 	e.U8(uint8(cfg.Selection))
 	e.U32(uint32(cfg.EvictPeriod))
 	e.Bool(cfg.SortedUnion)
-	// ShardWorkers, ShardBase and Storage are deliberately excluded: the
-	// worker count and the storage backend are purely operational knobs
-	// that never affect state — a checkpoint taken over the simulator
-	// restores onto a file-backed controller and vice versa — and slice
-	// placement is pinned by the engine snapshot's base field (plus the
-	// shard-derived Seed for one-shard members), so per-shard sections
-	// stay portable between a single-process run and any member.
+	// ShardWorkers, ShardBase, Storage and Prefetch are deliberately
+	// excluded: the worker count and the storage backend are purely
+	// operational knobs that never affect state — a checkpoint taken over
+	// the simulator restores onto a file-backed controller and vice versa
+	// — and slice placement is pinned by the engine snapshot's base field
+	// (plus the shard-derived Seed for one-shard members), so per-shard
+	// sections stay portable between a single-process run and any member.
+	// Prefetch only reorders wall-clock execution (Snapshot drains any
+	// deferred write-back pass first), so snapshots move freely between a
+	// prefetching and a synchronous run of the same config.
 	e.U32(uint32(cfg.Shards))
 	h := fnv.New64a()
 	h.Write(e.Finish())
@@ -78,8 +81,15 @@ func (cfg Config) Digest() uint64 {
 func (c *Controller) Snapshot() ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.inRound {
+	if c.inRound || c.staged != nil {
+		// A staged round counts as open: its plan has consumed RNG state a
+		// snapshot would otherwise capture mid-consumption.
 		return nil, ErrRoundOpen
+	}
+	// Drain any deferred write-back pass so the snapshot is byte-identical
+	// to the one a synchronous run would take at this round boundary.
+	if err := c.drainEvictLocked(); err != nil {
+		return nil, err
 	}
 
 	if c.eng != nil {
@@ -153,9 +163,10 @@ func (c *Controller) Snapshot() ([]byte, error) {
 func (c *Controller) Restore(b []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.inRound {
+	if c.inRound || c.staged != nil {
 		return ErrRoundOpen
 	}
+	c.pending = nil // restored state supersedes any deferred pass
 	if c.eng != nil {
 		return c.restoreSharded(b)
 	}
@@ -287,7 +298,7 @@ func (c *Controller) restoreSharded(b []byte) error {
 func (c *Controller) RecoverQuarantined(b []byte) ([]int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.inRound {
+	if c.inRound || c.staged != nil {
 		return nil, ErrRoundOpen
 	}
 	if c.eng == nil {

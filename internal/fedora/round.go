@@ -39,10 +39,19 @@ type ShardStats = shard.ShardStats
 type Round struct {
 	c      *Controller
 	er     *shard.Round // sharded mode: the engine round (nil otherwise)
+	number uint64
 	loaded map[uint64]bool
 	stats  RoundStats
 	done   bool
+	// stream carries the lookahead pipeline's per-row staging state when
+	// Config.Prefetch is on and the controller is monolithic: serves
+	// block per row until the background fetcher has loaded it. Nil in
+	// sync mode and in sharded mode (each sub-controller owns one).
+	stream *streamState
 }
+
+// Number is the controller round number this handle belongs to.
+func (r *Round) Number() uint64 { return r.number }
 
 // ErrRoundInProgress is returned by BeginRound when the previous round
 // was not finished.
@@ -60,12 +69,122 @@ var ErrShardUnavailable = shard.ErrShardUnavailable
 // BeginRound runs steps ①–③ for the given per-client request lists and
 // returns the Round handle used for serving, aggregation and completion.
 // Clients pad with DummyRequest in the hide-count mode.
+//
+// Two-phase callers stage the round first (StageRound) and then call
+// BeginRound with the SAME request lists: the staged round — whose plan
+// may already be running on a background goroutine — is adopted. Begin
+// with a different union than was staged fails with ErrStageMismatch
+// (the staged plan has already consumed the sampling RNG stream, so it
+// cannot be silently discarded without diverging from a cold run).
 func (c *Controller) BeginRound(requests [][]uint64) (*Round, error) {
 	c.mu.Lock()
+	if s := c.staged; s != nil {
+		if requestsDigest(requests) != s.digest {
+			c.mu.Unlock()
+			return nil, ErrStageMismatch
+		}
+		if s.started {
+			c.mu.Unlock()
+			<-s.done
+			c.mu.Lock()
+			if c.staged == s {
+				c.staged = nil
+			}
+			c.mu.Unlock()
+			return s.round, s.err
+		}
+		// Staged but never kicked (Prefetch off, or the kick lost a race
+		// with this begin): run the begin inline with the staged lists.
+		c.staged = nil
+	}
 	defer c.mu.Unlock()
+	return c.beginRoundLocked(requests)
+}
+
+// beginRoundLocked is the single-phase round begin. The caller holds
+// c.mu; in prefetch mode the heavy ORAM reads are handed to a background
+// fetcher and only the (cheap) planning runs under the lock.
+func (c *Controller) beginRoundLocked(requests [][]uint64) (*Round, error) {
 	if c.inRound {
 		return nil, ErrRoundInProgress
 	}
+	flat, err := c.flattenRequests(requests)
+	if err != nil {
+		return nil, err
+	}
+	c.inRound = true
+	c.round++
+
+	// Sharded mode: the engine routes the requests and drives every
+	// shard's ①–③ concurrently; each sub-controller runs its own union,
+	// ε-FDP sampling and ORAM reads over its row range (and, in prefetch
+	// mode, spawns its own fetcher — the staging machinery lives only on
+	// this top-level controller).
+	if c.eng != nil {
+		er, err := c.eng.BeginRound(requests)
+		if err != nil {
+			c.inRound = false
+			return nil, err
+		}
+		return &Round{c: c, er: er, number: c.round}, nil
+	}
+	c.buf.SetRound(c.round)
+
+	r := &Round{c: c, loaded: make(map[uint64]bool), number: c.round}
+	r.stats.K = len(flat)
+
+	if !c.cfg.Prefetch {
+		for start := 0; start < len(flat); start += c.cfg.ChunkSize {
+			end := start + c.cfg.ChunkSize
+			if end > len(flat) {
+				end = len(flat)
+			}
+			if err := r.processChunk(flat[start:end]); err != nil {
+				c.inRound = false
+				return nil, err
+			}
+		}
+		r.stats.Chunks = c.acct.Chunks()
+		r.stats.RoundEpsilon = c.acct.RoundEpsilon()
+		c.acct = fdp.Accountant{} // reset per round
+		c.cur = r
+		return r, nil
+	}
+
+	// Lookahead pipeline: plan every chunk now — union, ε-FDP sampling
+	// and selection consume exactly the RNG/selector stream the sync path
+	// would — then hand the main-ORAM ops to a background fetcher. The
+	// previous round's deferred write-back pass drains on the same
+	// fetcher FIRST, so the main ORAM sees the identical op sequence as
+	// sync mode; only the wall-clock placement changes.
+	var plan []fetchOp
+	for start := 0; start < len(flat); start += c.cfg.ChunkSize {
+		end := start + c.cfg.ChunkSize
+		if end > len(flat) {
+			end = len(flat)
+		}
+		ops, err := r.planChunk(flat[start:end])
+		if err != nil {
+			c.inRound = false
+			return nil, err
+		}
+		plan = append(plan, ops...)
+	}
+	r.stats.Chunks = c.acct.Chunks()
+	r.stats.RoundEpsilon = c.acct.RoundEpsilon()
+	c.acct = fdp.Accountant{} // reset per round
+	r.stats.Prefetched = true
+	r.stream = newStreamState(plan)
+	pending := c.pending
+	c.pending = nil
+	c.cur = r
+	go r.runFetcher(plan, pending)
+	return r, nil
+}
+
+// flattenRequests validates the per-client request lists against the
+// configured limits and returns them flattened. Caller holds c.mu.
+func (c *Controller) flattenRequests(requests [][]uint64) ([]uint64, error) {
 	if len(requests) > c.cfg.MaxClientsPerRound {
 		return nil, fmt.Errorf("fedora: %d clients exceed the configured max %d",
 			len(requests), c.cfg.MaxClientsPerRound)
@@ -84,40 +203,7 @@ func (c *Controller) BeginRound(requests [][]uint64) (*Round, error) {
 			flat = append(flat, row)
 		}
 	}
-	c.inRound = true
-	c.round++
-
-	// Sharded mode: the engine routes the requests and drives every
-	// shard's ①–③ concurrently; each sub-controller runs its own union,
-	// ε-FDP sampling and ORAM reads over its row range.
-	if c.eng != nil {
-		er, err := c.eng.BeginRound(requests)
-		if err != nil {
-			c.inRound = false
-			return nil, err
-		}
-		return &Round{c: c, er: er}, nil
-	}
-	c.buf.SetRound(c.round)
-
-	r := &Round{c: c, loaded: make(map[uint64]bool)}
-	r.stats.K = len(flat)
-
-	for start := 0; start < len(flat); start += c.cfg.ChunkSize {
-		end := start + c.cfg.ChunkSize
-		if end > len(flat) {
-			end = len(flat)
-		}
-		if err := r.processChunk(flat[start:end]); err != nil {
-			c.inRound = false
-			return nil, err
-		}
-	}
-	r.stats.Chunks = c.acct.Chunks()
-	r.stats.RoundEpsilon = c.acct.RoundEpsilon()
-	c.acct = fdp.Accountant{} // reset per round
-	c.cur = r
-	return r, nil
+	return flat, nil
 }
 
 // union computes the chunk union: the real oblivious scan in functional
@@ -151,9 +237,14 @@ func (c *Controller) union(chunk []uint64) ([]uint64, int, time.Duration) {
 	return res.IDs[:res.Size], res.Size, d
 }
 
-// processChunk runs steps ①–③ for one chunk of requests. The caller
-// (BeginRound) holds c.mu.
-func (r *Round) processChunk(chunk []uint64) error {
+// planChunk runs the plan half of steps ①–③ for one chunk: the chunk
+// union, ε-FDP sampling and the selection-policy ordering. It returns
+// the main-ORAM ops to execute — the exec half — which the sync path
+// runs inline (processChunk) and the prefetch path hands to the
+// background fetcher. Everything that consumes the controller's RNG or
+// selector state happens here, in chunk order, so the two modes draw
+// identical streams. The caller holds c.mu.
+func (r *Round) planChunk(chunk []uint64) ([]fetchOp, error) {
 	c := r.c
 	wallStart := time.Now()
 	ids, kUnion, unionDur := c.union(chunk)
@@ -161,7 +252,7 @@ func (r *Round) processChunk(chunk []uint64) error {
 	r.stats.UnionWallTime += time.Since(wallStart)
 	r.stats.KUnion += kUnion
 	if len(chunk) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// ② choose k. Path ORAM+ has no mechanism: one main-ORAM access per
@@ -173,7 +264,7 @@ func (r *Round) processChunk(chunk []uint64) error {
 		var err error
 		k, err = c.mech.Sample(len(chunk), kUnion, c.rng)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	c.acct.Observe(c.effEps)
@@ -184,23 +275,40 @@ func (r *Round) processChunk(chunk []uint64) error {
 		r.stats.Lost += kUnion - k
 	}
 
-	// ③ read k entries, chosen by the configured selection policy
-	// (Sec 4.2), padded with dummies when k > k_union.
-	wallStart = time.Now()
+	// ③ order the k reads by the configured selection policy (Sec 4.2),
+	// padded with dummies when k > k_union.
 	nReal := k
 	if nReal > kUnion {
 		nReal = kUnion
 	}
 	c.sel.observe(ids)
 	ordered := c.sel.order(ids)
+	ops := make([]fetchOp, 0, k)
 	for _, row := range ordered[:nReal] {
-		if err := r.fetchRow(row); err != nil {
-			return err
-		}
+		ops = append(ops, fetchOp{row: row})
 		c.sel.markRead(row)
 	}
 	for i := 0; i < k-nReal; i++ {
-		if err := r.dummyFetch(); err != nil {
+		ops = append(ops, fetchOp{dummy: true})
+	}
+	return ops, nil
+}
+
+// processChunk runs steps ①–③ for one chunk of requests, synchronously.
+// The caller (beginRoundLocked) holds c.mu.
+func (r *Round) processChunk(chunk []uint64) error {
+	ops, err := r.planChunk(chunk)
+	if err != nil {
+		return err
+	}
+	wallStart := time.Now()
+	for _, op := range ops {
+		if op.dummy {
+			err = r.dummyFetch()
+		} else {
+			err = r.fetchRow(op.row)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -282,6 +390,14 @@ func (r *Round) ServeEntry(row uint64) (entry []float32, ok bool, err error) {
 		}
 		return entry, ok, err
 	}
+	if r.stream != nil {
+		// Lookahead pipeline: block until the fetcher has loaded this row
+		// (rows outside the staged plan — sacrificed by the mechanism —
+		// pass straight through to the usual miss path below).
+		if err := r.stream.waitFor(row); err != nil {
+			return nil, false, err
+		}
+	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
@@ -308,6 +424,14 @@ func (r *Round) SubmitGradient(row uint64, grad []float32, nSamples int) (delive
 			err = ErrRoundFinished
 		}
 		return delivered, err
+	}
+	if r.stream != nil {
+		// Defensive: gradients normally follow a serve (so the row is
+		// loaded), but an out-of-order caller must not see a transient
+		// miss for a row the fetcher is still loading.
+		if err := r.stream.waitFor(row); err != nil {
+			return false, err
+		}
 	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
@@ -340,6 +464,11 @@ func (r *Round) SubmitAggregate(row uint64, sum []float32, count float32) (deliv
 		}
 		return delivered, err
 	}
+	if r.stream != nil {
+		if err := r.stream.waitFor(row); err != nil {
+			return false, err
+		}
+	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
 	if r.done {
@@ -366,8 +495,24 @@ func (r *Round) Finish() (RoundStats, error) {
 		}
 		r.c.mu.Lock()
 		r.c.inRound = false
+		r.c.kickStageLocked()
 		r.c.mu.Unlock()
 		return st, err
+	}
+	if r.stream != nil {
+		// Wait out the fetcher: even rows no client consumed must be
+		// resident before the buffer unloads below (every planned row
+		// moves back, served or not — the adversary-visible counts do not
+		// depend on client behaviour).
+		if err := r.stream.wait(); err != nil {
+			r.c.mu.Lock()
+			st := r.stats
+			r.done = true
+			r.c.inRound = false
+			r.c.cur = nil
+			r.c.mu.Unlock()
+			return st, err
+		}
 	}
 	r.c.mu.Lock()
 	defer r.c.mu.Unlock()
@@ -384,57 +529,72 @@ func (r *Round) Finish() (RoundStats, error) {
 		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
-	for _, row := range rows {
-		entry, d, err := c.buf.Unload(row)
-		r.stats.UpdateTime += d
-		if err != nil {
-			return r.stats, err
-		}
-		var wd time.Duration
-		if c.path != nil {
-			wd, err = c.path.Write(row, f32bytes(entry))
-		} else {
-			var payload []byte
-			if !c.cfg.Phantom {
-				payload = f32bytes(entry)
+
+	if r.stream != nil {
+		// Deferred eviction: unload the buffer now (slot recycling and the
+		// aggregator's Post step must run before the next round's loads)
+		// but capture the main-ORAM write-backs as a pending pass. The
+		// NEXT round's fetcher drains it before its own reads, keeping the
+		// main ORAM's op order identical to sync mode while moving the
+		// write-back wall off this round's critical path.
+		p := &evictPass{entries: make([][]float32, len(rows)), rows: rows, dummy: r.stats.Dummy}
+		for i, row := range rows {
+			entry, d, err := c.buf.Unload(row)
+			r.stats.UpdateTime += d
+			if err != nil {
+				return r.stats, err
 			}
-			wd, err = c.raw.WriteBack(row, payload)
+			p.entries[i] = entry
 		}
-		r.stats.UpdateTime += wd
-		if err != nil {
-			return r.stats, err
+		for i := 0; i < r.stats.Dummy; i++ {
+			d, err := c.buf.UnloadDummy()
+			r.stats.UpdateTime += d
+			if err != nil {
+				return r.stats, err
+			}
 		}
-	}
-	// Dummy write-backs keep the outbound access count at k (the adversary
-	// sees k entries move in each direction, Sec 4.3).
-	for i := 0; i < r.stats.Dummy; i++ {
-		var (
-			d   time.Duration
-			err error
-		)
-		if c.path != nil {
-			_, d, err = c.path.Read(uint64(c.rng.Int63n(int64(c.cfg.NumRows))))
-		} else {
-			err = func() error {
-				var e error
-				d, e = c.raw.WriteBackDummy()
-				return e
-			}()
+		c.pending = p
+		st := r.stream
+		st.mu.Lock()
+		r.stats.PrefetchHits = uint64(len(st.served))
+		r.stats.PrefetchWasted = uint64(len(st.will) - len(st.served))
+		r.stats.ReadWallTime = st.blockedWall
+		st.mu.Unlock()
+		c.prefetchHits += r.stats.PrefetchHits
+		c.prefetchWasted += r.stats.PrefetchWasted
+	} else {
+		for _, row := range rows {
+			entry, d, err := c.buf.Unload(row)
+			r.stats.UpdateTime += d
+			if err != nil {
+				return r.stats, err
+			}
+			wd, err := c.writeBackRow(row, entry)
+			r.stats.UpdateTime += wd
+			if err != nil {
+				return r.stats, err
+			}
 		}
-		r.stats.UpdateTime += d
-		if err != nil {
-			return r.stats, err
-		}
-		d, err = c.buf.UnloadDummy()
-		r.stats.UpdateTime += d
-		if err != nil {
-			return r.stats, err
+		// Dummy write-backs keep the outbound access count at k (the
+		// adversary sees k entries move in each direction, Sec 4.3).
+		for i := 0; i < r.stats.Dummy; i++ {
+			d, err := c.writeBackDummy()
+			r.stats.UpdateTime += d
+			if err != nil {
+				return r.stats, err
+			}
+			d, err = c.buf.UnloadDummy()
+			r.stats.UpdateTime += d
+			if err != nil {
+				return r.stats, err
+			}
 		}
 	}
 	r.stats.FinishWallTime = time.Since(wallStart)
 	r.done = true
 	c.inRound = false
 	c.cur = nil
+	c.kickStageLocked()
 	return r.stats, nil
 }
 

@@ -190,6 +190,12 @@ func (r *Runner) Run(totalRounds int) (Result, error) {
 		res.Phases = res.Phases.Add(rep.Timings)
 		res.WireBytes += rep.WireBytes
 		res.Saturations += rep.Saturations
+		// Stage the next round only after the WAL record (and any
+		// checkpoint) for this one is durable — checkpoints must never
+		// observe a staged plan.
+		if r.t.Rounds() < totalRounds {
+			r.t.stageNext()
+		}
 	}
 	res.Rounds = r.t.Rounds()
 	res.Elapsed = time.Since(start)

@@ -142,6 +142,14 @@ type Config struct {
 	// monolithic; see fedora.Config.Shards). At equal chunking the model
 	// and ε guarantees are unchanged — sharding only moves wall-clock.
 	Shards int
+	// Prefetch enables the lookahead pipeline end to end: the controller
+	// overlaps ORAM reads and deferred eviction with compute
+	// (fedora.Config.Prefetch), and the trainer stages round R+1's cohort
+	// right after round R completes so the controller starts loading its
+	// working set while the caller is still between rounds. Results are
+	// bit-identical with Prefetch on or off — only wall-clock placement
+	// changes.
+	Prefetch bool
 	// ShardWorkers bounds the controller-side shard pool (0 = derive).
 	ShardWorkers int
 	// Encrypt seals the controller's off-chip structures with the TEE
@@ -209,6 +217,19 @@ type Trainer struct {
 	// preRound, when set (tests only), runs before each round of Run —
 	// used to inject mid-loop faults for the abort-path regression test.
 	preRound func(round int)
+
+	// next is the lookahead plan stageNext drew for the coming round
+	// (Config.Prefetch). It has consumed the trainer RNG exactly as a
+	// cold RunRound would, so consuming it keeps the run bit-identical.
+	next *stagedPlan
+}
+
+// stagedPlan is a drawn-ahead round: the selected cohort, its request
+// lists and the round seed, posted to the orchestrator's staging leg.
+type stagedPlan struct {
+	users []*dataset.User
+	reqs  [][]uint64
+	seed  int64
 }
 
 // initRowFunc is the deterministic per-row embedding initializer both
@@ -259,6 +280,7 @@ func ControllerConfig(cfg Config) (fedora.Config, error) {
 		EvictPeriod:          cfg.EvictPeriod,
 		WrapDevice:           cfg.WrapDevice,
 		Storage:              cfg.Storage,
+		Prefetch:             cfg.Prefetch,
 	}, nil
 }
 
@@ -281,7 +303,7 @@ func New(cfg Config) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := buildTrainer(cfg, localOrchestrator{ctrl})
+	t, err := buildTrainer(cfg, &localOrchestrator{ctrl: ctrl})
 	if err != nil {
 		return nil, err
 	}
@@ -353,6 +375,13 @@ type PhaseTimings struct {
 	Train     time.Duration
 	Aggregate time.Duration
 	Total     time.Duration
+	// Prefetch and Evict report the lookahead pipeline's background
+	// phases (zero with Config.Prefetch off): the fetcher's elapsed read
+	// time and the deferred write-back drain, both overlapped with Train
+	// — NOT part of Total's critical path. ORAMRead then means blocking
+	// read time only (see fedora.RoundStats).
+	Prefetch time.Duration
+	Evict    time.Duration
 }
 
 // Add returns the field-wise sum (used to accumulate across rounds).
@@ -364,6 +393,8 @@ func (p PhaseTimings) Add(q PhaseTimings) PhaseTimings {
 		Train:     p.Train + q.Train,
 		Aggregate: p.Aggregate + q.Aggregate,
 		Total:     p.Total + q.Total,
+		Prefetch:  p.Prefetch + q.Prefetch,
+		Evict:     p.Evict + q.Evict,
 	}
 }
 
@@ -431,22 +462,18 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 	cfg := t.cfg
 	workers := t.Workers()
 	selStart := time.Now()
-	users := t.selectUsers()
-	report := RoundReport{Participants: len(users), Workers: workers}
-
-	// Build requests (consumes t.rng → must stay sequential, in order).
-	reqs := make([][]uint64, len(users))
-	for i, u := range users {
-		if cfg.HideCount {
-			reqs[i] = u.PaddedRows(cfg.MaxFeaturesPerClient, fedora.DummyRequest, t.rng)
-		} else {
-			reqs[i] = u.Rows(cfg.MaxFeaturesPerClient)
-		}
+	// Consume the lookahead plan when one was staged (stageNext drew it
+	// from the identical RNG position a cold draw here would use).
+	var users []*dataset.User
+	var reqs [][]uint64
+	var roundSeed int64
+	if t.next != nil {
+		users, reqs, roundSeed = t.next.users, t.next.reqs, t.next.seed
+		t.next = nil
+	} else {
+		users, reqs, roundSeed = t.drawRound()
 	}
-	// The round seed drives all per-client randomness below. Each client
-	// derives its own RNG from (round seed, client index), so outcomes do
-	// not depend on which worker runs which client, or in what order.
-	roundSeed := t.rng.Int63()
+	report := RoundReport{Participants: len(users), Workers: workers}
 	report.RoundSeed = roundSeed
 	report.ClientDigest = clientDigest(roundSeed, users)
 	report.Timings.Select = time.Since(selStart)
@@ -568,6 +595,8 @@ func (t *Trainer) RunRound() (RoundReport, error) {
 	}
 	report.Timings.Union = st.UnionWallTime
 	report.Timings.ORAMRead = st.ReadWallTime
+	report.Timings.Prefetch = st.PrefetchWallTime
+	report.Timings.Evict = st.EvictWallTime
 	if lossN > 0 {
 		report.MeanLoss = lossSum / float64(lossN)
 	}
@@ -819,6 +848,57 @@ func clipL2(v []float32, c float64) {
 
 func sqrt64(x float64) float64 { return math.Sqrt(x) }
 
+// drawRound consumes t.rng to draw the next round's cohort, request
+// lists and round seed — the complete deterministic state a round needs
+// before it touches the controller. Extracted so stageNext can draw
+// round R+1 early (while R's results are being digested) from the exact
+// RNG position a cold RunRound draw would use.
+func (t *Trainer) drawRound() (users []*dataset.User, reqs [][]uint64, roundSeed int64) {
+	cfg := t.cfg
+	users = t.selectUsers()
+	// Build requests (consumes t.rng → must stay sequential, in order).
+	reqs = make([][]uint64, len(users))
+	for i, u := range users {
+		if cfg.HideCount {
+			reqs[i] = u.PaddedRows(cfg.MaxFeaturesPerClient, fedora.DummyRequest, t.rng)
+		} else {
+			reqs[i] = u.Rows(cfg.MaxFeaturesPerClient)
+		}
+	}
+	// The round seed drives all per-client randomness: each client
+	// derives its own RNG from (round seed, client index), so outcomes do
+	// not depend on which worker runs which client, or in what order.
+	roundSeed = t.rng.Int63()
+	return users, reqs, roundSeed
+}
+
+// stageNext draws round R+1's plan ahead of time and posts it to the
+// orchestrator's two-phase leg (when it has one), letting a prefetch-
+// enabled controller start its ORAM reads while the caller is still
+// between rounds. Call sites sit AFTER the current round is fully
+// applied — the t.rng stream position is then identical to what the
+// next RunRound's cold draw would see, so staged and unstaged runs are
+// bit-identical. No-op unless Config.Prefetch is on.
+func (t *Trainer) stageNext() {
+	if !t.cfg.Prefetch || t.next != nil {
+		return
+	}
+	users, reqs, seed := t.drawRound()
+	t.next = &stagedPlan{users: users, reqs: reqs, seed: seed}
+	if st, ok := t.orch.(RoundStager); ok {
+		// Best-effort: a stage error just means the next BeginRound runs
+		// cold (the plan itself is already drawn and will be consumed).
+		_ = st.StageRound(reqs)
+	}
+}
+
+// StageNext is the exported two-phase leg for callers driving RunRound
+// directly rather than through Run (the durable Runner, the benchmark
+// harness): call it after a round's result has been fully applied to
+// stage the next one. No-op with Config.Prefetch off or when a plan is
+// already staged, so sync and prefetch drivers can share a loop.
+func (t *Trainer) StageNext() { t.stageNext() }
+
 // selectUsers picks ClientsPerRound distinct users.
 func (t *Trainer) selectUsers() []*dataset.User {
 	n := t.cfg.ClientsPerRound
@@ -917,6 +997,9 @@ func (t *Trainer) Run(rounds int) (Result, error) {
 		res.Phases = res.Phases.Add(rep.Timings)
 		res.WireBytes += rep.WireBytes
 		res.Saturations += rep.Saturations
+		if r+1 < rounds {
+			t.stageNext()
+		}
 	}
 	res.Rounds = rounds
 	res.Elapsed = time.Since(start)

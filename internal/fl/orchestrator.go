@@ -1,6 +1,8 @@
 package fl
 
 import (
+	"sync"
+
 	"repro/internal/fedora"
 	"repro/internal/wire"
 )
@@ -76,21 +78,55 @@ type Orchestrator interface {
 	PeekRow(row uint64) ([]float32, error)
 }
 
-// localOrchestrator adapts an in-process *fedora.Controller.
-type localOrchestrator struct {
-	ctrl *fedora.Controller
+// RoundStager is the OPTIONAL two-phase leg of an Orchestrator,
+// discovered by type assertion when Config.Prefetch is on: StageRound
+// posts round R+1's request lists while the caller is still between
+// rounds, so a prefetch-enabled controller can plan the round and start
+// its ORAM reads concurrent with whatever the caller does next. The
+// caller MUST then BeginRound with the same lists (the staged plan has
+// consumed RNG state). Staging is best-effort: an orchestrator that
+// does not implement it — or a StageRound error — just means the next
+// BeginRound runs cold, with bit-identical results.
+type RoundStager interface {
+	StageRound(requests [][]uint64) error
 }
 
-func (o localOrchestrator) BeginRound(requests [][]uint64) (RoundHandle, error) {
+// localOrchestrator adapts an in-process *fedora.Controller. It caches
+// the round number BeginRound opened so Round() stays stable (and
+// deterministic) even while a staged next round is already beginning on
+// a controller background goroutine.
+type localOrchestrator struct {
+	ctrl  *fedora.Controller
+	mu    sync.Mutex
+	round uint64
+	begun bool
+}
+
+func (o *localOrchestrator) BeginRound(requests [][]uint64) (RoundHandle, error) {
 	r, err := o.ctrl.BeginRound(requests)
 	if err != nil {
 		return nil, err
 	}
+	o.mu.Lock()
+	o.round = r.Number()
+	o.begun = true
+	o.mu.Unlock()
 	return r, nil
 }
 
-func (o localOrchestrator) Round() uint64             { return o.ctrl.Round() }
-func (o localOrchestrator) EffectiveEpsilon() float64 { return o.ctrl.EffectiveEpsilon() }
-func (o localOrchestrator) PeekRow(row uint64) ([]float32, error) {
+func (o *localOrchestrator) StageRound(requests [][]uint64) error {
+	return o.ctrl.StageRound(requests)
+}
+
+func (o *localOrchestrator) Round() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.begun {
+		return o.round
+	}
+	return o.ctrl.Round()
+}
+func (o *localOrchestrator) EffectiveEpsilon() float64 { return o.ctrl.EffectiveEpsilon() }
+func (o *localOrchestrator) PeekRow(row uint64) ([]float32, error) {
 	return o.ctrl.PeekRow(row)
 }

@@ -80,6 +80,12 @@ func (t *Trainer) configDigest() uint64 {
 
 // Snapshot serializes the trainer-side state (controller excluded).
 func (t *Trainer) Snapshot() ([]byte, error) {
+	if t.next != nil {
+		// A staged plan has consumed t.rng past the round boundary; a
+		// snapshot here could not resume deterministically. The durable
+		// Runner checkpoints before staging, so this only fires on misuse.
+		return nil, fmt.Errorf("fl: cannot snapshot with a staged round pending")
+	}
 	var e persist.Encoder
 	e.U8(trainerSnapshotVersion)
 	e.U64(t.configDigest())

@@ -43,9 +43,37 @@ type RoundStats struct {
 	// ORAM → buffer-ORAM reads of BeginRound, and the write-back pass of
 	// Finish. When sharded these are the PARALLEL section's elapsed time,
 	// which is what shrinks as the shard count grows.
+	//
+	// Under the lookahead prefetch pipeline (Prefetched true) the reads
+	// run on a background fetcher concurrent with training, and
+	// ReadWallTime narrows to mean BLOCKING read time only: the union of
+	// intervals in which at least one serve was waiting for a row the
+	// fetcher had not loaded yet. The fetcher's own elapsed time is
+	// reported separately as PrefetchWallTime.
 	UnionWallTime  time.Duration
 	ReadWallTime   time.Duration
 	FinishWallTime time.Duration
+	// Prefetched reports whether this round ran the lookahead prefetch
+	// pipeline (fedora.Config.Prefetch): reads streamed from a background
+	// fetcher and the write-back pass was deferred to the next round's
+	// fetcher. It flips the meaning of ReadWallTime (see above) and is
+	// how merge layers know to aggregate the streamed walls.
+	Prefetched bool
+	// PrefetchWallTime is the background fetcher's elapsed time for this
+	// round's main-ORAM → buffer-ORAM reads (overlapped with training).
+	// EvictWallTime is the elapsed time of draining the PREVIOUS round's
+	// deferred write-back pass, which runs on this round's fetcher before
+	// its reads. Sharded: max across shards (fetchers run concurrently).
+	PrefetchWallTime time.Duration
+	EvictWallTime    time.Duration
+	// EvictTime is the modelled device time of the drained write-back
+	// pass (the share of the previous round's UpdateTime that sync mode
+	// would have spent inside Finish). Summed across shards.
+	EvictTime time.Duration
+	// PrefetchHits / PrefetchWasted count the distinct staged rows that
+	// were / were never served this round. Summed across shards.
+	PrefetchHits   uint64
+	PrefetchWasted uint64
 	// WireBytes is the upload-plane payload volume folded into this
 	// round (0 when the legacy float gradient path was used). Set by the
 	// fl/api layers from the wire aggregator, not by the ORAM pipeline.
@@ -113,8 +141,20 @@ func (e *Engine) merge(stats []RoundStats, beginWall, finishWall time.Duration, 
 		m.ServeTime += st.ServeTime
 		m.AggregateTime += st.AggregateTime
 		m.UpdateTime += st.UpdateTime
+		m.EvictTime += st.EvictTime
+		m.PrefetchHits += st.PrefetchHits
+		m.PrefetchWasted += st.PrefetchWasted
+		if st.Prefetched {
+			m.Prefetched = true
+		}
 		if st.UnionWallTime > m.UnionWallTime {
 			m.UnionWallTime = st.UnionWallTime
+		}
+		if st.PrefetchWallTime > m.PrefetchWallTime {
+			m.PrefetchWallTime = st.PrefetchWallTime
+		}
+		if st.EvictWallTime > m.EvictWallTime {
+			m.EvictWallTime = st.EvictWallTime
 		}
 		if st.Chunks > 0 {
 			acct.Observe(st.RoundEpsilon)
@@ -128,9 +168,20 @@ func (e *Engine) merge(stats []RoundStats, beginWall, finishWall time.Duration, 
 		}
 	}
 	m.RoundEpsilon = acct.RoundEpsilon()
-	m.ReadWallTime = beginWall - m.UnionWallTime
-	if m.ReadWallTime < 0 {
-		m.ReadWallTime = 0
+	if m.Prefetched {
+		// Streamed rounds: each shard reports its own blocking-read wall
+		// (reads happened on background fetchers, not inside the begin
+		// section). Shards blocked concurrently, so take the max.
+		for _, st := range stats {
+			if st.ReadWallTime > m.ReadWallTime {
+				m.ReadWallTime = st.ReadWallTime
+			}
+		}
+	} else {
+		m.ReadWallTime = beginWall - m.UnionWallTime
+		if m.ReadWallTime < 0 {
+			m.ReadWallTime = 0
+		}
 	}
 	m.FinishWallTime = finishWall
 	return m
