@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test cluster-test wire-test prefetch-test experiments table1 clean
+.PHONY: all build test test-short bench vet fmt check crash-test chaos-test storage-test cluster-test wire-test prefetch-test ha-test experiments table1 clean
 
 all: build test
 
@@ -78,6 +78,18 @@ prefetch-test:
 # All under the race detector.
 cluster-test:
 	$(GO) test -race -count=1 ./internal/cluster/...
+
+# High-availability gate: epoch fencing on the member API, SDK endpoint
+# failover + deadline-capped backoff, the coordinator round WAL (raw
+# frames, torn tails, replay parity), standby promotion on lease expiry,
+# corrupt-checkpoint fallback, split-brain rejection of a stale primary,
+# and the capstone: a real primary/standby coordinator pair over 2
+# member processes with the primary SIGKILLed mid-round — the failed-over
+# model must match an uninterrupted run bit for bit. All under the race
+# detector.
+ha-test:
+	$(GO) test -race -count=1 -run 'Epoch|Failover|Backoff|RawWAL|HA|StalePrimary|Promotion|StandbyPromotes|ProbeDelay' \
+		./internal/persist/... ./internal/api/... ./internal/client/... ./internal/cluster/...
 
 build:
 	$(GO) build ./...

@@ -140,6 +140,15 @@ func runCluster(ctx context.Context, c *client.Client) {
 	}
 	fmt.Printf("cluster: %d shards over %d rows, round %d, %s\n",
 		st.Shards, st.NumRows, st.Round, st.Status)
+	// Leader/epoch exists only on HA-enabled coordinators; a 404 from an
+	// older (or non-durable) one just means there is nothing to print.
+	if ld, err := c.ClusterLeader(ctx); err == nil {
+		fmt.Printf("leader:  role %s, coordinator epoch %d", ld.Role, ld.Epoch)
+		if ld.LeaderURL != "" {
+			fmt.Printf(", leader %s", ld.LeaderURL)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("%-4s %-28s %-12s %-16s %-10s %-10s\n",
 		"node", "url", "shards", "rows", "state", "health")
 	for i, n := range st.Nodes {

@@ -48,7 +48,7 @@ import (
 // ctrlSection names the controller snapshot inside checkpoint files,
 // shared with fedora-server so checkpoints are portable between a
 // coordinator and a single process.
-const ctrlSection = "fedora/controller"
+const ctrlSection = cluster.CheckpointSection
 
 func main() {
 	var (
@@ -71,8 +71,14 @@ func main() {
 		memberTimeout = flag.Duration("member-timeout", 30*time.Second, "per-attempt timeout on member calls")
 		memberRetries = flag.Int("member-retries", 2, "retries per member call before the node is fenced")
 
-		ckptDir       = flag.String("checkpoint-dir", "", "assemble cluster checkpoints here on shutdown; newest one feeds join-time shard migration")
-		ckptEvery     = flag.Int("checkpoint-every", 0, "with -checkpoint-dir: checkpoint every N healthy rounds and auto-migrate after degraded rounds (0 = shutdown checkpoint only)")
+		ckptDir   = flag.String("checkpoint-dir", "", "durable state directory: round WAL, cluster checkpoints, coordinator epoch; feeds crash recovery, join-time shard migration and standby failover")
+		ckptEvery = flag.Int("checkpoint-every", 0, "with -checkpoint-dir: checkpoint every N healthy rounds, auto-migrate after degraded rounds, and reset the round WAL (0 = every round)")
+
+		standby       = flag.Bool("standby", false, "start as a hot standby: tail -peer and promote after -lease of missed heartbeats (requires -peer and -checkpoint-dir)")
+		peerURL       = flag.String("peer", "", "the other coordinator instance's URL (the primary to tail when -standby, the standby to hint at otherwise)")
+		selfURL       = flag.String("self", "", "this instance's advertised URL (served as leader_hint and on /cluster/leader)")
+		beatEvery     = flag.Duration("heartbeat-every", 500*time.Millisecond, "standby heartbeat period against -peer")
+		lease         = flag.Duration("lease", 2*time.Second, "missed-heartbeat budget before a standby promotes itself")
 		roundDeadline = flag.Duration("round-deadline", 0, "finish rounds with partial gradients after this long (0 = no deadline)")
 		maxInflight   = flag.Int("max-inflight", 0, "bound concurrent round operations; excess requests are shed with 503 + Retry-After (0 = unbounded)")
 		uploadCodec   = flag.String("upload-codec", "", "upload-plane policy: require this wire codec on gradient uploads (plaintext | masked | masked-sparse | subspace); a masked policy also rejects plain JSON gradients (\"\" = accept anything)")
@@ -118,29 +124,57 @@ func main() {
 		ProbeInterval: *probeEvery,
 	}
 
+	if *standby && (*peerURL == "" || *ckptDir == "") {
+		log.Fatal("fedora-coordinator: -standby requires -peer and -checkpoint-dir")
+	}
+
 	var mgr *persist.Manager
 	if *ckptDir != "" {
 		if mgr, err = persist.OpenManager(*ckptDir); err != nil {
 			log.Fatal(err)
 		}
 		ccfg.Checkpoint = func() ([]byte, error) { return latestBlob(mgr) }
+		ccfg.Manager = mgr
+		ccfg.CheckpointEvery = *ckptEvery
 	}
 
 	co, err := cluster.New(ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// With a durable directory the HA state machine owns startup: a
+	// primary claims the next coordinator epoch, fences the members with
+	// it, restores the newest checkpoint and replays the round WAL before
+	// serving; a standby tails -peer and does all of that only when it
+	// promotes. Without one, this is the original best-effort coordinator.
+	var ha *cluster.HA
 	if mgr != nil {
-		// Restore the newest cluster checkpoint onto the members, like
-		// fedora-server does for its own controller. Without this a
-		// restarted coordinator would begin again at round 0: its
-		// idempotency round keys would collide with entries still cached
-		// by long-lived members, which then replay stale rounds.
-		if err := restoreCluster(mgr, co); err != nil {
+		ha, err = cluster.NewHA(cluster.HAConfig{
+			Coordinator:    co,
+			SelfURL:        *selfURL,
+			PeerURL:        *peerURL,
+			Standby:        *standby,
+			HeartbeatEvery: *beatEvery,
+			Lease:          *lease,
+			Client: client.Config{
+				Timeout: *memberTimeout,
+			},
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
+		if err := ha.Start(); err != nil {
+			log.Fatal(err)
+		}
+		if *standby {
+			fmt.Printf("fedora-coordinator: standby tailing %s (lease %s)\n", *peerURL, *lease)
+		} else {
+			fmt.Printf("fedora-coordinator: primary at coordinator epoch %d (round %d)\n", co.Epoch(), co.Round())
+		}
+	} else {
+		co.StartProbes()
 	}
-	co.StartProbes()
 	defer co.StopProbes()
 
 	fmt.Printf("fedora-coordinator: N=%d dim=%d eps=%g shards=%d over %d node(s)\n",
@@ -165,16 +199,21 @@ func main() {
 		opts = append(opts, api.WithUploadCodec(codec))
 		fmt.Printf("fedora-coordinator: upload-plane policy: %s\n", codec)
 	}
-	if *ckptEvery > 0 {
-		if mgr == nil {
-			log.Fatal("fedora-coordinator: -checkpoint-every requires -checkpoint-dir")
-		}
-		opts = append(opts, api.WithAutoRecover(mgr, *ckptEvery))
+	if *ckptEvery > 0 && mgr == nil {
+		log.Fatal("fedora-coordinator: -checkpoint-every requires -checkpoint-dir")
 	}
+	// Checkpoint cadence and degraded-round migration run inside the
+	// coordinator itself (Config.Manager) rather than api.WithAutoRecover:
+	// the cluster layer must pair every checkpoint with a WAL reset, and
+	// two independent writers would collide on checkpoint epochs.
 	mux := http.NewServeMux()
 	co.RegisterRoutes(mux)
 	mux.Handle("/", api.NewServerFor(co, opts...).Handler())
-	srv := &http.Server{Addr: *listen, Handler: mux}
+	var handler http.Handler = mux
+	if ha != nil {
+		handler = ha.Handler(mux)
+	}
+	srv := &http.Server{Addr: *listen, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
@@ -192,7 +231,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("fedora-coordinator: drain: %v", err)
 	}
-	if mgr != nil {
+	if mgr != nil && (ha == nil || ha.Role() == "primary") {
 		epoch, err := saveCluster(mgr, co)
 		switch {
 		case errors.Is(err, fedora.ErrRoundOpen):
@@ -234,23 +273,6 @@ func parseMembers(s string) ([]cluster.NodeSpec, error) {
 		nodes = append(nodes, cluster.NodeSpec{URL: url, First: first, Count: count})
 	}
 	return nodes, nil
-}
-
-// restoreCluster pushes the newest checkpoint, if any, onto the
-// members and resumes the cluster round counter from it.
-func restoreCluster(mgr *persist.Manager, co *cluster.Coordinator) error {
-	blob, err := latestBlob(mgr)
-	if errors.Is(err, persist.ErrNoCheckpoint) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	if err := co.Restore(blob); err != nil {
-		return fmt.Errorf("fedora-coordinator: restore cluster checkpoint: %w", err)
-	}
-	fmt.Printf("fedora-coordinator: restored cluster state (round %d) from %s\n", co.Round(), mgr.Dir())
-	return nil
 }
 
 // latestBlob returns the newest checkpoint's controller section for

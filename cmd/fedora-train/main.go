@@ -55,7 +55,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint period in rounds (with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume -single from -checkpoint-dir (restores the newest valid checkpoint and replays the round WAL)")
 
-		remote        = flag.String("remote", "", "drive a fedora-server at this base URL instead of an in-process controller (-single only)")
+		remote        = flag.String("remote", "", "drive a fedora-server (or coordinator) at this base URL instead of an in-process controller (-single only); comma-separate several coordinator endpoints for failover across an HA pair")
 		remoteBatch   = flag.Int("remote-batch", 64, "rows per batched HTTP transfer with -remote")
 		remoteRetry   = flag.Int("remote-retries", 4, "max retries per request with -remote")
 		remoteTimeout = flag.Duration("remote-timeout", 30*time.Second, "per-attempt HTTP timeout with -remote")
@@ -200,8 +200,12 @@ func runSingle(o singleOptions) {
 			fmt.Fprintln(os.Stderr, "fedora-train: -checkpoint-dir/-resume require an in-process controller; with -remote, run fedora-server -checkpoint-dir instead")
 			os.Exit(2)
 		}
+		endpoints := strings.Split(o.remote, ",")
+		for i := range endpoints {
+			endpoints[i] = strings.TrimSpace(endpoints[i])
+		}
 		sdk, err = client.New(client.Config{
-			BaseURL:    o.remote,
+			Endpoints:  endpoints,
 			Timeout:    o.remoteTimeout,
 			MaxRetries: o.remoteRetries,
 			BatchSize:  o.remoteBatch,

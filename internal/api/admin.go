@@ -127,11 +127,19 @@ func adminShardIndex(r *http.Request, porter ShardPorter) (int, *apiError) {
 // backend's round state so a restore finds everything quiesced. Safe
 // with no round open.
 func (s *Server) abortForRestore() {
+	s.abortOpenRound("round aborted by admin restore")
+}
+
+// abortOpenRound force-finishes the current round (if any) with the
+// given failure message and aborts the backend's round state. Shared by
+// the admin restore path and the epoch fence (a newer coordinator
+// supersedes the round's owner).
+func (s *Server) abortOpenRound(msg string) {
 	s.mu.Lock()
 	if sr := s.current; sr != nil {
 		sr.finished = true
 		sr.round = nil
-		sr.finishErr = "round aborted by admin restore"
+		sr.finishErr = msg
 		if sr.timer != nil {
 			sr.timer.Stop()
 			sr.timer = nil

@@ -60,6 +60,26 @@ type ClusterJoinRequest struct {
 	ShardCount int    `json:"shard_count"`
 }
 
+// ClusterLeaderResponse is the GET /cluster/leader wire shape: which
+// role this coordinator instance currently plays and under which epoch.
+// A standby tails its peer with this call (it doubles as the
+// heartbeat), the operator CLI prints it, and the SDK's failover can
+// follow LeaderURL when a standby answers not_leader.
+type ClusterLeaderResponse struct {
+	// Role is "primary" (serving rounds) or "standby" (tailing the
+	// primary, ready to promote).
+	Role string `json:"role"`
+	// Epoch is the instance's coordinator epoch — the fencing token its
+	// member-facing calls carry. A standby reports the epoch it will
+	// EXCEED when it promotes.
+	Epoch uint64 `json:"epoch"`
+	// LeaderURL is the best-known leader endpoint: the instance's own
+	// advertised URL when primary, its peer's when standby.
+	LeaderURL string `json:"leader_url,omitempty"`
+	// Round is the coordinator's begun-round counter.
+	Round uint64 `json:"round"`
+}
+
 // ClusterJoinResponse reports the outcome of a join.
 type ClusterJoinResponse struct {
 	Accepted bool `json:"accepted"`

@@ -1,0 +1,76 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Epoch fencing is the member-side half of coordinator high
+// availability (docs/CLUSTER.md "High availability"): every coordinator
+// instance carries a monotonically increasing epoch, stamps it on every
+// member-facing call via the X-Fedora-Epoch header, and each member
+// remembers the HIGHEST epoch it has ever seen. A request from a lower
+// epoch is a deposed coordinator — it is rejected with a typed 409
+// "stale_epoch" envelope and MUST NOT touch round state, which is what
+// prevents split-brain: after a standby promotes (bumping the epoch and
+// re-fencing the members), the old primary can wake up and retry its
+// half-open round forever without a single gradient landing twice.
+//
+// The first request from a HIGHER epoch advances the fence and aborts
+// any round still open member-side: that round was begun by the old
+// epoch's coordinator and nobody will ever finish it. The new
+// coordinator restores the members from its newest checkpoint right
+// after fencing, so the aborted round's partial state is wiped anyway —
+// the abort just releases the round slot immediately.
+//
+// Requests without the header pass untouched (a direct trainer, the
+// operator CLI, tests): fencing constrains coordinators, which always
+// send it once an epoch is set, not ordinary clients.
+//
+// The fence is in-memory: a member that restarts forgets it and accepts
+// the first epoch it sees. That is safe because a restarted member has
+// also lost its round state — there is no half-open round to protect —
+// and the live coordinator re-fences it on the next call.
+
+// EpochHeader carries the coordinator epoch on member-facing calls.
+const EpochHeader = "X-Fedora-Epoch"
+
+// FencedEpoch reports the highest coordinator epoch this server has
+// seen (0 = never fenced).
+func (s *Server) FencedEpoch() uint64 { return s.fencedEpoch.Load() }
+
+// epochGate wraps a round or admin handler with the fence check.
+func (s *Server) epochGate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v := r.Header.Get(EpochHeader)
+		if v == "" {
+			h(w, r)
+			return
+		}
+		e, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				"bad %s header %q: %s", EpochHeader, v, err.Error())
+			return
+		}
+		for {
+			cur := s.fencedEpoch.Load()
+			if e < cur {
+				writeError(w, http.StatusConflict, CodeStaleEpoch,
+					"request epoch %d below fenced epoch %d (a newer coordinator has taken over)", e, cur)
+				return
+			}
+			if e == cur {
+				break
+			}
+			if s.fencedEpoch.CompareAndSwap(cur, e) {
+				// First sight of a newer coordinator: any open round was
+				// begun under the old epoch and will never be finished.
+				s.abortOpenRound(fmt.Sprintf("round aborted: coordinator epoch advanced to %d", e))
+				break
+			}
+		}
+		h(w, r)
+	}
+}

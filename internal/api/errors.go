@@ -1,6 +1,7 @@
 package api
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 )
@@ -30,12 +31,24 @@ const (
 	CodeOverloaded       = "overloaded"         // 503: shed by overload protection (Retry-After set)
 	CodeUnavailable      = "unavailable"        // 503: every shard is quarantined
 	CodeUnsupported      = "unsupported"        // 501: backend lacks the capability (admin routes)
+	CodeStaleEpoch       = "stale_epoch"        // 409: request epoch below the highest fenced epoch
+	CodeNotLeader        = "not_leader"         // 409: this coordinator is a standby; follow leader_hint
 )
+
+// ErrStaleEpoch is the sentinel a cluster coordinator wraps when its
+// members reject it as deposed (a newer coordinator epoch has fenced
+// them). The v2 handlers map it to 409 with code "stale_epoch", which
+// the SDK treats as a failover trigger.
+var ErrStaleEpoch = errors.New("api: stale coordinator epoch")
 
 // ErrorBody is the inner object of the v2 error envelope.
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// LeaderHint, set on stale_epoch / not_leader errors when the
+	// responder knows a better coordinator endpoint, points the SDK's
+	// failover at it directly instead of round-robining.
+	LeaderHint string `json:"leader_hint,omitempty"`
 }
 
 // ErrorEnvelope is the v2 error wire shape.

@@ -106,6 +106,10 @@ type HealthzResponse struct {
 	// RecoverError is the last auto-recovery failure ("" = none); it
 	// clears when a later checkpoint or recovery succeeds.
 	RecoverError string `json:"recover_error,omitempty"`
+	// FencedEpoch is the highest coordinator epoch this server has seen
+	// (0 = never fenced); round/admin requests from lower epochs are
+	// rejected with stale_epoch.
+	FencedEpoch uint64 `json:"fenced_epoch,omitempty"`
 }
 
 // handleHealthz reports shard-level health: 200 while the controller
@@ -120,6 +124,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		HealthReport: s.ctrl.Health(),
 		Round:        s.ctrl.Round(),
 		Shed:         s.shed.Load(),
+		FencedEpoch:  s.fencedEpoch.Load(),
 	}
 	s.recoverMu.Lock()
 	resp.RecoverError = s.recoverErr

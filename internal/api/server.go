@@ -69,6 +69,11 @@ type Server struct {
 	inflight chan struct{}
 	shed     atomic.Uint64 // requests rejected by overload protection
 
+	// Epoch fence (epoch.go): the highest coordinator epoch seen on an
+	// X-Fedora-Epoch header; round/admin requests from lower epochs are
+	// rejected with 409 stale_epoch.
+	fencedEpoch atomic.Uint64
+
 	// Auto-recovery (WithAutoRecover). recoverMu serializes checkpoint
 	// and recovery work; it is never held while serving round traffic.
 	recoverMgr   *persist.Manager
@@ -140,18 +145,18 @@ func (s *Server) Handler() http.Handler {
 		name    string
 	}{
 		{"GET /v2/status", "/v2/status", "GET", s.handleStatusV2, "v2_status"},
-		{"POST /v2/rounds", "/v2/rounds", "POST", s.limit(s.handleBeginV2), "v2_begin"},
+		{"POST /v2/rounds", "/v2/rounds", "POST", s.epochGate(s.limit(s.handleBeginV2)), "v2_begin"},
 		{"GET /v2/rounds/{id}", "/v2/rounds/{id}", "GET", s.handleRoundInfoV2, "v2_round_info"},
-		{"POST /v2/rounds/{id}/entries", "/v2/rounds/{id}/entries", "POST", s.limit(s.handleEntriesV2), "v2_entries"},
-		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.limit(s.handleGradientsV2), "v2_gradients"},
-		{"POST /v2/rounds/{id}/stage", "/v2/rounds/{id}/stage", "POST", s.limit(s.handleStageV2), "v2_stage"},
-		{"POST /v2/rounds/{id}/unmask", "/v2/rounds/{id}/unmask", "POST", s.limit(s.handleUnmaskV2), "v2_unmask"},
-		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.limit(s.handleFinishV2), "v2_finish"},
+		{"POST /v2/rounds/{id}/entries", "/v2/rounds/{id}/entries", "POST", s.epochGate(s.limit(s.handleEntriesV2)), "v2_entries"},
+		{"POST /v2/rounds/{id}/gradients", "/v2/rounds/{id}/gradients", "POST", s.epochGate(s.limit(s.handleGradientsV2)), "v2_gradients"},
+		{"POST /v2/rounds/{id}/stage", "/v2/rounds/{id}/stage", "POST", s.epochGate(s.limit(s.handleStageV2)), "v2_stage"},
+		{"POST /v2/rounds/{id}/unmask", "/v2/rounds/{id}/unmask", "POST", s.epochGate(s.limit(s.handleUnmaskV2)), "v2_unmask"},
+		{"POST /v2/rounds/{id}/finish", "/v2/rounds/{id}/finish", "POST", s.epochGate(s.limit(s.handleFinishV2)), "v2_finish"},
 		{"GET /v2/rows/{row}", "/v2/rows/{row}", "GET", s.handleRowV2, "v2_row"},
-		{"GET /v2/admin/snapshot", "/v2/admin/snapshot", "GET", s.handleAdminSnapshot, "v2_admin_snapshot"},
-		{"POST /v2/admin/restore", "/v2/admin/restore", "POST", s.handleAdminRestore, "v2_admin_restore"},
-		{"GET /v2/admin/shards/{shard}/snapshot", "/v2/admin/shards/{shard}/snapshot", "GET", s.handleAdminShardSnapshot, "v2_admin_shard_snapshot"},
-		{"POST /v2/admin/shards/{shard}/restore", "/v2/admin/shards/{shard}/restore", "POST", s.handleAdminShardRestore, "v2_admin_shard_restore"},
+		{"GET /v2/admin/snapshot", "/v2/admin/snapshot", "GET", s.epochGate(s.handleAdminSnapshot), "v2_admin_snapshot"},
+		{"POST /v2/admin/restore", "/v2/admin/restore", "POST", s.epochGate(s.handleAdminRestore), "v2_admin_restore"},
+		{"GET /v2/admin/shards/{shard}/snapshot", "/v2/admin/shards/{shard}/snapshot", "GET", s.epochGate(s.handleAdminShardSnapshot), "v2_admin_shard_snapshot"},
+		{"POST /v2/admin/shards/{shard}/restore", "/v2/admin/shards/{shard}/restore", "POST", s.epochGate(s.handleAdminShardRestore), "v2_admin_shard_restore"},
 	}
 	for _, r := range v2 {
 		mux.HandleFunc(r.pattern, s.met.instrument(r.name, r.handler))

@@ -164,13 +164,14 @@ type serverRound struct {
 	// additionally serializes the finish transition itself so exactly
 	// one caller (explicit finish, deadline timer, or v1 shim) runs
 	// the round's Finish.
-	round     Round // nil once finished
-	finished  bool
-	expired   bool
-	stats     fedora.RoundStats
-	finishErr string
-	batches   map[string]*batchEntry
-	stages    map[string]*stageEntry
+	round       Round // nil once finished
+	finished    bool
+	expired     bool
+	stats       fedora.RoundStats
+	finishErr   string
+	finishStale bool // finish failed because the coordinator was deposed
+	batches     map[string]*batchEntry
+	stages      map[string]*stageEntry
 
 	// Wire upload plane (wire.go). wireAgg is created lazily on the
 	// first binary upload; wireBytes/wireSats are recorded at unmask and
@@ -242,6 +243,12 @@ func (s *Server) beginRound(req BeginV2Request) (*serverRound, bool, *apiError) 
 		s.mu.Unlock()
 		if errors.Is(err, fedora.ErrRoundInProgress) {
 			return nil, false, errf(http.StatusConflict, CodeRoundInProgress, "%s", err.Error())
+		}
+		if errors.Is(err, ErrStaleEpoch) {
+			// This server fronts a deposed coordinator: the members have
+			// been fenced by a newer epoch. 409 stale_epoch tells the SDK
+			// to fail over to the new leader.
+			return nil, false, errf(http.StatusConflict, CodeStaleEpoch, "%s", err.Error())
 		}
 		if errors.Is(err, fedora.ErrShardUnavailable) {
 			// Every shard is quarantined: nothing can serve until
@@ -343,6 +350,7 @@ func (s *Server) finishRound(sr *serverRound, expired bool) (fedora.RoundStats, 
 	sr.stats = st
 	if err != nil && !errors.Is(err, fedora.ErrRoundFinished) {
 		sr.finishErr = err.Error()
+		sr.finishStale = errors.Is(err, ErrStaleEpoch)
 	}
 	if sr.timer != nil {
 		sr.timer.Stop()
@@ -468,6 +476,10 @@ func (s *Server) handleEntriesV2(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, CodeRoundFinished, "%s", err.Error())
 			return
 		}
+		if errors.Is(err, ErrStaleEpoch) {
+			writeError(w, http.StatusConflict, CodeStaleEpoch, "%s", err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", err.Error())
 		return
 	}
@@ -574,6 +586,10 @@ func (s *Server) handleGradientsV2(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, fedora.ErrRoundFinished) {
 			fail(http.StatusConflict, CodeRoundFinished, err.Error())
+			return
+		}
+		if errors.Is(err, ErrStaleEpoch) {
+			fail(http.StatusConflict, CodeStaleEpoch, err.Error())
 			return
 		}
 		fail(http.StatusBadRequest, CodeInvalidArgument, err.Error())
@@ -687,6 +703,13 @@ func (s *Server) handleFinishV2(w http.ResponseWriter, r *http.Request) {
 	}
 	_, msg := s.finishRound(sr, false)
 	if msg != "" {
+		s.mu.Lock()
+		stale := sr.finishStale
+		s.mu.Unlock()
+		if stale {
+			writeError(w, http.StatusConflict, CodeStaleEpoch, "%s", msg)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, CodeInternal, "%s", msg)
 		return
 	}

@@ -43,7 +43,7 @@ func (c *Client) doRaw(ctx context.Context, method, path string, body []byte) ([
 			err = c.statusError(status, hdr, data)
 		}
 		lastErr = err
-		if ctx.Err() != nil || !retryable(lastErr) || attempt >= c.cfg.MaxRetries {
+		if ctx.Err() != nil || !c.classifyRetry(lastErr) || attempt >= c.cfg.MaxRetries {
 			c.failures.Add(1)
 			return nil, fmt.Errorf("client: %s %s failed after %d attempt(s): %w",
 				method, path, attempt+1, lastErr)
@@ -104,7 +104,7 @@ func (c *Client) Healthz(ctx context.Context) (api.HealthzResponse, error) {
 			err = c.statusError(status, hdr, data)
 		}
 		lastErr = err
-		if ctx.Err() != nil || !retryable(lastErr) || attempt >= c.cfg.MaxRetries {
+		if ctx.Err() != nil || !c.classifyRetry(lastErr) || attempt >= c.cfg.MaxRetries {
 			c.failures.Add(1)
 			return out, fmt.Errorf("client: GET /healthz failed after %d attempt(s): %w",
 				attempt+1, lastErr)
@@ -125,5 +125,15 @@ func (c *Client) ClusterStatus(ctx context.Context) (api.ClusterStatusResponse, 
 func (c *Client) JoinCluster(ctx context.Context, req api.ClusterJoinRequest) (api.ClusterJoinResponse, error) {
 	var out api.ClusterJoinResponse
 	err := c.do(ctx, http.MethodPost, "/cluster/join", req, &out)
+	return out, err
+}
+
+// ClusterLeader asks a coordinator instance which role it plays and
+// under which epoch. Standbys use it as the heartbeat against their
+// peer; the operator CLI prints it; it is also the cheapest way for a
+// trainer to learn where the current leader is.
+func (c *Client) ClusterLeader(ctx context.Context) (api.ClusterLeaderResponse, error) {
+	var out api.ClusterLeaderResponse
+	err := c.do(ctx, http.MethodGet, "/cluster/leader", nil, &out)
 	return out, err
 }

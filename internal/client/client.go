@@ -44,6 +44,14 @@ import (
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Endpoints lists alternative server roots for failover (BaseURL,
+	// when set, is tried first). On a transport failure or a typed
+	// stale_epoch / not_leader reply the client switches endpoints —
+	// following the reply's leader_hint when one is present, otherwise
+	// rotating — and the failed attempt is retried against the new
+	// endpoint within the same MaxRetries budget. With a single endpoint
+	// the behavior is unchanged.
+	Endpoints []string
 	// Timeout bounds each individual HTTP attempt (default 30s).
 	Timeout time.Duration
 	// MaxRetries is the number of re-attempts after the first try
@@ -87,6 +95,10 @@ type Stats struct {
 	// cost a bytes/round experiment measures.
 	BytesSent     uint64
 	BytesReceived uint64
+	// Failovers counts endpoint switches: a transport failure or a
+	// stale_epoch / not_leader reply made the client move to another
+	// configured endpoint (or to a server-supplied leader hint).
+	Failovers uint64
 }
 
 // APIError is a decoded v2 error envelope (or a plain non-2xx reply).
@@ -98,6 +110,10 @@ type APIError struct {
 	// loop sleeps this long (capped at Config.BackoffMax) instead of the
 	// exponential schedule.
 	RetryAfter time.Duration
+	// LeaderHint is the error envelope's leader_hint field (set on
+	// stale_epoch / not_leader replies when the responder knows a better
+	// coordinator endpoint). Failover jumps straight to it.
+	LeaderHint string
 }
 
 func (e *APIError) Error() string {
@@ -131,20 +147,51 @@ type Client struct {
 	idPrefix string
 	idSeq    atomic.Uint64
 
+	// epoch, when nonzero, is stamped on every request as the
+	// X-Fedora-Epoch fencing header (a coordinator talking to members).
+	epoch atomic.Uint64
+
+	// Endpoint failover state: the configured (plus hint-discovered)
+	// server roots and the index currently in use.
+	epMu      sync.Mutex
+	endpoints []string
+	epCur     int
+
 	requests  atomic.Uint64
 	retries   atomic.Uint64
 	failures  atomic.Uint64
 	shed      atomic.Uint64
 	bytesSent atomic.Uint64
 	bytesRecv atomic.Uint64
+	failovers atomic.Uint64
 }
 
 // New builds a Client.
 func New(cfg Config) (*Client, error) {
-	if cfg.BaseURL == "" {
-		return nil, errors.New("client: BaseURL required")
+	var endpoints []string
+	if cfg.BaseURL != "" {
+		endpoints = append(endpoints, strings.TrimRight(cfg.BaseURL, "/"))
 	}
-	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	for _, ep := range cfg.Endpoints {
+		ep = strings.TrimRight(ep, "/")
+		if ep == "" {
+			continue
+		}
+		dup := false
+		for _, have := range endpoints {
+			if have == ep {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			endpoints = append(endpoints, ep)
+		}
+	}
+	if len(endpoints) == 0 {
+		return nil, errors.New("client: BaseURL (or Endpoints) required")
+	}
+	cfg.BaseURL = endpoints[0]
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
@@ -173,10 +220,11 @@ func New(cfg Config) (*Client, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	return &Client{
-		cfg:      cfg,
-		http:     hc,
-		rng:      rng,
-		idPrefix: fmt.Sprintf("c%08x", rng.Uint32()),
+		cfg:       cfg,
+		http:      hc,
+		rng:       rng,
+		idPrefix:  fmt.Sprintf("c%08x", rng.Uint32()),
+		endpoints: endpoints,
 	}, nil
 }
 
@@ -189,7 +237,84 @@ func (c *Client) Stats() Stats {
 		Shed:          c.shed.Load(),
 		BytesSent:     c.bytesSent.Load(),
 		BytesReceived: c.bytesRecv.Load(),
+		Failovers:     c.failovers.Load(),
 	}
+}
+
+// SetEpoch sets the coordinator epoch stamped on every request (0 =
+// none, the default). A cluster coordinator calls this on its member
+// clients so members can fence requests from deposed epochs.
+func (c *Client) SetEpoch(e uint64) { c.epoch.Store(e) }
+
+// Epoch reports the currently stamped coordinator epoch.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// baseURL returns the endpoint currently in use.
+func (c *Client) baseURL() string {
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	return c.endpoints[c.epCur]
+}
+
+// Endpoint reports the endpoint currently in use (for status displays
+// and tests).
+func (c *Client) Endpoint() string { return c.baseURL() }
+
+// failover inspects an attempt error and, when it indicates the current
+// endpoint is the wrong place to talk to — a transport failure, or a
+// typed stale_epoch / not_leader reply — switches to another endpoint:
+// the reply's leader_hint when present (learned endpoints join the
+// rotation), the next configured endpoint otherwise. Reports whether it
+// switched; a switch makes the error worth retrying even when its
+// status alone would not be.
+func (c *Client) failover(err error) bool {
+	var hint string
+	switch {
+	case errors.As(err, new(*transportError)):
+		// Endpoint unreachable; rotate if there is anywhere to go.
+	default:
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			return false
+		}
+		if ae.Code != api.CodeStaleEpoch && ae.Code != api.CodeNotLeader {
+			return false
+		}
+		hint = strings.TrimRight(ae.LeaderHint, "/")
+	}
+	c.epMu.Lock()
+	defer c.epMu.Unlock()
+	if hint != "" {
+		for i, ep := range c.endpoints {
+			if ep == hint {
+				if i == c.epCur {
+					return false // already talking to the hinted leader
+				}
+				c.epCur = i
+				c.failovers.Add(1)
+				return true
+			}
+		}
+		c.endpoints = append(c.endpoints, hint)
+		c.epCur = len(c.endpoints) - 1
+		c.failovers.Add(1)
+		return true
+	}
+	if len(c.endpoints) < 2 {
+		return false
+	}
+	c.epCur = (c.epCur + 1) % len(c.endpoints)
+	c.failovers.Add(1)
+	return true
+}
+
+// classifyRetry decides whether an attempt error is worth another try,
+// performing the endpoint-failover side effect exactly once per failed
+// attempt. A switch to another endpoint makes otherwise-terminal errors
+// (stale_epoch, not_leader — 4xx by status) retryable there.
+func (c *Client) classifyRetry(err error) bool {
+	switched := c.failover(err)
+	return retryable(err) || switched
 }
 
 // nextID mints a unique idempotency key ("<prefix>-<n>"). Retries of
@@ -224,7 +349,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if lastErr == nil {
 			return nil
 		}
-		if ctx.Err() != nil || !retryable(lastErr) || attempt >= c.cfg.MaxRetries {
+		if ctx.Err() != nil || !c.classifyRetry(lastErr) || attempt >= c.cfg.MaxRetries {
 			c.failures.Add(1)
 			return fmt.Errorf("client: %s %s failed after %d attempt(s): %w",
 				method, path, attempt+1, lastErr)
@@ -261,12 +386,15 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 func (c *Client) rawAttempt(ctx context.Context, method, path string, body []byte, contentType string) ([]byte, int, http.Header, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(actx, method, c.baseURL()+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, nil, fmt.Errorf("client: build request: %w", err)
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if e := c.epoch.Load(); e != 0 {
+		req.Header.Set(api.EpochHeader, strconv.FormatUint(e, 10))
 	}
 	c.requests.Add(1)
 	c.bytesSent.Add(uint64(len(body)))
@@ -290,6 +418,7 @@ func (c *Client) statusError(status int, hdr http.Header, data []byte) *APIError
 	var env api.ErrorEnvelope
 	if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
 		apiErr.Code, apiErr.Message = env.Error.Code, env.Error.Message
+		apiErr.LeaderHint = env.Error.LeaderHint
 	} else {
 		apiErr.Message = strings.TrimSpace(string(data))
 	}
@@ -307,7 +436,11 @@ func (c *Client) statusError(status int, hdr http.Header, data []byte) *APIError
 // backoff sleeps before re-attempt number attempt (≥1), honoring ctx.
 // A server Retry-After hint (hint > 0) replaces the jittered exponential
 // wait, still capped at BackoffMax so a hostile or confused server
-// cannot stall the client arbitrarily long.
+// cannot stall the client arbitrarily long. When the caller's context
+// carries a deadline that would expire during the sleep, backoff fails
+// fast with context.DeadlineExceeded instead of burning the remaining
+// budget asleep — a short-deadline call reports its failure while the
+// caller can still act on it.
 func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) error {
 	var d time.Duration
 	if hint > 0 {
@@ -324,6 +457,12 @@ func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) e
 		jitter := 0.5 + c.rng.Float64()
 		c.rngMu.Unlock()
 		d = time.Duration(float64(d) * jitter)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain <= d {
+			return fmt.Errorf("%s backoff exceeds the %s left before the context deadline: %w",
+				d, remain, context.DeadlineExceeded)
+		}
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -485,7 +624,7 @@ func (c *Client) SubmitWireUpload(ctx context.Context, roundID, batchID string, 
 		if lastErr == nil {
 			return nil
 		}
-		if ctx.Err() != nil || !retryable(lastErr) || attempt >= c.cfg.MaxRetries {
+		if ctx.Err() != nil || !c.classifyRetry(lastErr) || attempt >= c.cfg.MaxRetries {
 			c.failures.Add(1)
 			return fmt.Errorf("client: POST %s failed after %d attempt(s): %w",
 				path, attempt+1, lastErr)
@@ -498,13 +637,16 @@ func (c *Client) SubmitWireUpload(ctx context.Context, roundID, batchID string, 
 func (c *Client) wireAttempt(ctx context.Context, path, batchID string, payload []byte) error {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.baseURL()+path, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", api.WireContentType)
 	if batchID != "" {
 		req.Header.Set(api.WireBatchIDHeader, batchID)
+	}
+	if e := c.epoch.Load(); e != 0 {
+		req.Header.Set(api.EpochHeader, strconv.FormatUint(e, 10))
 	}
 	c.requests.Add(1)
 	c.bytesSent.Add(uint64(len(payload)))

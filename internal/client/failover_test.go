@@ -1,0 +1,173 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// statusServer serves a minimal /v2/status and counts hits.
+func statusServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/status", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.StatusResponse{Backend: "test"})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// envelopeServer answers every request with one fixed v2 error envelope.
+func envelopeServer(t *testing.T, status int, code, hint string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.ErrorBody{
+			Code: code, Message: "go away", LeaderHint: hint,
+		}})
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func failoverConfig(endpoints ...string) Config {
+	return Config{
+		Endpoints:   endpoints,
+		Timeout:     2 * time.Second,
+		MaxRetries:  3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		RetrySeed:   1,
+	}
+}
+
+// TestFailoverOnTransportError: a dead first endpoint rotates the
+// client onto the second within the same logical call, and the Stats
+// counter records the failover.
+func TestFailoverOnTransportError(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+
+	live, hits := statusServer(t)
+	c, err := New(failoverConfig(deadURL, live.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatalf("status across failover: %v", err)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("live endpoint never hit")
+	}
+	if got := c.Stats().Failovers; got == 0 {
+		t.Fatal("failover not counted")
+	}
+	if c.Endpoint() != live.URL {
+		t.Fatalf("active endpoint = %s, want %s", c.Endpoint(), live.URL)
+	}
+}
+
+// TestFailoverFollowsLeaderHint: a standby's not_leader answer carries
+// a leader_hint; the client jumps straight to it — even when the hint
+// was not in the configured endpoint list.
+func TestFailoverFollowsLeaderHint(t *testing.T) {
+	live, hits := statusServer(t)
+	standby := envelopeServer(t, http.StatusConflict, api.CodeNotLeader, live.URL)
+
+	c, err := New(failoverConfig(standby.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatalf("status via leader hint: %v", err)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("hinted leader never hit")
+	}
+	if c.Endpoint() != live.URL {
+		t.Fatalf("active endpoint = %s, want hinted %s", c.Endpoint(), live.URL)
+	}
+}
+
+// TestFailoverOnStaleEpoch: stale_epoch (this endpoint was superseded)
+// rotates to the next endpoint even without a hint.
+func TestFailoverOnStaleEpoch(t *testing.T) {
+	stale := envelopeServer(t, http.StatusConflict, api.CodeStaleEpoch, "")
+	live, _ := statusServer(t)
+
+	c, err := New(failoverConfig(stale.URL, live.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(context.Background()); err != nil {
+		t.Fatalf("status after stale_epoch failover: %v", err)
+	}
+	if got := c.Stats().Failovers; got == 0 {
+		t.Fatal("stale_epoch failover not counted")
+	}
+}
+
+// TestFailoverExhaustsSingleEndpoint: with one endpoint and a terminal
+// 4xx the client does NOT spin — the APIError surfaces.
+func TestFailoverExhaustsSingleEndpoint(t *testing.T) {
+	stale := envelopeServer(t, http.StatusConflict, api.CodeStaleEpoch, "")
+	c, err := New(failoverConfig(stale.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Status(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeStaleEpoch {
+		t.Fatalf("err = %v, want terminal stale_epoch APIError", err)
+	}
+}
+
+// TestBackoffCappedByDeadline is the fail-fast satellite: when the
+// server's Retry-After (or the exponential wait) exceeds the caller's
+// remaining context budget, the client returns immediately instead of
+// sleeping through the deadline.
+func TestBackoffCappedByDeadline(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: api.ErrorBody{
+			Code: api.CodeOverloaded, Message: "busy",
+		}})
+	}))
+	t.Cleanup(srv.Close)
+
+	cfg := failoverConfig(srv.URL)
+	cfg.BackoffMax = time.Minute // let the 30s hint through
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Status(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the chain", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("call slept %s past its 100ms budget instead of failing fast", elapsed)
+	}
+}

@@ -36,14 +36,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/client"
 	"repro/internal/device"
 	"repro/internal/fedora"
+	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/storage"
 )
@@ -81,8 +84,20 @@ type Config struct {
 	// auto-recovery pass.
 	Checkpoint func() ([]byte, error)
 	// ProbeInterval is the background health-probe period for
-	// StartProbes (0 = 5s).
+	// StartProbes (0 = 5s). Consecutive all-fail passes back the probes
+	// off exponentially (capped at 8× the interval) with ±25% jitter, so
+	// a fleet of coordinators does not hammer a struggling member in
+	// lockstep.
 	ProbeInterval time.Duration
+	// Manager, when set, makes the coordinator durable: every round is
+	// written to a round WAL under the manager's directory before it fans
+	// out, cluster checkpoints are saved there on the CheckpointEvery
+	// cadence, and Recover replays checkpoint + WAL after a crash or a
+	// standby promotion.
+	Manager *persist.Manager
+	// CheckpointEvery is the healthy-round checkpoint cadence when
+	// Manager is set (0 or negative = every round).
+	CheckpointEvery int
 }
 
 // member is one node's runtime state. Mutable fields are guarded by the
@@ -121,6 +136,22 @@ type Coordinator struct {
 	stageSeq    uint64   // StageRound fan-outs issued (idempotency keys)
 	quarantines uint64   // node fence events
 	recoveries  uint64   // node unfence events
+
+	// epoch is this coordinator incarnation's fencing token: every
+	// member-facing call carries it, and members reject lower epochs.
+	// deposed latches once any member answers stale_epoch — a newer
+	// coordinator has fenced us out, so rounds must fail loudly instead
+	// of quarantining healthy nodes.
+	epoch   atomic.Uint64
+	deposed atomic.Bool
+
+	// Durability (nil/zero without Config.Manager): the round WAL and
+	// checkpoint cadence behind Recover.
+	mgr       *persist.Manager
+	ckptEvery int
+	walMu     sync.Mutex
+	wal       *persist.WAL
+	replaying atomic.Bool
 
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -179,7 +210,51 @@ func New(cfg Config) (*Coordinator, error) {
 	if next != shards {
 		return nil, fmt.Errorf("cluster: placements cover shards [0,%d) of %d", next, shards)
 	}
+	if cfg.Manager != nil {
+		c.mgr = cfg.Manager
+		c.ckptEvery = cfg.CheckpointEvery
+		if c.ckptEvery <= 0 {
+			c.ckptEvery = 1
+		}
+		wal, err := persist.OpenWAL(cfg.Manager.WALPath())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: open round WAL: %w", err)
+		}
+		c.wal = wal
+	}
 	return c, nil
+}
+
+// SetEpoch installs this coordinator's fencing epoch: it is stamped on
+// every member-facing call (the SDK sends it as the X-Fedora-Epoch
+// header) and baked into round idempotency keys, so two coordinator
+// incarnations can never collide on a member's round-key cache. Call it
+// before any round traffic; a later call with a higher epoch (a
+// promotion) also clears the deposed latch.
+func (c *Coordinator) SetEpoch(e uint64) {
+	c.epoch.Store(e)
+	c.deposed.Store(false)
+	for _, m := range c.members {
+		m.cli.SetEpoch(e)
+	}
+}
+
+// Epoch reports the coordinator's current fencing epoch (0 = unfenced
+// single-coordinator operation).
+func (c *Coordinator) Epoch() uint64 { return c.epoch.Load() }
+
+// Deposed reports whether a member has rejected this coordinator with
+// stale_epoch — proof a newer incarnation holds the cluster. A deposed
+// coordinator must stop driving rounds; its callers see errors wrapping
+// api.ErrStaleEpoch.
+func (c *Coordinator) Deposed() bool { return c.deposed.Load() }
+
+// staleEpoch reports whether a member call failed because THIS
+// coordinator's epoch is stale (the member's envelope code was
+// stale_epoch).
+func staleEpoch(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == api.CodeStaleEpoch
 }
 
 // newMember builds a member's runtime state (SDK client + row range).
@@ -424,8 +499,12 @@ func (c *Coordinator) Health() shard.HealthReport {
 // probeAll probes every live member's /healthz, caching the report and
 // fencing nodes whose probe fails at the transport level. A member
 // answering 503 (all its shards quarantined) is reachable — it stays
-// live and its quarantine detail flows into the global report.
-func (c *Coordinator) probeAll() {
+// live and its quarantine detail flows into the global report. The
+// return value is the number of probes that failed this pass (nodes
+// already fenced are skipped, not counted), which the background loop
+// uses to back off.
+func (c *Coordinator) probeAll() int {
+	var failed atomic.Int64
 	c.forEachMember(func(n int) {
 		if c.isFenced(n) {
 			return
@@ -433,6 +512,7 @@ func (c *Coordinator) probeAll() {
 		m := c.members[n]
 		hz, err := m.cli.Healthz(context.Background())
 		if err != nil {
+			failed.Add(1)
 			c.fence(n, err)
 			return
 		}
@@ -441,6 +521,25 @@ func (c *Coordinator) probeAll() {
 		m.hasProbe = true
 		c.mu.Unlock()
 	})
+	return int(failed.Load())
+}
+
+// probeDelay computes the wait before the next background probe pass:
+// the base interval while probes succeed, doubling per consecutive
+// failing pass up to 8× base, always with ±25% jitter. The backoff
+// keeps a coordinator from hammering a member that is struggling to
+// come back; the jitter desynchronizes the probe storms of a primary
+// and a promoted standby (or several coordinators sharing members)
+// that would otherwise tick in lockstep.
+func probeDelay(base time.Duration, failStreak int, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 0; i < failStreak && d < 8*base; i++ {
+		d *= 2
+	}
+	if d > 8*base {
+		d = 8 * base
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
 }
 
 // StartProbes launches the background health-probe loop. Stop it with
@@ -461,15 +560,22 @@ func (c *Coordinator) StartProbes() {
 	}
 	go func() {
 		defer close(done)
-		t := time.NewTicker(interval)
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		streak := 0
+		t := time.NewTimer(probeDelay(interval, streak, rng))
 		defer t.Stop()
 		for {
 			select {
 			case <-stop:
 				return
 			case <-t.C:
-				c.probeAll()
 			}
+			if c.probeAll() > 0 {
+				streak++
+			} else {
+				streak = 0
+			}
+			t.Reset(probeDelay(interval, streak, rng))
 		}
 	}()
 }
@@ -514,8 +620,11 @@ func (c *Coordinator) StageRound(requests [][]uint64) error {
 			return
 		}
 		_, err := c.members[n].cli.Stage(context.Background(), ids[n],
-			perNode[n], fmt.Sprintf("coord-g%d-n%d", seq, n))
+			perNode[n], fmt.Sprintf("coord-e%d-g%d-n%d", c.epoch.Load(), seq, n))
 		if err != nil {
+			if staleEpoch(err) {
+				c.deposed.Store(true)
+			}
 			errMu.Lock()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster: stage on node %d: %w", n, err)

@@ -1,0 +1,508 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/fdp"
+	"repro/internal/fedora"
+	"repro/internal/persist"
+)
+
+// haGlobal is the small raw-table study the HA tests drive: ε = ∞ so
+// every requested row is served and the evolution is a pure function of
+// the (requests, gradients) sequence — which is exactly what WAL replay
+// must reproduce.
+func haGlobal() fedora.Config {
+	return fedora.Config{
+		NumRows:              256,
+		Dim:                  4,
+		Epsilon:              fdp.EpsilonInfinity,
+		MaxClientsPerRound:   8,
+		MaxFeaturesPerClient: 8,
+		LearningRate:         1,
+		Seed:                 1,
+		Shards:               2,
+	}
+}
+
+// haMembers starts the two member processes of the 2-shard placement.
+func haMembers(t *testing.T) []NodeSpec {
+	t.Helper()
+	global := haGlobal()
+	m0, _ := startMember(t, global, 0, 1)
+	m1, _ := startMember(t, global, 1, 1)
+	return []NodeSpec{
+		{URL: m0.URL, First: 0, Count: 1},
+		{URL: m1.URL, First: 1, Count: 1},
+	}
+}
+
+// haCoordinator builds a durable coordinator over the members and dir.
+func haCoordinator(t *testing.T, nodes []NodeSpec, dir string, every int) *Coordinator {
+	t.Helper()
+	mgr, err := persist.OpenManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := New(Config{
+		Fedora:          haGlobal(),
+		Nodes:           nodes,
+		Client:          testClientConfig(),
+		Manager:         mgr,
+		CheckpointEvery: every,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.StopProbes)
+	return co
+}
+
+// startHA wraps the coordinator in a primary HA instance and starts it.
+func startHA(t *testing.T, co *Coordinator) *HA {
+	t.Helper()
+	ha, err := NewHA(HAConfig{Coordinator: co})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return ha
+}
+
+// haRequests builds one round's request lists: 4 clients × 4 rows.
+func haRequests(rng *rand.Rand) [][]uint64 {
+	reqs := make([][]uint64, 4)
+	for c := range reqs {
+		reqs[c] = make([]uint64, 4)
+		for j := range reqs[c] {
+			reqs[c][j] = uint64(rng.Intn(int(haGlobal().NumRows)))
+		}
+	}
+	return reqs
+}
+
+// haGrad is the deterministic per-row gradient the rounds submit.
+func haGrad(row uint64) []float32 {
+	g := make([]float32, haGlobal().Dim)
+	for d := range g {
+		g[d] = float32(row%7) - 3
+	}
+	return g
+}
+
+// driveHARounds runs n full rounds (begin → gradients → finish) drawing
+// requests from rng.
+func driveHARounds(t *testing.T, co *Coordinator, rng *rand.Rand, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		reqs := haRequests(rng)
+		r, err := co.BeginRound(reqs)
+		if err != nil {
+			t.Fatalf("begin round: %v", err)
+		}
+		var grads []fedora.RowGradient
+		for _, req := range reqs {
+			for _, row := range req {
+				grads = append(grads, fedora.RowGradient{Row: row, Grad: haGrad(row), Samples: 1})
+			}
+		}
+		if _, err := r.SubmitGradients(grads); err != nil {
+			t.Fatalf("submit gradients: %v", err)
+		}
+		if _, err := r.Finish(); err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+	}
+}
+
+// haPeeks samples the global table through the coordinator's evaluation
+// backdoor.
+func haPeeks(t *testing.T, co *Coordinator) [][]float32 {
+	t.Helper()
+	var out [][]float32
+	for row := uint64(0); row < haGlobal().NumRows; row += 13 {
+		v, err := co.PeekRow(row)
+		if err != nil {
+			t.Fatalf("peek row %d: %v", row, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// assertPeeksEqual compares two peek samples bit for bit.
+func assertPeeksEqual(t *testing.T, want, got [][]float32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("peek sample size %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		for d := range want[i] {
+			if want[i][d] != got[i][d] {
+				t.Fatalf("peek sample %d dim %d: got %v, want %v", i, d, got[i][d], want[i][d])
+			}
+		}
+	}
+}
+
+// TestProbeDelayBackoffAndJitter pins the probe schedule: base ±25%
+// while healthy, doubling per consecutive failing pass, capped at 8×
+// base — and always jittered so two coordinators sharing members never
+// probe in lockstep.
+func TestProbeDelayBackoffAndJitter(t *testing.T) {
+	const base = 100 * time.Millisecond
+	rng := rand.New(rand.NewSource(1))
+	bounds := func(streak int, lo, hi time.Duration) {
+		t.Helper()
+		for i := 0; i < 200; i++ {
+			d := probeDelay(base, streak, rng)
+			if d < lo || d > hi {
+				t.Fatalf("streak %d: delay %s outside [%s, %s]", streak, d, lo, hi)
+			}
+		}
+	}
+	bounds(0, 75*time.Millisecond, 125*time.Millisecond)  // healthy: base ±25%
+	bounds(1, 150*time.Millisecond, 250*time.Millisecond) // one failing pass: 2× base
+	bounds(3, 600*time.Millisecond, time.Second)          // capped at 8× base
+	bounds(50, 600*time.Millisecond, time.Second)         // cap holds for any streak
+}
+
+// TestHAPrimaryWALReplayParity is the durability core: a coordinator
+// crash between checkpoints loses nothing — the next incarnation
+// restores the last checkpoint and REDRIVES the WAL's committed rounds,
+// landing on bit-identical member state, one epoch higher.
+func TestHAPrimaryWALReplayParity(t *testing.T) {
+	nodes := haMembers(t)
+	dir := t.TempDir()
+
+	// First incarnation: checkpoint cadence far beyond the run, so every
+	// round must come back from the WAL, not a checkpoint.
+	co1 := haCoordinator(t, nodes, dir, 100)
+	startHA(t, co1)
+	if got := co1.Epoch(); got != 1 {
+		t.Fatalf("first incarnation epoch = %d, want 1", got)
+	}
+	driveHARounds(t, co1, rand.New(rand.NewSource(5)), 3)
+	want := haPeeks(t, co1)
+	co1.StopProbes() // the "crash": co1 stops driving the members
+
+	// Second incarnation over the same directory and members.
+	co2 := haCoordinator(t, nodes, dir, 100)
+	startHA(t, co2)
+	if got := co2.Epoch(); got != 2 {
+		t.Fatalf("second incarnation epoch = %d, want 2", got)
+	}
+	if got := co2.Round(); got != 3 {
+		t.Fatalf("recovered round = %d, want 3", got)
+	}
+	assertPeeksEqual(t, want, haPeeks(t, co2))
+
+	// Recovery sealed its state: the WAL is empty again, so a third
+	// incarnation would restore the fresh checkpoint, not replay.
+	recs, torn, err := persist.ReadRawWALFile(co2.mgr.WALPath())
+	if err != nil || torn || len(recs) != 0 {
+		t.Fatalf("WAL after recovery: recs=%d torn=%v err=%v, want empty", len(recs), torn, err)
+	}
+
+	// The revived first incarnation is fenced out: its next round fails
+	// with stale_epoch, it latches deposed, and member state is untouched.
+	if _, err := co1.BeginRound(haRequests(rand.New(rand.NewSource(9)))); !errors.Is(err, api.ErrStaleEpoch) {
+		t.Fatalf("revived old primary begin: err = %v, want api.ErrStaleEpoch", err)
+	}
+	if !co1.Deposed() {
+		t.Fatal("revived old primary not deposed after stale_epoch rejection")
+	}
+	assertPeeksEqual(t, want, haPeeks(t, co2))
+}
+
+// TestStalePrimaryFencedNoDoubleApply is the split-brain half: a new
+// incarnation takes over while the old primary has a round HALF-OPEN
+// (gradients delivered, no commit). The takeover restores the last
+// committed state — the torn round's gradients are wiped, not
+// double-applied — and every member rejects the old primary's writes
+// with stale_epoch.
+func TestStalePrimaryFencedNoDoubleApply(t *testing.T) {
+	nodes := haMembers(t)
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+
+	co1 := haCoordinator(t, nodes, dir, 0) // checkpoint every round
+	startHA(t, co1)
+	driveHARounds(t, co1, rng, 2)
+
+	// Round 3 goes half-open: gradients land on the members, but the
+	// commit frame never does.
+	reqs := haRequests(rng)
+	r3, err := co1.BeginRound(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grads []fedora.RowGradient
+	for _, req := range reqs {
+		for _, row := range req {
+			grads = append(grads, fedora.RowGradient{Row: row, Grad: haGrad(row), Samples: 1})
+		}
+	}
+	delivered, err := r3.SubmitGradients(grads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range delivered {
+		if !ok {
+			t.Fatalf("gradient %d not delivered pre-takeover", i)
+		}
+	}
+	co1.StopProbes()
+
+	// Takeover: the successor restores the round-2 checkpoint (wiping the
+	// torn round member-side) and fences everyone at epoch 2.
+	co2 := haCoordinator(t, nodes, dir, 0)
+	startHA(t, co2)
+	if got := co2.Epoch(); got != 2 {
+		t.Fatalf("successor epoch = %d, want 2", got)
+	}
+	if got := co2.Round(); got != 2 {
+		t.Fatalf("successor round = %d, want 2 (torn round 3 discarded)", got)
+	}
+	want := haPeeks(t, co2)
+
+	// The old primary finishes its half-open round: every member rejects
+	// it, the round fails loudly, and no gradient lands twice.
+	if _, err := r3.Finish(); !errors.Is(err, api.ErrStaleEpoch) {
+		t.Fatalf("stale finish: err = %v, want api.ErrStaleEpoch", err)
+	}
+	if !co1.Deposed() {
+		t.Fatal("old primary not deposed after member rejections")
+	}
+	assertPeeksEqual(t, want, haPeeks(t, co2))
+
+	// Every member, probed directly at the old epoch, refuses writes.
+	for n, spec := range nodes {
+		cc := testClientConfig()
+		cc.BaseURL = spec.URL
+		cli, err := client.New(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.SetEpoch(1)
+		_, err = cli.Begin(context.Background(), api.BeginV2Request{
+			Requests: [][]uint64{{0}},
+			RoundKey: fmt.Sprintf("stale-probe-%d", n),
+		})
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeStaleEpoch {
+			t.Fatalf("member %d accepted an epoch-1 begin after epoch-2 takeover: %v", n, err)
+		}
+	}
+
+	// And the deposed coordinator refuses to dirty the shared WAL.
+	if err := co1.logBegin(99, [][]uint64{{0}}); !errors.Is(err, api.ErrStaleEpoch) {
+		t.Fatalf("deposed WAL write: err = %v, want api.ErrStaleEpoch", err)
+	}
+
+	// The successor keeps training.
+	driveHARounds(t, co2, rng, 1)
+	if got := co2.Round(); got != 3 {
+		t.Fatalf("successor round after takeover = %d, want 3", got)
+	}
+}
+
+// TestPromotionSkipsCorruptNewestCheckpoint is the torn-checkpoint
+// satellite: when the newest checkpoint is corrupt, promotion does not
+// fail — it falls back to the previous valid epoch.
+func TestPromotionSkipsCorruptNewestCheckpoint(t *testing.T) {
+	nodes := haMembers(t)
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+
+	co1 := haCoordinator(t, nodes, dir, 0) // checkpoint every round
+	startHA(t, co1)
+	driveHARounds(t, co1, rng, 2)
+	want := haPeeks(t, co1) // post-round-2 state = checkpoint epoch 3
+	driveHARounds(t, co1, rng, 1)
+	co1.StopProbes()
+
+	// Corrupt the newest checkpoint (epoch 4 = post-round-3) in place.
+	epochs, err := co1.mgr.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := co1.mgr.CheckpointPath(epochs[len(epochs)-1])
+	f, err := os.OpenFile(newest, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("garbage-not-a-checkpoint"), 8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	co2 := haCoordinator(t, nodes, dir, 0)
+	startHA(t, co2) // must succeed despite the corrupt newest epoch
+	if got := co2.Round(); got != 2 {
+		t.Fatalf("recovered round = %d, want 2 (fell back past the corrupt checkpoint)", got)
+	}
+	assertPeeksEqual(t, want, haPeeks(t, co2))
+}
+
+// serveHAInstance serves a coordinator behind its HA gate the way
+// cmd/fedora-coordinator mounts it. The HA instance is built after the
+// server (it needs the listen URL for SelfURL), so the handler resolves
+// it through an atomic pointer.
+func serveHAInstance(t *testing.T, co *Coordinator) (*httptest.Server, *atomic.Pointer[HA]) {
+	t.Helper()
+	mux := http.NewServeMux()
+	co.RegisterRoutes(mux)
+	mux.Handle("/", api.NewServerFor(co).Handler())
+	var slot atomic.Pointer[HA]
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ha := slot.Load()
+		if ha == nil {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		ha.Handler(mux).ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &slot
+}
+
+// TestStandbyPromotesOnLeaseExpiry runs the full failover story in
+// process: a standby tails the primary, serves only discovery routes
+// (with a leader_hint) meanwhile, stays standby as long as heartbeats
+// arrive, and after the primary dies promotes within the lease — same
+// model state, one epoch higher — while the SDK fails over to it.
+func TestStandbyPromotesOnLeaseExpiry(t *testing.T) {
+	nodes := haMembers(t)
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+
+	co1 := haCoordinator(t, nodes, dir, 0)
+	srv1, slot1 := serveHAInstance(t, co1)
+	ha1, err := NewHA(HAConfig{Coordinator: co1, SelfURL: srv1.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	slot1.Store(ha1)
+	driveHARounds(t, co1, rng, 2)
+	want := haPeeks(t, co1)
+
+	co2 := haCoordinator(t, nodes, dir, 0)
+	srv2, slot2 := serveHAInstance(t, co2)
+	ha2, err := NewHA(HAConfig{
+		Coordinator:    co2,
+		SelfURL:        srv2.URL,
+		PeerURL:        srv1.URL,
+		Standby:        true,
+		HeartbeatEvery: 50 * time.Millisecond,
+		Lease:          250 * time.Millisecond,
+		Client:         testClientConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	slot2.Store(ha2)
+	t.Cleanup(ha2.Stop)
+
+	// While the primary is healthy the standby refuses writes with a
+	// leader hint, serves discovery, and does not promote. Raw HTTP here:
+	// the SDK would (correctly) follow the hint and succeed on the
+	// primary, hiding the rejection under test.
+	resp, err := http.Post(srv2.URL+"/v2/rounds", "application/json",
+		strings.NewReader(`{"requests":[[0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || env.Error.Code != api.CodeNotLeader {
+		t.Fatalf("standby begin: status %d code %q, want 409 not_leader", resp.StatusCode, env.Error.Code)
+	}
+	if env.Error.LeaderHint != srv1.URL {
+		t.Fatalf("standby leader_hint = %q, want %q", env.Error.LeaderHint, srv1.URL)
+	}
+	cc := testClientConfig()
+	cc.BaseURL = srv2.URL
+	direct, err := client.New(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := direct.ClusterLeader(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Role != "standby" || ld.LeaderURL != srv1.URL {
+		t.Fatalf("standby /cluster/leader = %+v", ld)
+	}
+	time.Sleep(300 * time.Millisecond) // several heartbeats
+	if got := ha2.Role(); got != "standby" {
+		t.Fatalf("standby promoted under a live primary (role %s)", got)
+	}
+
+	// Kill the primary. The standby must promote within the lease.
+	srv1.Close()
+	co1.StopProbes()
+	select {
+	case <-ha2.Promoted():
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby did not promote within 10s of primary death")
+	}
+	if got := ha2.Role(); got != "primary" {
+		t.Fatalf("post-promotion role = %s, want primary", got)
+	}
+	if got := co2.Epoch(); got != 2 {
+		t.Fatalf("post-promotion epoch = %d, want 2", got)
+	}
+	if got := co2.Round(); got != 2 {
+		t.Fatalf("post-promotion round = %d, want 2", got)
+	}
+	assertPeeksEqual(t, want, haPeeks(t, co2))
+
+	// The SDK configured with both endpoints fails over to the standby.
+	fc := testClientConfig()
+	fc.Endpoints = []string{srv1.URL, srv2.URL}
+	failover, err := client.New(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err = failover.ClusterLeader(context.Background())
+	if err != nil {
+		t.Fatalf("leader through failover client: %v", err)
+	}
+	if ld.Role != "primary" || ld.Epoch != 2 || ld.LeaderURL != srv2.URL {
+		t.Fatalf("promoted /cluster/leader = %+v", ld)
+	}
+	if failover.Stats().Failovers == 0 {
+		t.Fatal("failover not counted by the SDK")
+	}
+
+	// And the promoted coordinator keeps training.
+	driveHARounds(t, co2, rng, 1)
+	if got := co2.Round(); got != 3 {
+		t.Fatalf("promoted round after training = %d, want 3", got)
+	}
+}

@@ -43,6 +43,14 @@ func (c *Coordinator) BeginRound(requests [][]uint64) (api.Round, error) {
 	seq := c.round
 	c.mu.Unlock()
 
+	// Durability point: the round's inputs hit the WAL before any member
+	// sees them, so a crashed coordinator can replay the round verbatim.
+	if err := c.logBegin(seq, requests); err != nil {
+		c.endRound()
+		return nil, err
+	}
+
+	epoch := c.epoch.Load()
 	r := &Round{
 		c:     c,
 		seq:   seq,
@@ -60,9 +68,15 @@ func (c *Coordinator) BeginRound(requests [][]uint64) (api.Round, error) {
 			defer wg.Done()
 			info, err := c.members[n].cli.Begin(context.Background(), api.BeginV2Request{
 				Requests: perNode[n],
-				RoundKey: fmt.Sprintf("coord-r%d-n%d", seq, n),
+				RoundKey: fmt.Sprintf("coord-e%d-r%d-n%d", epoch, seq, n),
 			})
 			if err != nil {
+				if staleEpoch(err) {
+					// A newer coordinator owns the member; do NOT fence the
+					// node — it is healthy, WE are stale.
+					c.deposed.Store(true)
+					return
+				}
 				c.fence(n, fmt.Errorf("begin round %d: %w", seq, err))
 				return
 			}
@@ -74,6 +88,12 @@ func (c *Coordinator) BeginRound(requests [][]uint64) (api.Round, error) {
 	}
 	wg.Wait()
 	r.beginWall = time.Since(r.start)
+
+	if c.deposed.Load() {
+		c.endRound()
+		return nil, fmt.Errorf("cluster: begin round %d: coordinator epoch %d superseded by a newer incarnation: %w",
+			seq, epoch, api.ErrStaleEpoch)
+	}
 
 	// Remember where this round lives on each member: a later StageRound
 	// (the next round staged while this one trains) addresses these IDs.
@@ -164,9 +184,16 @@ func (r *Round) live(n int) bool {
 }
 
 // drop marks node n's local round unusable after a transport failure
-// and fences the node.
+// and fences the node. A stale_epoch rejection instead latches the
+// deposed flag without fencing: the member is healthy and owned by a
+// newer coordinator — fencing it would poison the successor's view via
+// shared state, and this coordinator must simply stand down.
 func (r *Round) drop(n int, err error) {
-	r.c.fence(n, err)
+	if staleEpoch(err) {
+		r.c.deposed.Store(true)
+	} else {
+		r.c.fence(n, err)
+	}
 	r.mu.Lock()
 	r.begun[n] = false
 	r.mu.Unlock()
@@ -259,6 +286,12 @@ func (r *Round) SubmitGradients(grads []fedora.RowGradient) ([]bool, error) {
 	}
 	r.mu.Unlock()
 
+	// Durability point: gradients are WAL'd before any member applies
+	// them, so replay reapplies exactly what the members saw.
+	if err := r.c.logGrads(r.seq, grads); err != nil {
+		return nil, err
+	}
+
 	delivered := make([]bool, len(grads))
 	idxByNode := make([][]int, len(r.c.members))
 	for i, g := range grads {
@@ -314,6 +347,11 @@ func (r *Round) SubmitAggregates(aggs []fedora.RowAggregate) ([]bool, error) {
 		return nil, fedora.ErrRoundFinished
 	}
 	r.mu.Unlock()
+
+	// Durability point, mirroring SubmitGradients.
+	if err := r.c.logAggs(r.seq, aggs); err != nil {
+		return nil, err
+	}
 
 	delivered := make([]bool, len(aggs))
 	idxByNode := make([][]int, len(r.c.members))
@@ -455,6 +493,10 @@ func (r *Round) Finish() (fedora.RoundStats, error) {
 		m.QuarantinedShards += st.QuarantinedShards
 	}
 	if survivors == 0 {
+		if r.c.deposed.Load() {
+			return fedora.RoundStats{}, fmt.Errorf("cluster: round %d deposed by a newer coordinator epoch: %w",
+				r.seq, api.ErrStaleEpoch)
+		}
 		return fedora.RoundStats{}, fmt.Errorf("cluster: round lost on every node: %w", fedora.ErrShardUnavailable)
 	}
 	m.RoundEpsilon = acct.RoundEpsilon()
@@ -475,5 +517,18 @@ func (r *Round) Finish() (fedora.RoundStats, error) {
 		}
 	}
 	m.FinishWallTime = finishWall
+
+	// Durability point: the commit frame seals the round in the WAL —
+	// replay redrives only rounds whose commit made it to disk, so a
+	// torn round (crash mid-fan-out) is discarded, not half-applied.
+	// The window between the members applying Finish and the commit
+	// frame landing is at-least-once: a crash there makes replay redrive
+	// a round the members already ran, which is safe because replay
+	// first RESTORES the pre-round checkpoint onto them.
+	if err := r.c.logCommit(r.seq); err != nil {
+		return fedora.RoundStats{}, err
+	}
+	r.c.endRound() // idempotent with the deferred endRound; maintenance needs the round closed
+	r.c.maybeMaintain(r.seq)
 	return m, nil
 }

@@ -97,6 +97,75 @@ func (w *WAL) Append(rec RoundRecord) error {
 	return w.f.Sync()
 }
 
+// AppendRaw durably writes one arbitrary named record (frame write +
+// fsync). It is the generic sibling of Append for callers with their
+// own record vocabulary — the cluster coordinator logs round begins,
+// gradient batches and commits this way. Names must not collide with
+// the typed "round" frame unless the payload is a RoundRecord.
+func (w *WAL) AppendRaw(name string, payload []byte) error {
+	if err := writeRawFrame(w.f, name, payload, new(uint64)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Reset truncates the log back to an empty (magic-only) file — called
+// after its records have been collapsed into a checkpoint. The
+// truncate-then-rewrite is not atomic, but every intermediate state
+// (empty file, bare magic) reads as an empty log, so a crash inside
+// Reset loses nothing that was not already checkpointed.
+func (w *WAL) Reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	// The file is O_APPEND; after truncate the next write lands at 0.
+	if _, err := w.f.WriteString(WALMagic); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// RawRecord is one generic WAL record: the frame name plus its payload.
+type RawRecord struct {
+	Name    string
+	Payload []byte
+}
+
+// ReadRawWALFile parses a WAL into generic records with the same
+// torn-tail tolerance as ReadWALFile: parsing stops at the first frame
+// that fails its CRC or decodes short, `torn` reports whether such a
+// tail was discarded, and a missing file reads as an empty log. Unlike
+// ReadWALFile it accepts any frame name, so typed and raw records can
+// share one log.
+func ReadRawWALFile(path string) (records []RawRecord, torn bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(WALMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, true, nil
+	}
+	if string(magic) != WALMagic {
+		return nil, false, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, magic)
+	}
+	for {
+		name, payload, err := readOneFrame(r)
+		if err == io.EOF {
+			return records, false, nil
+		}
+		if err != nil {
+			return records, true, nil
+		}
+		records = append(records, RawRecord{Name: name, Payload: payload})
+	}
+}
+
 // Close closes the underlying file.
 func (w *WAL) Close() error { return w.f.Close() }
 
