@@ -28,6 +28,19 @@ import (
 // operator CLI, tests): fencing constrains coordinators, which always
 // send it once an epoch is set, not ordinary clients.
 //
+// TRUST MODEL: the header is unauthenticated, so fencing is a
+// correctness protocol between COOPERATING coordinators, not an access
+// control. Anyone who can reach a member can send an arbitrarily high
+// epoch (up to 2^64-1): that aborts the member's open round and fences
+// it above every legitimate epoch until restart, and the real
+// coordinator — rejected with stale_epoch everywhere — latches deposed
+// and training halts cluster-wide. Members therefore MUST only be
+// reachable from the trusted network segment the coordinator pair runs
+// on (the same posture the unauthenticated admin and restore routes
+// already require — see docs/CLUSTER.md "Trust model"); deployments
+// crossing a trust boundary need an authenticating proxy in front of
+// the member surface.
+//
 // The fence is in-memory: a member that restarts forgets it and accepts
 // the first epoch it sees. That is safe because a restarted member has
 // also lost its round state — there is no half-open round to protect —

@@ -151,6 +151,7 @@ type Coordinator struct {
 	ckptEvery int
 	walMu     sync.Mutex
 	wal       *persist.WAL
+	walOps    int // ops logged in the current round (applied-frame keys); guarded by walMu
 	replaying atomic.Bool
 
 	probeStop chan struct{}
@@ -234,6 +235,12 @@ func New(cfg Config) (*Coordinator, error) {
 func (c *Coordinator) SetEpoch(e uint64) {
 	c.epoch.Store(e)
 	c.deposed.Store(false)
+	// Under c.mu: Join swaps member entries concurrently, and a member
+	// swapped in mid-iteration must not keep a stale (or zero) epoch —
+	// Join re-stamps its client from c.epoch inside the same critical
+	// section, so every client ends up at the newest epoch either way.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, m := range c.members {
 		m.cli.SetEpoch(e)
 	}
@@ -264,6 +271,13 @@ func (c *Coordinator) newMember(spec NodeSpec) (*member, error) {
 	cli, err := client.New(cc)
 	if err != nil {
 		return nil, err
+	}
+	// A member built after SetEpoch (a /cluster/join replacement) must
+	// carry the fence too, or its traffic goes out unfenced and a
+	// deposed coordinator's writes would land on it. Join re-stamps
+	// under c.mu to close the race with a concurrent SetEpoch.
+	if e := c.epoch.Load(); e != 0 {
+		cli.SetEpoch(e)
 	}
 	rowBase := shard.Base(c.numRows, c.shards, spec.First)
 	rowEnd := c.numRows

@@ -38,12 +38,20 @@ import (
 // primary — which still carries the old epoch — gets stale_epoch on
 // every write and stands down (Coordinator.Deposed). Two instances can
 // transiently both believe they are primary; only one epoch can win
-// any member, and the epoch file's atomic rename makes the claimed
-// epochs themselves monotonic per directory.
+// any member, and claimEpoch serializes the read-increment-write of
+// the epoch file under an flock'd lock file, so two racing claimants
+// (a restarting primary and a promoting standby) can never both claim
+// the same epoch and split a member's fence between them.
 
 // epochFileName is the coordinator-epoch file inside the checkpoint
 // directory. Decimal text, written atomically (temp file + rename).
-const epochFileName = "coordinator.epoch"
+// epochLockName is the flock'd lock file that serializes epoch claims
+// across processes (the rename only makes individual writes atomic; it
+// cannot order two concurrent read-increment-write sequences).
+const (
+	epochFileName = "coordinator.epoch"
+	epochLockName = "coordinator.epoch.lock"
+)
 
 // readEpochFile returns the persisted coordinator epoch (0 when the
 // file does not exist yet).
@@ -68,6 +76,38 @@ func writeEpochFile(dir string, e uint64) error {
 		_, err := fmt.Fprintf(f, "%d\n", e)
 		return err
 	})
+}
+
+// claimEpoch atomically claims the next coordinator epoch: strictly
+// above both the persisted epoch and floor. The whole
+// read-increment-write runs under an exclusive flock on a lock file
+// beside the epoch file, so two concurrent claimants (a restarted
+// primary racing a promoting standby) serialize and claim DISTINCT
+// epochs — an unlocked read-modify-write would let both read N and
+// both claim N+1, and since members accept equal epochs neither would
+// ever be fenced out.
+func claimEpoch(dir string, floor uint64) (uint64, error) {
+	release, err := persist.LockFile(filepath.Join(dir, epochLockName))
+	if err != nil {
+		return 0, fmt.Errorf("cluster: lock epoch file: %w", err)
+	}
+	defer release()
+	cur, err := readEpochFile(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := cur
+	if floor > next {
+		next = floor
+	}
+	next++
+	// Persist BEFORE fencing with it: if we crash between this write and
+	// the member fan-out, the next incarnation claims a yet-higher epoch
+	// — epochs must never be reused.
+	if err := writeEpochFile(dir, next); err != nil {
+		return 0, fmt.Errorf("cluster: persist epoch %d: %w", next, err)
+	}
+	return next, nil
 }
 
 // HAConfig parameterizes an HA instance wrapping a Coordinator.
@@ -109,6 +149,7 @@ type HA struct {
 
 	promoted chan struct{} // closed when a standby becomes primary
 	stop     chan struct{}
+	stopOnce sync.Once
 	done     chan struct{}
 }
 
@@ -163,13 +204,9 @@ func (h *HA) Start() error {
 }
 
 // Stop halts a standby's heartbeat loop (no-op once promoted or for a
-// primary).
+// primary). Safe to call concurrently and repeatedly.
 func (h *HA) Stop() {
-	select {
-	case <-h.stop:
-	default:
-		close(h.stop)
-	}
+	h.stopOnce.Do(func() { close(h.stop) })
 	<-h.done
 }
 
@@ -188,27 +225,15 @@ func (h *HA) Promoted() <-chan struct{} { return h.promoted }
 // recovers checkpoint+WAL state and starts probes. Used both by a
 // configured primary at Start and by a promoting standby.
 func (h *HA) becomePrimary() error {
-	dir := h.co.mgr.Dir()
-	fileEpoch, err := readEpochFile(dir)
+	h.mu.Lock()
+	floor := h.peerEpoch
+	h.mu.Unlock()
+	if own := h.co.Epoch(); own > floor {
+		floor = own
+	}
+	epoch, err := claimEpoch(h.co.mgr.Dir(), floor)
 	if err != nil {
 		return err
-	}
-	h.mu.Lock()
-	peerEpoch := h.peerEpoch
-	h.mu.Unlock()
-	epoch := fileEpoch
-	if peerEpoch > epoch {
-		epoch = peerEpoch
-	}
-	if own := h.co.Epoch(); own > epoch {
-		epoch = own
-	}
-	epoch++
-	// Persist BEFORE fencing: if we crash between the write and the
-	// fence, the next incarnation claims a yet-higher epoch — epochs
-	// must never be reused.
-	if err := writeEpochFile(dir, epoch); err != nil {
-		return fmt.Errorf("cluster: persist epoch %d: %w", epoch, err)
 	}
 	h.co.SetEpoch(epoch)
 	if _, err := h.co.Recover(); err != nil {

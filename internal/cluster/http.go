@@ -116,6 +116,11 @@ func (c *Coordinator) Join(req api.ClusterJoinRequest) (api.ClusterJoinResponse,
 		c.quarantines++ // replacing a live node fences the placement first
 	}
 	c.members[n] = nm
+	// Re-stamp inside the critical section: a SetEpoch racing this join
+	// either already stored the epoch we read here, or will iterate the
+	// swapped-in member after we unlock — both leave nm fenced at the
+	// newest epoch.
+	nm.cli.SetEpoch(c.epoch.Load())
 	c.mu.Unlock()
 
 	if c.cfg.Checkpoint == nil {

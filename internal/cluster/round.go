@@ -288,11 +288,13 @@ func (r *Round) SubmitGradients(grads []fedora.RowGradient) ([]bool, error) {
 
 	// Durability point: gradients are WAL'd before any member applies
 	// them, so replay reapplies exactly what the members saw.
-	if err := r.c.logGrads(r.seq, grads); err != nil {
+	opIdx, err := r.c.logGrads(r.seq, grads)
+	if err != nil {
 		return nil, err
 	}
 
 	delivered := make([]bool, len(grads))
+	applied := make([]bool, len(r.c.members))
 	idxByNode := make([][]int, len(r.c.members))
 	for i, g := range grads {
 		if g.Row >= r.c.numRows {
@@ -323,12 +325,19 @@ func (r *Round) SubmitGradients(grads []fedora.RowGradient) ([]bool, error) {
 				r.drop(n, fmt.Errorf("submit gradients round %d: %w", r.seq, err))
 				return
 			}
+			applied[n] = true
 			for k, i := range idxs {
 				delivered[i] = ok[k]
 			}
 		}(n, idxs)
 	}
 	wg.Wait()
+	// Durability point: record which nodes the batch actually landed on.
+	// Without it, replay would land a bounced batch on the restored
+	// member AND the trainer's logged resubmission — double-applied.
+	if err := r.c.logApplied(r.seq, opIdx, applied); err != nil {
+		return nil, err
+	}
 	return delivered, nil
 }
 
@@ -349,11 +358,13 @@ func (r *Round) SubmitAggregates(aggs []fedora.RowAggregate) ([]bool, error) {
 	r.mu.Unlock()
 
 	// Durability point, mirroring SubmitGradients.
-	if err := r.c.logAggs(r.seq, aggs); err != nil {
+	opIdx, err := r.c.logAggs(r.seq, aggs)
+	if err != nil {
 		return nil, err
 	}
 
 	delivered := make([]bool, len(aggs))
+	applied := make([]bool, len(r.c.members))
 	idxByNode := make([][]int, len(r.c.members))
 	for i, a := range aggs {
 		if a.Row >= r.c.numRows {
@@ -384,12 +395,17 @@ func (r *Round) SubmitAggregates(aggs []fedora.RowAggregate) ([]bool, error) {
 				r.drop(n, fmt.Errorf("submit aggregates round %d: %w", r.seq, err))
 				return
 			}
+			applied[n] = true
 			for k, i := range idxs {
 				delivered[i] = ok[k]
 			}
 		}(n, idxs)
 	}
 	wg.Wait()
+	// Durability point, mirroring SubmitGradients' applied frame.
+	if err := r.c.logApplied(r.seq, opIdx, applied); err != nil {
+		return nil, err
+	}
 	return delivered, nil
 }
 

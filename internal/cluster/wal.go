@@ -24,6 +24,16 @@ import (
 // mid-fan-out, the trainer never saw it succeed, and replay discards it
 // (the checkpoint restore wipes whatever half of it reached members).
 //
+// Degraded rounds: a batch is logged BEFORE fan-out, but delivery can
+// partially fail — a member fenced mid-round reports its rows
+// delivered=false while the round still commits over the survivors.
+// After each fan-out an applied frame records which nodes the batch
+// actually landed on, and replay filters each batch to those nodes: a
+// gradient the trainer saw bounce (and will resubmit in a later round)
+// must not land on the restored member during replay, or the
+// resubmission would apply it a second time. This keeps the
+// bit-identical guarantee for degraded histories too.
+//
 // Ordering assumption: frames replay in append order, so recovery is
 // exact for the repo's trainers, which drive rounds sequentially
 // (fl.Runner, fedora-train, the upload plane's per-round unmask). If
@@ -40,10 +50,11 @@ const CheckpointSection = "fedora/controller"
 
 // WAL frame names. Each payload begins with a version byte.
 const (
-	walBeginFrame  = "cluster/begin"
-	walGradsFrame  = "cluster/grads"
-	walAggsFrame   = "cluster/aggs"
-	walCommitFrame = "cluster/commit"
+	walBeginFrame   = "cluster/begin"
+	walGradsFrame   = "cluster/grads"
+	walAggsFrame    = "cluster/aggs"
+	walAppliedFrame = "cluster/applied"
+	walCommitFrame  = "cluster/commit"
 
 	walFrameVersion = 1
 )
@@ -52,6 +63,12 @@ const (
 type loggedOp struct {
 	grads []fedora.RowGradient // nil for an aggregate op
 	aggs  []fedora.RowAggregate
+	// applied is the per-node delivery outcome of the fan-out (the
+	// round's applied frame): replay resubmits only rows owned by nodes
+	// that applied the batch pre-crash. nil (no applied frame — a crash
+	// between the op and its ack in an uncommitted round, or a log from
+	// before applied frames existed) means no filtering.
+	applied []bool
 }
 
 // loggedRound is one round reconstructed from the WAL.
@@ -95,19 +112,22 @@ func (c *Coordinator) logBegin(seq uint64, requests [][]uint64) error {
 	}
 	c.walMu.Lock()
 	defer c.walMu.Unlock()
+	c.walOps = 0
 	if err := c.wal.AppendRaw(walBeginFrame, e.Finish()); err != nil {
 		return fmt.Errorf("cluster: WAL begin round %d: %w", seq, err)
 	}
 	return nil
 }
 
-// logGrads appends one gradient batch.
-func (c *Coordinator) logGrads(seq uint64, grads []fedora.RowGradient) error {
+// logGrads appends one gradient batch and returns the op's index within
+// the round (the key its applied frame carries), or -1 when nothing was
+// logged (no WAL, or replay).
+func (c *Coordinator) logGrads(seq uint64, grads []fedora.RowGradient) (op int, err error) {
 	if c.wal == nil || c.replaying.Load() {
-		return nil
+		return -1, nil
 	}
 	if err := c.walRefused(); err != nil {
-		return err
+		return -1, err
 	}
 	var e persist.Encoder
 	e.U8(walFrameVersion)
@@ -121,18 +141,20 @@ func (c *Coordinator) logGrads(seq uint64, grads []fedora.RowGradient) error {
 	c.walMu.Lock()
 	defer c.walMu.Unlock()
 	if err := c.wal.AppendRaw(walGradsFrame, e.Finish()); err != nil {
-		return fmt.Errorf("cluster: WAL gradients round %d: %w", seq, err)
+		return -1, fmt.Errorf("cluster: WAL gradients round %d: %w", seq, err)
 	}
-	return nil
+	op = c.walOps
+	c.walOps++
+	return op, nil
 }
 
-// logAggs appends one aggregate batch.
-func (c *Coordinator) logAggs(seq uint64, aggs []fedora.RowAggregate) error {
+// logAggs appends one aggregate batch; index contract as logGrads.
+func (c *Coordinator) logAggs(seq uint64, aggs []fedora.RowAggregate) (op int, err error) {
 	if c.wal == nil || c.replaying.Load() {
-		return nil
+		return -1, nil
 	}
 	if err := c.walRefused(); err != nil {
-		return err
+		return -1, err
 	}
 	var e persist.Encoder
 	e.U8(walFrameVersion)
@@ -146,7 +168,36 @@ func (c *Coordinator) logAggs(seq uint64, aggs []fedora.RowAggregate) error {
 	c.walMu.Lock()
 	defer c.walMu.Unlock()
 	if err := c.wal.AppendRaw(walAggsFrame, e.Finish()); err != nil {
-		return fmt.Errorf("cluster: WAL aggregates round %d: %w", seq, err)
+		return -1, fmt.Errorf("cluster: WAL aggregates round %d: %w", seq, err)
+	}
+	op = c.walOps
+	c.walOps++
+	return op, nil
+}
+
+// logApplied records op's per-node delivery outcome after its fan-out
+// completed: applied[n] is true iff node n acknowledged the batch.
+// Replay uses it to resubmit only what landed pre-crash. No-op when the
+// op was never logged (op < 0).
+func (c *Coordinator) logApplied(seq uint64, op int, applied []bool) error {
+	if c.wal == nil || c.replaying.Load() || op < 0 {
+		return nil
+	}
+	if err := c.walRefused(); err != nil {
+		return err
+	}
+	var e persist.Encoder
+	e.U8(walFrameVersion)
+	e.U64(seq)
+	e.U32(uint32(op))
+	e.U32(uint32(len(applied)))
+	for _, a := range applied {
+		e.Bool(a)
+	}
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	if err := c.wal.AppendRaw(walAppliedFrame, e.Finish()); err != nil {
+		return fmt.Errorf("cluster: WAL applied round %d op %d: %w", seq, op, err)
 	}
 	return nil
 }
@@ -228,6 +279,20 @@ func readRoundLog(path string) (rounds []loggedRound, torn bool, err error) {
 				return nil, torn, fmt.Errorf("cluster: WAL aggregates frame for round %d outside its round", seq)
 			}
 			cur.ops = append(cur.ops, loggedOp{aggs: aggs})
+		case walAppliedFrame:
+			op := int(d.U32())
+			n := int(d.U32())
+			applied := make([]bool, 0, n)
+			for i := 0; i < n; i++ {
+				applied = append(applied, d.Bool())
+			}
+			if derr := d.Err(); derr != nil {
+				return nil, torn, fmt.Errorf("cluster: WAL applied frame: %w", derr)
+			}
+			if cur == nil || cur.seq != seq || cur.committed || op < 0 || op >= len(cur.ops) {
+				return nil, torn, fmt.Errorf("cluster: WAL applied frame for round %d op %d outside its round", seq, op)
+			}
+			cur.ops[op].applied = applied
 		case walCommitFrame:
 			if derr := d.Err(); derr != nil {
 				return nil, torn, fmt.Errorf("cluster: WAL commit frame: %w", derr)
@@ -300,6 +365,10 @@ func (c *Coordinator) Recover() (replayed int, err error) {
 }
 
 // replayRound redrives one committed round through the live fan-out.
+// Each op is filtered to the rows its applied frame says landed
+// pre-crash: a batch that bounced off a fenced member must not land on
+// the restored member now — the trainer saw delivered=false and its
+// resubmission is already in a later committed round.
 func (c *Coordinator) replayRound(lr loggedRound) error {
 	r, err := c.BeginRound(lr.requests)
 	if err != nil {
@@ -310,17 +379,55 @@ func (c *Coordinator) replayRound(lr loggedRound) error {
 	}
 	for _, op := range lr.ops {
 		if op.grads != nil {
-			if _, err := r.(*Round).SubmitGradients(op.grads); err != nil {
-				return err
+			if grads := c.deliveredGrads(op.grads, op.applied); len(grads) > 0 {
+				if _, err := r.(*Round).SubmitGradients(grads); err != nil {
+					return err
+				}
 			}
 		} else {
-			if _, err := r.(*Round).SubmitAggregates(op.aggs); err != nil {
-				return err
+			if aggs := c.deliveredAggs(op.aggs, op.applied); len(aggs) > 0 {
+				if _, err := r.(*Round).SubmitAggregates(aggs); err != nil {
+					return err
+				}
 			}
 		}
 	}
 	_, err = r.Finish()
 	return err
+}
+
+// ownerOf maps a global row to the member index serving its shard.
+func (c *Coordinator) ownerOf(row uint64) int {
+	return c.nodeOf[shard.ShardOf(c.numRows, c.shards, row)]
+}
+
+// deliveredGrads filters a logged gradient batch to rows whose owning
+// node applied it pre-crash (nil applied = no filter).
+func (c *Coordinator) deliveredGrads(grads []fedora.RowGradient, applied []bool) []fedora.RowGradient {
+	if applied == nil {
+		return grads
+	}
+	out := make([]fedora.RowGradient, 0, len(grads))
+	for _, g := range grads {
+		if n := c.ownerOf(g.Row); n < len(applied) && applied[n] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// deliveredAggs mirrors deliveredGrads for aggregate batches.
+func (c *Coordinator) deliveredAggs(aggs []fedora.RowAggregate, applied []bool) []fedora.RowAggregate {
+	if applied == nil {
+		return aggs
+	}
+	out := make([]fedora.RowAggregate, 0, len(aggs))
+	for _, a := range aggs {
+		if n := c.ownerOf(a.Row); n < len(applied) && applied[n] {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // checkpointNow assembles a cluster snapshot, saves it as the next

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// LockFile without flock(2): the file is created for parity but no
+// cross-process lock is taken. Deployments that need the lock — two
+// coordinator processes sharing one checkpoint directory — are
+// unix-only; single-process use never contends.
+func LockFile(path string) (release func(), err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return func() { _ = f.Close() }, nil
+}

@@ -1,0 +1,31 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// LockFile takes an exclusive advisory flock on path (created if
+// missing), blocking until the lock is held, and returns a release
+// function. The lock serializes critical sections across PROCESSES
+// sharing a directory — e.g. two coordinator instances claiming the
+// next fencing epoch — and is released by the kernel if the holder
+// dies, so a crashed holder can never wedge its successor.
+func LockFile(path string) (release func(), err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		// Closing the descriptor drops the flock; the explicit unlock just
+		// releases waiters before the close syscall.
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}
